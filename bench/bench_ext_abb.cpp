@@ -1,0 +1,80 @@
+/// \file bench_ext_abb.cpp
+/// \brief E3 — extension experiment: adaptive body bias (ABB) as
+///        post-silicon compensation, after the paper's reference cluster
+///        (Keshavarzi ISLPED'99/'01, Tschanz JSSC'02).
+///
+/// Each simulated die picks one bias from a discrete ladder: minimum
+/// leakage subject to its measured delay meeting T, or maximum forward bias
+/// if nothing does. Reported against the uncompensated population (same
+/// parameter draws): timing yield, combined frequency+power yield (cap =
+/// 3x the typical-die leakage), and the leakage distribution among
+/// timing-feasible dies. Also shown: ABB stacked on top of the statistical
+/// design-time optimization — design-time and post-silicon techniques
+/// compose.
+
+#include <iostream>
+
+#include "abb/abb.hpp"
+#include "bench_util.hpp"
+#include "gen/proxy.hpp"
+#include "opt/statistical.hpp"
+#include "report/flow.hpp"
+#include "sta/sta.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace statleak;
+  bench::Setup setup;
+  bench::print_header("E3",
+                      "adaptive body bias: per-die compensation vs the "
+                      "uncompensated population (ladder -0.5..+0.5 V, "
+                      "k_body 0.15 V/V, 2000 dies)");
+
+  BodyBiasConfig abb;
+  McConfig mc;
+  mc.num_samples = 2000;
+  mc.seed = 404;
+
+  Table table({"circuit", "impl", "T [ps]", "timing yield",
+               "timing yield+ABB", "combined yield", "combined+ABB",
+               "RBB dies %", "FBB dies %"});
+
+  for (const std::string& name : {"c432p", "c880p", "c1908p"}) {
+    for (const bool optimized : {false, true}) {
+      Circuit c = iscas85_proxy(name);
+      double t_max = 0.0;
+      if (optimized) {
+        t_max = 1.15 * min_achievable_delay_ps(c, setup.lib);
+        OptConfig cfg;
+        cfg.t_max_ps = t_max;
+        cfg.yield_target = 0.95;
+        (void)StatisticalOptimizer(setup.lib, setup.var, cfg).run(c);
+      } else {
+        // Min-size all-LVT: target its own nominal delay (typical die just
+        // meets it — the classic binning regime).
+        t_max = 1.02 * StaEngine(c, setup.lib).critical_delay_ps();
+      }
+
+      const AbbResult res =
+          run_abb_experiment(c, setup.lib, setup.var, abb, mc, t_max);
+      const double cap = 3.0 * res.baseline.leakage_summary().p50;
+
+      table.begin_row();
+      table.add(name);
+      table.add(optimized ? "stat-opt" : "min-size LVT");
+      table.add(t_max, 0);
+      table.add(res.baseline.timing_yield(t_max), 3);
+      table.add(res.compensated.timing_yield(t_max), 3);
+      table.add(res.baseline.combined_yield(t_max, cap), 3);
+      table.add(res.compensated.combined_yield(t_max, cap), 3);
+      table.add(100.0 * res.reverse_fraction(), 1);
+      table.add(100.0 * res.forward_fraction(), 1);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: ABB lifts both yields substantially on the "
+               "uncompensated implementation (slow dies rescued by FBB, "
+               "leaky dies choked by RBB) and still adds margin on top of "
+               "the statistically optimized one.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// \file bench_ext_mlv.cpp
+/// \brief E4 — extension experiment: minimum-leakage standby vectors.
+///
+/// Standby leakage is state-dependent (series stacks suppress off-current
+/// ~10x per extra off device). For each proxy: the spread of vector
+/// leakage over random inputs, the best vector found by the
+/// random + greedy-descent heuristic, and the interaction with the
+/// statistical optimization (MLV savings on the optimized implementation).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "gen/proxy.hpp"
+#include "mlv/mlv.hpp"
+#include "opt/statistical.hpp"
+#include "report/flow.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace statleak;
+  bench::Setup setup;
+  bench::print_header("E4",
+                      "minimum-leakage standby vectors (128 random probes + "
+                      "greedy bit-flip descent)");
+
+  Table table({"circuit", "impl", "mean [uA]", "worst [uA]", "MLV [uA]",
+               "saving vs mean %", "evals"});
+  for (const std::string& name : {"c432p", "c880p", "c1908p", "c3540p"}) {
+    for (const bool optimized : {false, true}) {
+      Circuit c = iscas85_proxy(name);
+      if (optimized) {
+        OptConfig cfg;
+        cfg.t_max_ps = 1.15 * min_achievable_delay_ps(c, setup.lib);
+        cfg.yield_target = 0.99;
+        (void)StatisticalOptimizer(setup.lib, setup.var, cfg).run(c);
+      }
+      MlvConfig mlv;
+      mlv.random_trials = 128;
+      mlv.greedy_passes = 4;
+      mlv.seed = 2024;
+      const MlvResult res = find_min_leakage_vector(c, setup.lib, mlv);
+
+      table.begin_row();
+      table.add(name);
+      table.add(optimized ? "stat-opt" : "min-size LVT");
+      table.add(res.mean_leakage_na / 1000.0, 2);
+      table.add(res.worst_leakage_na / 1000.0, 2);
+      table.add(res.best_leakage_na / 1000.0, 2);
+      table.add(100.0 * res.saving_vs_mean(), 1);
+      table.add_int(res.evaluations);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: vector choice is worth a 5-20 % standby "
+               "saving on top of whichever implementation the design-time "
+               "flow produced — the two techniques compose.\n";
+  return 0;
+}

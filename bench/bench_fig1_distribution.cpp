@@ -1,0 +1,115 @@
+/// \file bench_fig1_distribution.cpp
+/// \brief F1 — Monte-Carlo leakage distributions of the deterministic vs
+///        statistical solutions (paper figure class: leakage histograms).
+///
+/// One mid-size circuit (c880p), 30k samples per solution. Prints the two
+/// histograms as aligned density columns plus the analytic Wilkinson fit at
+/// the same abscissae, and an ASCII sketch — enough to re-plot the figure.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "gen/proxy.hpp"
+#include "leakage/leakage.hpp"
+#include "mc/monte_carlo.hpp"
+#include "opt/deterministic.hpp"
+#include "opt/statistical.hpp"
+#include "report/flow.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace statleak;
+  bench::Setup setup;
+  bench::print_header("F1",
+                      "total-leakage distributions, det (3-sigma corner) vs "
+                      "stat, c880p, 30k MC samples");
+
+  Circuit det = iscas85_proxy("c880p");
+  Circuit stat = det;
+  OptConfig cfg;
+  cfg.t_max_ps = 1.15 * min_achievable_delay_ps(det, setup.lib);
+  cfg.yield_target = 0.99;
+
+  OptConfig det_cfg = cfg;
+  det_cfg.corner_k_sigma = 3.0;
+  (void)DeterministicOptimizer(setup.lib, setup.var, det_cfg).run(det);
+  (void)StatisticalOptimizer(setup.lib, setup.var, cfg).run(stat);
+
+  McConfig mc;
+  mc.num_samples = 30000;
+  mc.seed = 71;
+  const McResult det_mc = run_monte_carlo(det, setup.lib, setup.var, mc);
+  mc.seed = 72;
+  const McResult stat_mc = run_monte_carlo(stat, setup.lib, setup.var, mc);
+
+  const SampleSummary sd = det_mc.leakage_summary();
+  const SampleSummary ss = stat_mc.leakage_summary();
+  const double lo = 0.0;
+  const double hi = 1.05 * sd.max;
+  constexpr std::size_t kBins = 40;
+  Histogram hd(lo, hi, kBins);
+  Histogram hs(lo, hi, kBins);
+  for (double x : det_mc.leakage_na) hd.add(x);
+  for (double x : stat_mc.leakage_na) hs.add(x);
+
+  const LeakageDistribution fit_det =
+      LeakageAnalyzer(det, setup.lib, setup.var).distribution();
+  const LeakageDistribution fit_stat =
+      LeakageAnalyzer(stat, setup.lib, setup.var).distribution();
+
+  Table table({"leak [uA]", "det density", "stat density", "det fit",
+               "stat fit"});
+  for (std::size_t i = 0; i < kBins; ++i) {
+    const double x = hd.center(i);
+    // Lognormal pdf via finite difference of the cdf over the bin width.
+    const double w = (hi - lo) / kBins;
+    const double pdf_d =
+        (fit_det.cdf(x + 0.5 * w) - fit_det.cdf(x - 0.5 * w)) / w;
+    const double pdf_s =
+        (fit_stat.cdf(x + 0.5 * w) - fit_stat.cdf(x - 0.5 * w)) / w;
+    table.begin_row();
+    table.add(x / 1000.0, 2);
+    table.add(hd.density(i) * 1000.0, 4);
+    table.add(hs.density(i) * 1000.0, 4);
+    table.add(pdf_d * 1000.0, 4);
+    table.add(pdf_s * 1000.0, 4);
+  }
+  table.print(std::cout);
+
+  // ASCII sketch: 'D' deterministic, 'S' statistical.
+  std::cout << "\nsketch (each column = one bin, height ~ density):\n";
+  double peak = 0.0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    peak = std::max({peak, hd.density(i), hs.density(i)});
+  }
+  for (int row = 10; row >= 1; --row) {
+    std::string line_d(kBins, ' ');
+    std::string line_s(kBins, ' ');
+    for (std::size_t i = 0; i < kBins; ++i) {
+      if (hd.density(i) >= peak * row / 10.0) line_d[i] = 'D';
+      if (hs.density(i) >= peak * row / 10.0) line_s[i] = 'S';
+    }
+    std::string merged(kBins, ' ');
+    for (std::size_t i = 0; i < kBins; ++i) {
+      if (line_d[i] == 'D' && line_s[i] == 'S') {
+        merged[i] = '#';
+      } else if (line_d[i] == 'D') {
+        merged[i] = 'D';
+      } else if (line_s[i] == 'S') {
+        merged[i] = 'S';
+      }
+    }
+    std::cout << "  |" << merged << "|\n";
+  }
+  std::cout << "   " << std::string(kBins, '-') << "\n";
+
+  std::cout << "\ndet : mean " << format_fixed(sd.mean / 1000.0, 2)
+            << " uA, p99 " << format_fixed(sd.p99 / 1000.0, 2) << " uA\n"
+            << "stat: mean " << format_fixed(ss.mean / 1000.0, 2)
+            << " uA, p99 " << format_fixed(ss.p99 / 1000.0, 2) << " uA\n"
+            << "shape check: the statistical curve sits left of the "
+               "deterministic one with a thinner upper tail.\n";
+  return 0;
+}

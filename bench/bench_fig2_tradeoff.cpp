@@ -1,0 +1,57 @@
+/// \file bench_fig2_tradeoff.cpp
+/// \brief F2 — leakage saving vs delay-constraint tightness (paper figure
+///        class: trade-off curve).
+///
+/// Sweeps T/Dmin over [1.05, 1.6] on three small/mid proxies. Expected
+/// shape: savings vs the 3-sigma-corner baseline are largest in the
+/// mid-tightness region and shrink at very loose constraints, where both
+/// flows converge to the all-HVT minimum-size floor.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "gen/proxy.hpp"
+#include "report/flow.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace statleak;
+  bench::Setup setup;
+  bench::print_header("F2",
+                      "p99-leakage saving vs T/Dmin (stat vs det@3sigma, "
+                      "eta = 0.99)");
+
+  const std::vector<std::string> circuits = {"c432p", "c499p", "c880p"};
+  const std::vector<double> factors = {1.05, 1.10, 1.15, 1.25, 1.40, 1.60};
+
+  Table table({"T/Dmin", "c432p save%", "c499p save%", "c880p save%",
+               "c432p stat p99 [uA]", "c880p stat p99 [uA]"});
+  for (double f : factors) {
+    table.begin_row();
+    table.add(f, 2);
+    double c432_p99 = 0.0;
+    double c880_p99 = 0.0;
+    for (const std::string& name : circuits) {
+      Circuit c = iscas85_proxy(name);
+      FlowConfig cfg;
+      cfg.t_max_factor = f;
+      cfg.det_corner_k = 3.0;
+      const FlowOutcome out = run_flow(c, setup.lib, setup.var, cfg);
+      // Infeasible det corners at very tight T are reported as 0 saving.
+      const bool det_met =
+          out.det_metrics.timing_yield >= cfg.yield_target - 1e-9;
+      const bool stat_met =
+          out.stat_metrics.timing_yield >= cfg.yield_target - 1e-9;
+      table.add(det_met && stat_met ? 100.0 * out.p99_saving() : 0.0, 1);
+      if (name == "c432p") c432_p99 = out.stat_metrics.leakage_p99_na;
+      if (name == "c880p") c880_p99 = out.stat_metrics.leakage_p99_na;
+    }
+    table.add(c432_p99 / 1000.0, 2);
+    table.add(c880_p99 / 1000.0, 2);
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: absolute stat p99 falls monotonically with "
+               "looser T; saving vs the corner baseline peaks at moderate "
+               "tightness.\n";
+  return 0;
+}

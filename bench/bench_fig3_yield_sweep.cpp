@@ -1,0 +1,52 @@
+/// \file bench_fig3_yield_sweep.cpp
+/// \brief F3 — leakage vs timing-yield target (paper figure class: the cost
+///        of yield).
+///
+/// Sweeps eta over {0.84, 0.90, 0.95, 0.99, 0.999} on two mid proxies.
+/// Expected shape: the statistical flow's leakage percentile rises with the
+/// yield target (tighter eta leaves fewer gates swappable/downsizable); the
+/// fixed 3-sigma deterministic baseline is eta-oblivious, so its leakage is
+/// flat and the saving shrinks as eta approaches the guard-band's implied
+/// yield.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "gen/proxy.hpp"
+#include "report/flow.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace statleak;
+  bench::Setup setup;
+  bench::print_header("F3",
+                      "stat leakage vs yield target eta (T = 1.15 x Dmin; "
+                      "det@3sigma reference)");
+
+  const std::vector<double> etas = {0.84, 0.90, 0.95, 0.99, 0.999};
+  for (const std::string& name : {"c499p", "c880p"}) {
+    std::cout << "--- " << name << " ---\n";
+    Table table({"eta", "stat p99 [uA]", "stat yield", "det p99 [uA]",
+                 "saving %", "stat HVT %"});
+    for (double eta : etas) {
+      Circuit c = iscas85_proxy(name);
+      FlowConfig cfg;
+      cfg.t_max_factor = 1.15;
+      cfg.yield_target = eta;
+      cfg.det_corner_k = 3.0;
+      const FlowOutcome out = run_flow(c, setup.lib, setup.var, cfg);
+      table.begin_row();
+      table.add(eta, 3);
+      table.add(out.stat_metrics.leakage_p99_na / 1000.0, 2);
+      table.add(out.stat_metrics.timing_yield, 4);
+      table.add(out.det_metrics.leakage_p99_na / 1000.0, 2);
+      table.add(100.0 * out.p99_saving(), 1);
+      table.add(100.0 * out.stat_metrics.hvt_fraction, 1);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "shape check: stat p99 is non-decreasing in eta; saving vs "
+               "the eta-oblivious corner baseline shrinks as eta rises.\n";
+  return 0;
+}

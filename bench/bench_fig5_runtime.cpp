@@ -1,0 +1,150 @@
+/// \file bench_fig5_runtime.cpp
+/// \brief F5 — runtime scaling (paper figure class: optimizer CPU time vs
+///        circuit size) plus micro-benchmarks of the analysis engines.
+///
+/// Google-benchmark binary. The optimizer scaling series uses seeded random
+/// DAGs from 250 to 4000 cells (the greedy loops are O(n^2) in the cell
+/// count — visible as the ~4x time growth per 2x size). The micro series
+/// pins the per-pass cost of STA, SSTA, criticality, Wilkinson rebuild and
+/// one Monte-Carlo sample on c880p.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/proxy.hpp"
+#include "gen/random_dag.hpp"
+#include "leakage/leakage.hpp"
+#include "mc/monte_carlo.hpp"
+#include "opt/deterministic.hpp"
+#include "opt/statistical.hpp"
+#include "ssta/ssta.hpp"
+#include "sta/sta.hpp"
+#include "tech/process.hpp"
+
+namespace {
+
+using namespace statleak;
+
+const CellLibrary& lib() {
+  static const CellLibrary instance(generic_100nm());
+  return instance;
+}
+
+const VariationModel& var() {
+  static const VariationModel instance = VariationModel::typical_100nm();
+  return instance;
+}
+
+Circuit sized_dag(int cells) {
+  RandomDagSpec spec;
+  spec.num_inputs = std::max(16, cells / 16);
+  spec.num_gates = cells;
+  spec.num_outputs = std::max(8, cells / 32);
+  spec.seed = 4242;
+  return make_random_dag(spec);
+}
+
+void BM_StatisticalOptimizer(benchmark::State& state) {
+  Circuit base = sized_dag(static_cast<int>(state.range(0)));
+  OptConfig cfg;
+  cfg.t_max_ps = 1.2 * StaEngine(base, lib()).critical_delay_ps();
+  for (auto _ : state) {
+    Circuit c = base;
+    const OptResult r = StatisticalOptimizer(lib(), var(), cfg).run(c);
+    benchmark::DoNotOptimize(r.final_objective);
+  }
+  state.counters["cells"] = static_cast<double>(base.num_cells());
+}
+BENCHMARK(BM_StatisticalOptimizer)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_DeterministicOptimizer(benchmark::State& state) {
+  Circuit base = sized_dag(static_cast<int>(state.range(0)));
+  OptConfig cfg;
+  cfg.t_max_ps = 1.2 * StaEngine(base, lib()).critical_delay_ps();
+  cfg.corner_k_sigma = 3.0;
+  for (auto _ : state) {
+    Circuit c = base;
+    const OptResult r = DeterministicOptimizer(lib(), var(), cfg).run(c);
+    benchmark::DoNotOptimize(r.final_objective);
+  }
+  state.counters["cells"] = static_cast<double>(base.num_cells());
+}
+BENCHMARK(BM_DeterministicOptimizer)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ----------------------------- engine micro-benchmarks on c880p -----------
+
+void BM_StaFullPass(benchmark::State& state) {
+  const Circuit c = iscas85_proxy("c880p");
+  const StaEngine sta(c, lib());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sta.analyze(1000.0).critical_delay_ps);
+  }
+}
+BENCHMARK(BM_StaFullPass)->Unit(benchmark::kMicrosecond);
+
+void BM_SstaForwardOnly(benchmark::State& state) {
+  const Circuit c = iscas85_proxy("c880p");
+  const SstaEngine ssta(c, lib(), var());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssta.circuit_delay().mean);
+  }
+}
+BENCHMARK(BM_SstaForwardOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_SstaWithCriticality(benchmark::State& state) {
+  const Circuit c = iscas85_proxy("c880p");
+  const SstaEngine ssta(c, lib(), var());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssta.analyze().circuit_delay.mean);
+  }
+}
+BENCHMARK(BM_SstaWithCriticality)->Unit(benchmark::kMicrosecond);
+
+void BM_LeakageRebuild(benchmark::State& state) {
+  const Circuit c = iscas85_proxy("c880p");
+  LeakageAnalyzer an(c, lib(), var());
+  for (auto _ : state) {
+    an.rebuild();
+    benchmark::DoNotOptimize(an.mean_na());
+  }
+}
+BENCHMARK(BM_LeakageRebuild)->Unit(benchmark::kMicrosecond);
+
+void BM_LeakageMovePricing(benchmark::State& state) {
+  const Circuit c = iscas85_proxy("c880p");
+  const LeakageAnalyzer an(c, lib(), var());
+  GateId id = c.outputs()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(an.quantile_if_na(id, Vth::kHigh, 2.0, 0.99));
+  }
+}
+BENCHMARK(BM_LeakageMovePricing)->Unit(benchmark::kNanosecond);
+
+void BM_MonteCarloSample(benchmark::State& state) {
+  const Circuit c = iscas85_proxy("c880p");
+  McConfig cfg;
+  cfg.num_samples = 100;
+  for (auto _ : state) {
+    const McResult res = run_monte_carlo(c, lib(), var(), cfg);
+    benchmark::DoNotOptimize(res.delay_ps.back());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_MonteCarloSample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/// \file bench_table2_savings.cpp
+/// \brief T2 — the headline table: statistical vs deterministic dual-Vth +
+///        sizing at iso timing yield (paper Table 2 class).
+///
+/// Deterministic baseline: corner-based optimization at the 3-sigma
+/// worst-case process corner — the guard-banded flow of the paper's era.
+/// Statistical flow: yield-constrained (eta = 0.99) minimization of the
+/// 99th-percentile total leakage. Both at T = 1.15 * D_min per circuit.
+/// Expected shape: both meet yield; statistical saves roughly 15-50 % of
+/// the leakage percentile, least on the multiplier (everything critical).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "gen/proxy.hpp"
+#include "report/flow.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace statleak;
+  bench::Setup setup;
+  bench::print_header("T2",
+                      "leakage at iso yield: deterministic (3-sigma corner) "
+                      "vs statistical, T = 1.15 x Dmin, eta = 0.99");
+
+  Table table({"circuit", "T [ps]", "det yield", "stat yield",
+               "det p99 [uA]", "stat p99 [uA]", "saving %", "det mean [uA]",
+               "stat mean [uA]", "det HVT%", "stat HVT%", "det [s]",
+               "stat [s]"});
+
+  double geo_saving = 1.0;
+  int rows = 0;
+  for (const std::string& name : iscas85_proxy_names()) {
+    Circuit c = iscas85_proxy(name);
+    FlowConfig cfg;
+    cfg.t_max_factor = 1.15;
+    cfg.yield_target = 0.99;
+    cfg.det_corner_k = 3.0;
+    // Monte-Carlo cross-check on the small half of the suite only (keeps
+    // the full table under a couple of minutes on one core).
+    cfg.mc_samples = c.num_cells() <= 1000 ? 2000 : 0;
+    const FlowOutcome out = run_flow(c, setup.lib, setup.var, cfg);
+
+    table.begin_row();
+    table.add(name);
+    table.add(out.t_max_ps, 0);
+    table.add(out.det_metrics.timing_yield, 4);
+    table.add(out.stat_metrics.timing_yield, 4);
+    table.add(out.det_metrics.leakage_p99_na / 1000.0, 2);
+    table.add(out.stat_metrics.leakage_p99_na / 1000.0, 2);
+    table.add(100.0 * out.p99_saving(), 1);
+    table.add(out.det_metrics.leakage_mean_na / 1000.0, 2);
+    table.add(out.stat_metrics.leakage_mean_na / 1000.0, 2);
+    table.add(100.0 * out.det_metrics.hvt_fraction, 1);
+    table.add(100.0 * out.stat_metrics.hvt_fraction, 1);
+    table.add(out.det_runtime_s, 2);
+    table.add(out.stat_runtime_s, 2);
+
+    geo_saving *= 1.0 - out.p99_saving();
+    ++rows;
+    if (out.has_mc) {
+      std::cout << "  [MC x-check " << name << ": det yield "
+                << format_fixed(out.det_mc.timing_yield, 3) << ", stat yield "
+                << format_fixed(out.stat_mc.timing_yield, 3) << ", stat p99 "
+                << format_fixed(out.stat_mc.leakage_p99_na / 1000.0, 2)
+                << " uA]\n";
+    }
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  const double geomean =
+      100.0 * (1.0 - std::pow(geo_saving, 1.0 / std::max(rows, 1)));
+  std::cout << "\ngeomean p99-leakage saving at iso yield: "
+            << format_fixed(geomean, 1) << " %\n";
+  return 0;
+}

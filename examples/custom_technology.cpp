@@ -1,0 +1,95 @@
+/// \file custom_technology.cpp
+/// \brief Define your own process node and variation model, then compare
+///        optimization results across technologies.
+///
+/// Shows the full technology-definition surface of the API: every parameter
+/// of ProcessNode and VariationModel, a custom discrete size grid, and a
+/// cross-node comparison (100 nm vs 70 nm vs a pessimistic-variation 70 nm)
+/// on the same multiplier circuit — the "leakage gets worse faster than
+/// delay gets better" scaling story.
+///
+///   $ ./custom_technology [mult_bits]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "gen/arithmetic.hpp"
+#include "opt/metrics.hpp"
+#include "opt/statistical.hpp"
+#include "report/flow.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace statleak;
+  const int bits = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  // A hypothetical half-node between the two built-ins, with every knob
+  // spelled out. See tech/process.hpp for units and meanings.
+  ProcessNode custom;
+  custom.name = "custom-85nm";
+  custom.vdd = 1.1;
+  custom.leff_nm = 50.0;
+  custom.temperature_k = 373.0;
+  custom.vth_low = 0.19;
+  custom.vth_high = 0.30;
+  custom.subthreshold_slope = 0.102;
+  custom.i0_na_per_um = 4500.0;
+  custom.vth_rolloff_v_per_nm = 0.0013;
+  custom.alpha = 1.28;
+  custom.k_drive_ua_per_um = 680.0;
+  custom.cg_ff_per_um = 1.35;
+  custom.cj_ff_per_um = 0.90;
+  custom.cw_fixed_ff = 0.50;
+  custom.cw_per_fanout_ff = 0.22;
+  custom.wn_unit_um = 0.42;
+  custom.pn_ratio = 1.9;
+  custom.validate();
+
+  // A coarser drive ladder than the default X1..X16 grid.
+  const std::vector<double> coarse_grid = {1.0, 2.0, 4.0, 8.0};
+
+  struct Tech {
+    std::string label;
+    CellLibrary lib;
+    VariationModel var;
+  };
+  std::vector<Tech> techs;
+  techs.push_back({"generic-100nm", CellLibrary(generic_100nm()),
+                   VariationModel::typical_100nm()});
+  techs.push_back({"custom-85nm (coarse grid)",
+                   CellLibrary(custom, coarse_grid),
+                   VariationModel::typical_100nm()});
+  techs.push_back({"generic-70nm", CellLibrary(generic_70nm()),
+                   VariationModel::typical_100nm()});
+  techs.push_back({"generic-70nm, 1.5x variation",
+                   CellLibrary(generic_70nm()),
+                   VariationModel::typical_100nm().scaled(1.5)});
+
+  std::cout << "circuit: " << bits << "x" << bits << " array multiplier\n\n";
+  Table table({"technology", "D_min [ps]", "T [ps]", "stat p99 [uA]",
+               "p99/nominal", "HVT %", "yield"});
+  for (const Tech& tech : techs) {
+    Circuit c = make_array_multiplier(bits);
+    const double d_min = min_achievable_delay_ps(c, tech.lib);
+    OptConfig cfg;
+    cfg.t_max_ps = 1.15 * d_min;
+    cfg.yield_target = 0.99;
+    (void)StatisticalOptimizer(tech.lib, tech.var, cfg).run(c);
+    const CircuitMetrics m = measure_metrics(c, tech.lib, tech.var,
+                                             cfg.t_max_ps);
+    table.begin_row();
+    table.add(tech.label);
+    table.add(d_min, 0);
+    table.add(cfg.t_max_ps, 0);
+    table.add(m.leakage_p99_na / 1000.0, 2);
+    table.add(m.leakage_p99_na / std::max(m.leakage_nominal_na, 1e-9), 2);
+    table.add(100.0 * m.hvt_fraction, 1);
+    table.add(m.timing_yield, 4);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading guide: newer nodes are faster but leak more, and "
+               "scaling the variation model inflates the p99/nominal ratio — "
+               "the tail grows faster than the mean.\n";
+  return 0;
+}

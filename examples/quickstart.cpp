@@ -1,0 +1,79 @@
+/// \file quickstart.cpp
+/// \brief Minimal end-to-end tour of the statleak API.
+///
+/// Builds a 16-bit carry-lookahead adder, optimizes it with the
+/// deterministic (corner-based) and statistical (yield-constrained) flows at
+/// the same delay target, and prints the leakage distributions of both
+/// solutions side by side — the paper's headline comparison on one circuit.
+///
+///   $ ./quickstart [t_max_factor] [yield_target]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cells/library.hpp"
+#include "gen/arithmetic.hpp"
+#include "report/flow.hpp"
+#include "tech/process.hpp"
+#include "tech/variation.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace statleak;
+
+  const double t_factor = argc > 1 ? std::atof(argv[1]) : 1.15;
+  const double eta = argc > 2 ? std::atof(argv[2]) : 0.99;
+
+  // 1. Technology: a generic 100 nm dual-Vth node and its variation model.
+  const ProcessNode node = generic_100nm();
+  const CellLibrary lib(node);
+  const VariationModel var = VariationModel::typical_100nm();
+
+  std::cout << "node " << node.name << ": Vdd " << node.vdd << " V, LVT "
+            << node.vth_low << " V / HVT " << node.vth_high << " V\n"
+            << "variation: sigma_L " << var.sigma_l_total_nm()
+            << " nm (inter " << var.sigma_l_inter_nm << "), sigma_Vth "
+            << 1000.0 * var.sigma_vth_total_v() << " mV\n\n";
+
+  // 2. A circuit: 16-bit carry-lookahead adder.
+  Circuit circuit = make_carry_lookahead_adder(16);
+  std::cout << "circuit " << circuit.name() << ": " << circuit.num_cells()
+            << " cells, depth " << circuit.depth() << "\n\n";
+
+  // 3. Both flows at T = t_factor * D_min, yield target eta.
+  FlowConfig flow;
+  flow.t_max_factor = t_factor;
+  flow.yield_target = eta;
+  flow.det_auto_corner = true;  // honest baseline: guard-band until eta holds
+  flow.mc_samples = 4000;       // cross-check with Monte Carlo
+  const FlowOutcome out = run_flow(circuit, lib, var, flow);
+
+  std::cout << "D_min " << format_fixed(out.d_min_ps, 1) << " ps, target T "
+            << format_fixed(out.t_max_ps, 1) << " ps, eta " << eta << "\n"
+            << "deterministic baseline used a " << out.det_corner_k
+            << "-sigma guard-band corner\n\n";
+
+  Table table({"flow", "yield(SSTA)", "yield(MC)", "leak mean [uA]",
+               "leak p99 [uA]", "HVT %", "runtime [s]"});
+  const auto row = [&](const char* name, const CircuitMetrics& m,
+                       const McCheck& mc, double rt) {
+    table.begin_row();
+    table.add(name);
+    table.add(m.timing_yield, 4);
+    table.add(mc.timing_yield, 4);
+    table.add(m.leakage_mean_na / 1000.0, 2);
+    table.add(m.leakage_p99_na / 1000.0, 2);
+    table.add(100.0 * m.hvt_fraction, 1);
+    table.add(rt, 2);
+  };
+  row("deterministic", out.det_metrics, out.det_mc, out.det_runtime_s);
+  row("statistical", out.stat_metrics, out.stat_mc, out.stat_runtime_s);
+  table.print(std::cout);
+
+  std::cout << "\nstatistical saves "
+            << format_fixed(100.0 * out.p99_saving(), 1)
+            << " % of 99th-percentile leakage ("
+            << format_fixed(100.0 * out.mean_saving(), 1)
+            << " % of mean) at equal timing yield.\n";
+  return 0;
+}

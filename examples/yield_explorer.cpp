@@ -1,0 +1,77 @@
+/// \file yield_explorer.cpp
+/// \brief Explore the leakage cost of timing yield on a circuit of your
+///        choice — the trade-off a signoff team actually negotiates.
+///
+/// For each yield target eta, runs the statistical optimizer and reports the
+/// resulting leakage distribution, HVT fraction and area; then shows where
+/// the deterministic corner flow would land for comparison.
+///
+///   $ ./yield_explorer [proxy-name] [t_max_factor]
+///   $ ./yield_explorer c880p 1.2
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "gen/proxy.hpp"
+#include "opt/deterministic.hpp"
+#include "opt/metrics.hpp"
+#include "opt/statistical.hpp"
+#include "report/flow.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace statleak;
+
+  const std::string name = argc > 1 ? argv[1] : "c880p";
+  const double t_factor = argc > 2 ? std::atof(argv[2]) : 1.15;
+
+  const ProcessNode node = generic_100nm();
+  const CellLibrary lib(node);
+  const VariationModel var = VariationModel::typical_100nm();
+
+  Circuit base = iscas85_proxy(name);
+  const double d_min = min_achievable_delay_ps(base, lib);
+  const double t_max = t_factor * d_min;
+  std::cout << "circuit " << name << ": " << base.num_cells()
+            << " cells, D_min " << format_fixed(d_min, 1) << " ps, T "
+            << format_fixed(t_max, 1) << " ps\n\n";
+
+  Table table({"flow / eta", "yield", "leak mean [uA]", "leak p99 [uA]",
+               "HVT %", "area [um]"});
+  const auto add_row = [&](const std::string& label, const Circuit& c) {
+    const CircuitMetrics m = measure_metrics(c, lib, var, t_max);
+    table.begin_row();
+    table.add(label);
+    table.add(m.timing_yield, 4);
+    table.add(m.leakage_mean_na / 1000.0, 2);
+    table.add(m.leakage_p99_na / 1000.0, 2);
+    table.add(100.0 * m.hvt_fraction, 1);
+    table.add(m.area_um, 0);
+  };
+
+  for (double eta : {0.84, 0.90, 0.95, 0.99, 0.999}) {
+    Circuit c = base;
+    OptConfig cfg;
+    cfg.t_max_ps = t_max;
+    cfg.yield_target = eta;
+    const OptResult r = StatisticalOptimizer(lib, var, cfg).run(c);
+    add_row("stat eta=" + format_fixed(eta, 3) +
+                (r.feasible ? "" : " (infeasible)"),
+            c);
+  }
+  for (double k : {0.0, 1.5, 3.0}) {
+    Circuit c = base;
+    OptConfig cfg;
+    cfg.t_max_ps = t_max;
+    cfg.corner_k_sigma = k;
+    (void)DeterministicOptimizer(lib, var, cfg).run(c);
+    add_row("det corner k=" + format_fixed(k, 1), c);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading guide: each extra nine of yield costs leakage; the "
+               "nominal-corner row shows why deterministic signoff at k=0 "
+               "is not shippable, and k=3 shows the guard-band tax.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "abb/abb.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "leakage/leakage.hpp"
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statleak {
+
+void BodyBiasConfig::validate() const {
+  STATLEAK_CHECK(k_body_v_per_v > 0.0, "body-effect strength must be > 0");
+  STATLEAK_CHECK(vbb_step_v > 0.0, "bias step must be positive");
+  STATLEAK_CHECK(vbb_min_v <= 0.0 && vbb_max_v >= 0.0,
+                 "bias ladder must include zero bias");
+}
+
+std::vector<double> BodyBiasConfig::ladder() const {
+  validate();
+  std::vector<double> steps;
+  for (double v = vbb_min_v; v <= vbb_max_v + 1e-12; v += vbb_step_v) {
+    // Snap near-zero entries to exactly zero so the unbiased setting is in
+    // the ladder.
+    steps.push_back(std::abs(v) < 1e-12 ? 0.0 : v);
+  }
+  return steps;
+}
+
+double AbbResult::reverse_fraction() const {
+  if (bias_v.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : bias_v) {
+    if (v < -1e-12) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(bias_v.size());
+}
+
+double AbbResult::forward_fraction() const {
+  if (bias_v.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : bias_v) {
+    if (v > 1e-12) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(bias_v.size());
+}
+
+AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
+                             const VariationModel& var,
+                             const BodyBiasConfig& abb, const McConfig& mc,
+                             double t_max_ps) {
+  abb.validate();
+  var.validate();
+  STATLEAK_CHECK(mc.num_samples > 0, "need at least one sample");
+  STATLEAK_CHECK(t_max_ps > 0.0, "delay target must be positive");
+
+  StaEngine sta(circuit, lib);
+  LeakageAnalyzer leakage(circuit, lib, var);
+  Rng rng(mc.seed);
+  const std::vector<double> ladder = abb.ladder();
+
+  const std::size_t n = circuit.num_gates();
+  std::vector<ParamSample> samples(n);
+  std::vector<ParamSample> biased(n);
+  std::vector<double> scratch;
+  std::vector<double> widths(n, -1.0);
+  for (std::size_t id = 0; id < n; ++id) {
+    const Gate& g = circuit.gate(static_cast<GateId>(id));
+    if (g.kind != CellKind::kInput) widths[id] = lib.area_um(g.kind, g.size);
+  }
+
+  AbbResult result;
+  result.baseline.delay_ps.reserve(static_cast<std::size_t>(mc.num_samples));
+  result.compensated.delay_ps.reserve(
+      static_cast<std::size_t>(mc.num_samples));
+
+  for (int s = 0; s < mc.num_samples; ++s) {
+    const GlobalSample die = sample_global(var, rng);
+    for (std::size_t id = 0; id < n; ++id) {
+      samples[id] = sample_gate(var, die, rng, widths[id]);
+    }
+    result.baseline.delay_ps.push_back(
+        sta.critical_delay_sample_ps(samples, mc.exact_delay, scratch));
+    result.baseline.leakage_na.push_back(leakage.total_sample_na(samples));
+
+    // Sweep the ladder: min leakage subject to delay <= T; if nothing
+    // meets T, the fastest (most forward) setting.
+    double best_bias = ladder.front();
+    double best_leak = std::numeric_limits<double>::infinity();
+    double best_delay = std::numeric_limits<double>::infinity();
+    bool any_feasible = false;
+    double fastest_delay = std::numeric_limits<double>::infinity();
+    double fastest_bias = 0.0;
+    double fastest_leak = 0.0;
+    for (double vbb : ladder) {
+      const double dvth = -abb.k_body_v_per_v * vbb;
+      for (std::size_t id = 0; id < n; ++id) {
+        biased[id] = samples[id];
+        biased[id].dvth_v += dvth;
+      }
+      const double delay =
+          sta.critical_delay_sample_ps(biased, mc.exact_delay, scratch);
+      const double leak = leakage.total_sample_na(biased);
+      if (delay < fastest_delay) {
+        fastest_delay = delay;
+        fastest_bias = vbb;
+        fastest_leak = leak;
+      }
+      if (delay <= t_max_ps && leak < best_leak) {
+        any_feasible = true;
+        best_leak = leak;
+        best_bias = vbb;
+        best_delay = delay;
+      }
+    }
+    if (!any_feasible) {
+      best_bias = fastest_bias;
+      best_delay = fastest_delay;
+      best_leak = fastest_leak;
+    }
+    result.compensated.delay_ps.push_back(best_delay);
+    result.compensated.leakage_na.push_back(best_leak);
+    result.bias_v.push_back(best_bias);
+  }
+  return result;
+}
+
+}  // namespace statleak

@@ -1,0 +1,117 @@
+#include "cells/cell_kind.hpp"
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+namespace {
+
+// Logical effort values follow Sutherland/Sproull/Harris; parasitics are in
+// units of the inverter parasitic. Composite cells carry an equivalent
+// single-stage (g, p) calibrated to their decomposition. width_factor is the
+// total transistor width (area / junction-cap proxy) relative to an inverter
+// of equal drive, computed for a P/N ratio near 2 and rounded.
+constexpr CellKindInfo kInfos[kNumCellKinds] = {
+    /* kInput */ {"INPUT", 0, 0.0, 0.0, 0.0},
+    /* kInv   */ {"NOT", 1, 1.00, 1.0, 1.00},
+    /* kBuf   */ {"BUFF", 1, 1.00, 2.0, 1.50},
+    /* kNand2 */ {"NAND2", 2, 4.0 / 3.0, 2.0, 2.07},
+    /* kNand3 */ {"NAND3", 3, 5.0 / 3.0, 3.0, 3.21},
+    /* kNand4 */ {"NAND4", 4, 2.00, 4.0, 4.43},
+    /* kNor2  */ {"NOR2", 2, 5.0 / 3.0, 2.0, 2.64},
+    /* kNor3  */ {"NOR3", 3, 7.0 / 3.0, 3.0, 4.93},
+    /* kNor4  */ {"NOR4", 4, 3.00, 4.0, 7.86},
+    /* kAnd2  */ {"AND2", 2, 1.50, 3.2, 2.57},
+    /* kAnd3  */ {"AND3", 3, 1.80, 4.2, 3.71},
+    /* kOr2   */ {"OR2", 2, 1.80, 3.2, 3.14},
+    /* kOr3   */ {"OR3", 3, 2.40, 4.4, 5.43},
+    /* kXor2  */ {"XOR2", 2, 4.00, 4.0, 4.14},
+    /* kXnor2 */ {"XNOR2", 2, 4.00, 4.0, 4.14},
+    /* kAoi21 */ {"AOI21", 3, 2.00, 3.0, 3.00},
+    /* kOai21 */ {"OAI21", 3, 2.00, 3.0, 3.00},
+    /* kMux2  */ {"MUX2", 3, 2.00, 3.5, 3.57},
+};
+
+}  // namespace
+
+const CellKindInfo& cell_info(CellKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  STATLEAK_CHECK(idx < kNumCellKinds, "invalid cell kind");
+  return kInfos[idx];
+}
+
+std::string_view to_string(CellKind kind) { return cell_info(kind).name; }
+
+std::array<CellKind, kNumCellKinds - 1> all_cell_kinds() {
+  std::array<CellKind, kNumCellKinds - 1> kinds{};
+  for (std::size_t i = 1; i < kNumCellKinds; ++i) {
+    kinds[i - 1] = static_cast<CellKind>(i);
+  }
+  return kinds;
+}
+
+bool is_inverting(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInv:
+    case CellKind::kNand2:
+    case CellKind::kNand3:
+    case CellKind::kNand4:
+    case CellKind::kNor2:
+    case CellKind::kNor3:
+    case CellKind::kNor4:
+    case CellKind::kXnor2:
+    case CellKind::kAoi21:
+    case CellKind::kOai21:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool evaluate(CellKind kind, std::uint32_t bits) {
+  const auto bit = [bits](int i) { return ((bits >> i) & 1u) != 0; };
+  switch (kind) {
+    case CellKind::kInput:
+      STATLEAK_CHECK(false, "cannot evaluate a primary-input pseudo-cell");
+    case CellKind::kInv:
+      return !bit(0);
+    case CellKind::kBuf:
+      return bit(0);
+    case CellKind::kNand2:
+      return !(bit(0) && bit(1));
+    case CellKind::kNand3:
+      return !(bit(0) && bit(1) && bit(2));
+    case CellKind::kNand4:
+      return !(bit(0) && bit(1) && bit(2) && bit(3));
+    case CellKind::kNor2:
+      return !(bit(0) || bit(1));
+    case CellKind::kNor3:
+      return !(bit(0) || bit(1) || bit(2));
+    case CellKind::kNor4:
+      return !(bit(0) || bit(1) || bit(2) || bit(3));
+    case CellKind::kAnd2:
+      return bit(0) && bit(1);
+    case CellKind::kAnd3:
+      return bit(0) && bit(1) && bit(2);
+    case CellKind::kOr2:
+      return bit(0) || bit(1);
+    case CellKind::kOr3:
+      return bit(0) || bit(1) || bit(2);
+    case CellKind::kXor2:
+      return bit(0) != bit(1);
+    case CellKind::kXnor2:
+      return bit(0) == bit(1);
+    case CellKind::kAoi21:
+      // out = !((a & b) | c)
+      return !((bit(0) && bit(1)) || bit(2));
+    case CellKind::kOai21:
+      // out = !((a | b) & c)
+      return !((bit(0) || bit(1)) && bit(2));
+    case CellKind::kMux2:
+      // pins (a, b, sel): out = sel ? b : a
+      return bit(2) ? bit(1) : bit(0);
+  }
+  STATLEAK_CHECK(false, "invalid cell kind");
+}
+
+}  // namespace statleak

@@ -1,0 +1,72 @@
+/// \file cell_kind.hpp
+/// \brief Combinational standard-cell kinds and their static properties.
+///
+/// The library covers the cell set ISCAS85-class netlists map onto. Each kind
+/// carries a logical-effort characterization (g, p) for delay and a
+/// stage-composition spec for leakage (see topology.hpp). Composite cells
+/// (AND2, XOR2, MUX2, ...) are modeled as a single equivalent stage for
+/// delay — an approximation that is documented and calibrated into (g, p).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace statleak {
+
+/// Cell kinds. kInput is a pseudo-kind for primary-input drivers (zero delay,
+/// zero leakage); netlists use it for PI nodes so the gate graph is uniform.
+enum class CellKind : std::uint8_t {
+  kInput,
+  kInv,
+  kBuf,
+  kNand2,
+  kNand3,
+  kNand4,
+  kNor2,
+  kNor3,
+  kNor4,
+  kAnd2,
+  kAnd3,
+  kOr2,
+  kOr3,
+  kXor2,
+  kXnor2,
+  kAoi21,
+  kOai21,
+  kMux2,
+};
+
+/// Number of distinct cell kinds (for iteration / array sizing).
+inline constexpr std::size_t kNumCellKinds = 18;
+
+/// Static per-kind properties.
+struct CellKindInfo {
+  std::string_view name;   ///< display / .bench name
+  int fanin;               ///< number of input pins
+  double logical_effort;   ///< g: input cap per unit drive, relative to INV
+  double parasitic;        ///< p: intrinsic delay in tau units
+  double width_factor;     ///< total device width relative to an inverter of
+                           ///< equal drive (area & junction-cap proxy)
+};
+
+/// Properties of the given kind.
+const CellKindInfo& cell_info(CellKind kind);
+
+/// Display name ("NAND2" etc.).
+std::string_view to_string(CellKind kind);
+
+/// All real (non-pseudo) kinds, in enum order.
+std::array<CellKind, kNumCellKinds - 1> all_cell_kinds();
+
+/// True for kinds whose output is the logical complement of a monotone
+/// function (used by the functional simulator in tests).
+bool is_inverting(CellKind kind);
+
+/// Evaluates the boolean function of the cell on the given input bits.
+/// `inputs` must contain exactly cell_info(kind).fanin bits (LSB = pin 0).
+/// For kMux2, pin order is (a, b, sel): out = sel ? b : a.
+bool evaluate(CellKind kind, std::uint32_t input_bits);
+
+}  // namespace statleak

@@ -1,0 +1,58 @@
+#include "cells/topology.hpp"
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+namespace {
+
+// Stage decompositions. Composite cells: AND = NAND + output inverter,
+// OR = NOR + inverter, XOR/XNOR = two 2-series branches per network plus
+// input inverters (approximated as two NAND2-like stages and a half-size
+// inverter), AOI21/OAI21 = complex stage approximated as NAND2 + half
+// inverter, MUX2 = two transmission branches + inverter, approximated as
+// two NAND2-like stages at 60% scale plus a half-size select inverter.
+const std::vector<StageSpec> kSpecs[kNumCellKinds] = {
+    /* kInput */ {},
+    /* kInv   */ {{1, true, 1.0}},
+    /* kBuf   */ {{1, true, 0.5}, {1, true, 1.0}},
+    /* kNand2 */ {{2, true, 1.0}},
+    /* kNand3 */ {{3, true, 1.0}},
+    /* kNand4 */ {{4, true, 1.0}},
+    /* kNor2  */ {{2, false, 1.0}},
+    /* kNor3  */ {{3, false, 1.0}},
+    /* kNor4  */ {{4, false, 1.0}},
+    /* kAnd2  */ {{2, true, 1.0}, {1, true, 1.0}},
+    /* kAnd3  */ {{3, true, 1.0}, {1, true, 1.0}},
+    /* kOr2   */ {{2, false, 1.0}, {1, true, 1.0}},
+    /* kOr3   */ {{3, false, 1.0}, {1, true, 1.0}},
+    /* kXor2  */ {{2, true, 1.0}, {2, true, 1.0}, {1, true, 0.5}},
+    /* kXnor2 */ {{2, true, 1.0}, {2, true, 1.0}, {1, true, 0.5}},
+    /* kAoi21 */ {{2, true, 1.0}, {1, true, 0.5}},
+    /* kOai21 */ {{2, false, 1.0}, {1, true, 0.5}},
+    /* kMux2  */ {{2, true, 0.6}, {2, true, 0.6}, {1, true, 0.5}},
+};
+
+}  // namespace
+
+std::span<const StageSpec> stage_spec(CellKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  STATLEAK_CHECK(idx < kNumCellKinds, "invalid cell kind");
+  return kSpecs[idx];
+}
+
+double stack_factor(int off_count) {
+  STATLEAK_CHECK(off_count >= 1, "stack factor needs >= 1 off device");
+  switch (off_count) {
+    case 1:
+      return 1.0;
+    case 2:
+      return 0.10;
+    case 3:
+      return 0.04;
+    default:
+      return 0.02;  // saturates for 4+ series off devices
+  }
+}
+
+}  // namespace statleak

@@ -1,0 +1,42 @@
+/// \file topology.hpp
+/// \brief Stage-composition specs used to synthesize per-cell leakage.
+///
+/// Leakage is state-dependent: an m-input NAND leaks through its parallel
+/// pMOS network when the output is low, and through its (stack-suppressed)
+/// series nMOS network when the output is high. We model every cell as a
+/// composition of NAND-like and NOR-like primitive stages and average the
+/// off-current over all equiprobable input states of each stage:
+///
+///   NAND-like stage, m inputs, k of them low (output high when k >= 1):
+///     leak = Isub(m * size * Wn) * stack_factor(k)            [nMOS path]
+///   k == 0 (output low): leak = m * Isub(size * Wp)           [pMOS path]
+///
+///   NOR-like is the exact dual.
+///
+/// Series stacks of j off devices are suppressed by the classic stack
+/// factors (~10x per additional off device, saturating).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cells/cell_kind.hpp"
+
+namespace statleak {
+
+/// One primitive stage of a cell's leakage decomposition.
+struct StageSpec {
+  int fanin = 1;          ///< stage inputs (1 == inverter)
+  bool nand_like = true;  ///< series-nMOS (NAND) vs series-pMOS (NOR)
+  double scale = 1.0;     ///< stage device sizing relative to cell size
+};
+
+/// The stage decomposition of a cell kind. kInput returns an empty span.
+std::span<const StageSpec> stage_spec(CellKind kind);
+
+/// Leakage suppression of a series stack with `off_count` off devices
+/// (off_count >= 1). stack_factor(1) == 1; deeper stacks leak less.
+double stack_factor(int off_count);
+
+}  // namespace statleak

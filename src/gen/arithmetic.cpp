@@ -1,0 +1,219 @@
+#include "gen/arithmetic.hpp"
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+FullAdderOutputs full_adder(NetBuilder& nb, GateId a, GateId b, GateId cin) {
+  const GateId p = nb.xor2(a, b);
+  FullAdderOutputs out;
+  out.sum = nb.xor2(p, cin);
+  const GateId g = nb.and2(a, b);
+  const GateId t = nb.and2(p, cin);
+  out.carry = nb.or2(g, t);
+  return out;
+}
+
+AdderOutputs ripple_carry_adder(NetBuilder& nb, const std::vector<GateId>& a,
+                                const std::vector<GateId>& b, GateId cin) {
+  STATLEAK_CHECK(a.size() == b.size() && !a.empty(),
+                 "adder operands must be equal non-empty widths");
+  AdderOutputs out;
+  GateId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto fa = full_adder(nb, a[i], b[i], carry);
+    out.sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+AdderOutputs carry_lookahead_adder(NetBuilder& nb,
+                                   const std::vector<GateId>& a,
+                                   const std::vector<GateId>& b, GateId cin) {
+  STATLEAK_CHECK(a.size() == b.size() && !a.empty(),
+                 "adder operands must be equal non-empty widths");
+  const std::size_t n = a.size();
+  AdderOutputs out;
+
+  std::vector<GateId> p(n);
+  std::vector<GateId> g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = nb.xor2(a[i], b[i]);
+    g[i] = nb.and2(a[i], b[i]);
+  }
+
+  // 4-bit lookahead groups; carry ripples between groups.
+  GateId carry = cin;
+  for (std::size_t base = 0; base < n; base += 4) {
+    const std::size_t width = std::min<std::size_t>(4, n - base);
+    std::vector<GateId> c(width + 1);
+    c[0] = carry;
+    for (std::size_t i = 0; i < width; ++i) {
+      // c[i+1] = g_i OR (p_i AND c_i) ... expanded over the group:
+      // c[i+1] = g[base+i] + p[base+i]*(g[base+i-1] + ...) — build the
+      // canonical sum-of-products directly for lookahead parallelism.
+      std::vector<GateId> terms;
+      terms.push_back(g[base + i]);
+      for (std::size_t j = 0; j < i; ++j) {
+        // term: p_i & p_{i-1} & ... & p_{j+1} & g_j
+        std::vector<GateId> factors;
+        for (std::size_t k = j + 1; k <= i; ++k) factors.push_back(p[base + k]);
+        factors.push_back(g[base + j]);
+        terms.push_back(nb.and_tree(factors));
+      }
+      // carry-in propagation term: p_i & ... & p_0 & c0
+      std::vector<GateId> cin_factors;
+      for (std::size_t k = 0; k <= i; ++k) cin_factors.push_back(p[base + k]);
+      cin_factors.push_back(c[0]);
+      terms.push_back(nb.and_tree(cin_factors));
+      c[i + 1] = nb.or_tree(terms);
+    }
+    for (std::size_t i = 0; i < width; ++i) {
+      out.sum.push_back(nb.xor2(p[base + i], c[i]));
+    }
+    carry = c[width];
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+AdderOutputs carry_select_adder(NetBuilder& nb, const std::vector<GateId>& a,
+                                const std::vector<GateId>& b, GateId cin,
+                                int block_bits) {
+  STATLEAK_CHECK(a.size() == b.size() && !a.empty(),
+                 "adder operands must be equal non-empty widths");
+  STATLEAK_CHECK(block_bits >= 1, "block size must be >= 1");
+  const std::size_t n = a.size();
+  AdderOutputs out;
+
+  // First block computes with the real carry-in; later blocks compute both
+  // alternatives and select.
+  GateId carry = cin;
+  bool first = true;
+  for (std::size_t base = 0; base < n;
+       base += static_cast<std::size_t>(block_bits)) {
+    const std::size_t width =
+        std::min<std::size_t>(static_cast<std::size_t>(block_bits), n - base);
+    const std::vector<GateId> ab(a.begin() + static_cast<std::ptrdiff_t>(base),
+                                 a.begin() +
+                                     static_cast<std::ptrdiff_t>(base + width));
+    const std::vector<GateId> bb(b.begin() + static_cast<std::ptrdiff_t>(base),
+                                 b.begin() +
+                                     static_cast<std::ptrdiff_t>(base + width));
+    if (first) {
+      const auto blk = ripple_carry_adder(nb, ab, bb, carry);
+      out.sum.insert(out.sum.end(), blk.sum.begin(), blk.sum.end());
+      carry = blk.carry_out;
+      first = false;
+      continue;
+    }
+    // Speculative versions for carry-in 0 and 1. Constant inputs are
+    // realized as x & !x (0) and x | !x (1) on the block's first operand —
+    // keeps the netlist purely combinational with no constant cells.
+    const GateId not_a0 = nb.inv(ab[0]);
+    const GateId zero = nb.and2(ab[0], not_a0);
+    const GateId one = nb.or2(ab[0], not_a0);
+    const auto blk0 = ripple_carry_adder(nb, ab, bb, zero);
+    const auto blk1 = ripple_carry_adder(nb, ab, bb, one);
+    for (std::size_t i = 0; i < width; ++i) {
+      out.sum.push_back(nb.mux2(blk0.sum[i], blk1.sum[i], carry));
+    }
+    carry = nb.mux2(blk0.carry_out, blk1.carry_out, carry);
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+std::vector<GateId> array_multiplier(NetBuilder& nb,
+                                     const std::vector<GateId>& a,
+                                     const std::vector<GateId>& b) {
+  STATLEAK_CHECK(a.size() == b.size() && a.size() >= 2,
+                 "multiplier needs equal operand widths >= 2");
+  const std::size_t n = a.size();
+
+  // Partial-product plane.
+  std::vector<std::vector<GateId>> pp(n, std::vector<GateId>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      pp[i][j] = nb.and2(a[j], b[i]);
+    }
+  }
+
+  std::vector<GateId> product;
+  product.reserve(2 * n);
+
+  // A single constant-0 net, realized combinationally as a & !a.
+  const GateId zero = nb.and2(a[0], nb.inv(a[0]));
+
+  // Row 0 of the array is pp[0]; accumulate the remaining rows with
+  // ripple-carry adder rows (a carry-save array would also work; the ripple
+  // array matches c6288's deep, reconvergent structure).
+  std::vector<GateId> acc(pp[0]);  // current partial sum, weights i..i+n-1
+  GateId row_carry = zero;         // carry out of the previous adder row
+  product.push_back(acc[0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    // Shift acc right by one (its LSB was emitted), append the previous
+    // row's carry as the new top bit, and add the next partial-product row.
+    std::vector<GateId> addend_a(acc.begin() + 1, acc.end());
+    addend_a.push_back(row_carry);
+    const auto row = ripple_carry_adder(nb, addend_a, pp[i], zero);
+    acc = row.sum;
+    row_carry = row.carry_out;
+    product.push_back(acc[0]);
+  }
+  // Remaining accumulated bits plus the final carry.
+  for (std::size_t i = 1; i < acc.size(); ++i) product.push_back(acc[i]);
+  product.push_back(row_carry);
+  STATLEAK_CHECK(product.size() == 2 * n, "multiplier width bookkeeping");
+  return product;
+}
+
+Circuit make_ripple_carry_adder(int bits) {
+  STATLEAK_CHECK(bits >= 1, "adder width must be >= 1");
+  NetBuilder nb("rca" + std::to_string(bits));
+  const auto a = nb.inputs("a", bits);
+  const auto b = nb.inputs("b", bits);
+  const GateId cin = nb.input("cin");
+  const auto sum = ripple_carry_adder(nb, a, b, cin);
+  nb.outputs(sum.sum);
+  nb.output(sum.carry_out);
+  return nb.finish();
+}
+
+Circuit make_carry_lookahead_adder(int bits) {
+  STATLEAK_CHECK(bits >= 1, "adder width must be >= 1");
+  NetBuilder nb("cla" + std::to_string(bits));
+  const auto a = nb.inputs("a", bits);
+  const auto b = nb.inputs("b", bits);
+  const GateId cin = nb.input("cin");
+  const auto sum = carry_lookahead_adder(nb, a, b, cin);
+  nb.outputs(sum.sum);
+  nb.output(sum.carry_out);
+  return nb.finish();
+}
+
+Circuit make_carry_select_adder(int bits, int block_bits) {
+  STATLEAK_CHECK(bits >= 1, "adder width must be >= 1");
+  NetBuilder nb("csel" + std::to_string(bits));
+  const auto a = nb.inputs("a", bits);
+  const auto b = nb.inputs("b", bits);
+  const GateId cin = nb.input("cin");
+  const auto sum = carry_select_adder(nb, a, b, cin, block_bits);
+  nb.outputs(sum.sum);
+  nb.output(sum.carry_out);
+  return nb.finish();
+}
+
+Circuit make_array_multiplier(int bits) {
+  STATLEAK_CHECK(bits >= 2, "multiplier width must be >= 2");
+  NetBuilder nb("mul" + std::to_string(bits));
+  const auto a = nb.inputs("a", bits);
+  const auto b = nb.inputs("b", bits);
+  const auto product = array_multiplier(nb, a, b);
+  nb.outputs(product);
+  return nb.finish();
+}
+
+}  // namespace statleak

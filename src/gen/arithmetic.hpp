@@ -1,0 +1,60 @@
+/// \file arithmetic.hpp
+/// \brief Arithmetic circuit generators: adders and an array multiplier.
+///
+/// Each generator exists in two forms: a *core* that emits logic into a
+/// NetBuilder given input GateIds (composable — used by the ISCAS85 proxies
+/// and the ALU), and a standalone `make_*` wrapper producing a finalized
+/// Circuit with named PIs/POs.
+
+#pragma once
+
+#include <vector>
+
+#include "gen/builder.hpp"
+
+namespace statleak {
+
+/// Result of an adder core: per-bit sums plus the carry out.
+struct AdderOutputs {
+  std::vector<GateId> sum;
+  GateId carry_out = kInvalidGate;
+};
+
+/// Full adder: (sum, carry) from (a, b, cin). 5 cells.
+struct FullAdderOutputs {
+  GateId sum = kInvalidGate;
+  GateId carry = kInvalidGate;
+};
+FullAdderOutputs full_adder(NetBuilder& nb, GateId a, GateId b, GateId cin);
+
+/// Ripple-carry adder core over bit vectors a, b (equal width) and cin.
+AdderOutputs ripple_carry_adder(NetBuilder& nb, const std::vector<GateId>& a,
+                                const std::vector<GateId>& b, GateId cin);
+
+/// Carry-lookahead adder core (4-bit lookahead groups, rippled between
+/// groups). Shallower than ripple for the same width.
+AdderOutputs carry_lookahead_adder(NetBuilder& nb,
+                                   const std::vector<GateId>& a,
+                                   const std::vector<GateId>& b, GateId cin);
+
+/// Carry-select adder core: blocks of `block_bits` computed for both carry
+/// values and selected by the true block carry.
+AdderOutputs carry_select_adder(NetBuilder& nb, const std::vector<GateId>& a,
+                                const std::vector<GateId>& b, GateId cin,
+                                int block_bits = 4);
+
+/// Array multiplier core: `bits` x `bits` -> 2*bits product, built from an
+/// AND partial-product plane reduced by ripple-carry adder rows (the c6288
+/// structure: deep, reconvergent, adder-dominated).
+std::vector<GateId> array_multiplier(NetBuilder& nb,
+                                     const std::vector<GateId>& a,
+                                     const std::vector<GateId>& b);
+
+// --- standalone wrappers ---------------------------------------------------
+
+Circuit make_ripple_carry_adder(int bits);
+Circuit make_carry_lookahead_adder(int bits);
+Circuit make_carry_select_adder(int bits, int block_bits = 4);
+Circuit make_array_multiplier(int bits);
+
+}  // namespace statleak

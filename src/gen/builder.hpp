@@ -1,0 +1,100 @@
+/// \file builder.hpp
+/// \brief Fluent helper for constructing netlists programmatically.
+///
+/// All circuit generators are written against NetBuilder: it wraps a Circuit,
+/// auto-names gates under a structural prefix, and offers per-kind helpers
+/// plus balanced reduction trees. Generator *cores* take a NetBuilder plus
+/// input GateIds and return output GateIds, so generators compose — the
+/// ISCAS85 proxy circuits are built by wiring several cores together.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace statleak {
+
+class NetBuilder {
+ public:
+  explicit NetBuilder(std::string circuit_name)
+      : circuit_(std::move(circuit_name)) {}
+
+  /// Adds `count` primary inputs named "<base>0..". Returns their ids.
+  std::vector<GateId> inputs(const std::string& base, int count);
+  /// Adds one primary input.
+  GateId input(const std::string& name);
+
+  /// Marks gates as primary outputs.
+  void outputs(const std::vector<GateId>& ids);
+  void output(GateId id);
+
+  /// Pushes/pops a naming-prefix scope ("mul/", "fa3/", ...).
+  void push_scope(const std::string& scope);
+  void pop_scope();
+
+  // --- gate helpers -------------------------------------------------------
+  GateId make(CellKind kind, std::vector<GateId> fanins);
+  GateId inv(GateId a) { return make(CellKind::kInv, {a}); }
+  GateId buf(GateId a) { return make(CellKind::kBuf, {a}); }
+  GateId and2(GateId a, GateId b) { return make(CellKind::kAnd2, {a, b}); }
+  GateId and3(GateId a, GateId b, GateId c) {
+    return make(CellKind::kAnd3, {a, b, c});
+  }
+  GateId or2(GateId a, GateId b) { return make(CellKind::kOr2, {a, b}); }
+  GateId or3(GateId a, GateId b, GateId c) {
+    return make(CellKind::kOr3, {a, b, c});
+  }
+  GateId nand2(GateId a, GateId b) { return make(CellKind::kNand2, {a, b}); }
+  GateId nor2(GateId a, GateId b) { return make(CellKind::kNor2, {a, b}); }
+  GateId xor2(GateId a, GateId b) { return make(CellKind::kXor2, {a, b}); }
+  GateId xnor2(GateId a, GateId b) { return make(CellKind::kXnor2, {a, b}); }
+  /// out = !((a & b) | c)
+  GateId aoi21(GateId a, GateId b, GateId c) {
+    return make(CellKind::kAoi21, {a, b, c});
+  }
+  /// out = !((a | b) & c)
+  GateId oai21(GateId a, GateId b, GateId c) {
+    return make(CellKind::kOai21, {a, b, c});
+  }
+  /// out = sel ? b : a
+  GateId mux2(GateId a, GateId b, GateId sel) {
+    return make(CellKind::kMux2, {a, b, sel});
+  }
+
+  // --- balanced reduction trees -------------------------------------------
+  GateId and_tree(std::vector<GateId> terms);
+  GateId or_tree(std::vector<GateId> terms);
+  GateId xor_tree(std::vector<GateId> terms);
+
+  /// Finalizes and returns the circuit. The builder is left empty.
+  Circuit finish();
+
+  /// Number of logic cells created so far.
+  std::size_t num_cells() const { return circuit_.num_cells(); }
+
+ private:
+  std::string next_name(CellKind kind);
+
+  Circuit circuit_;
+  std::vector<std::string> scopes_;
+  std::size_t counter_ = 0;
+};
+
+/// RAII scope guard for NetBuilder naming prefixes.
+class ScopedName {
+ public:
+  ScopedName(NetBuilder& builder, const std::string& scope)
+      : builder_(builder) {
+    builder_.push_scope(scope);
+  }
+  ~ScopedName() { builder_.pop_scope(); }
+  ScopedName(const ScopedName&) = delete;
+  ScopedName& operator=(const ScopedName&) = delete;
+
+ private:
+  NetBuilder& builder_;
+};
+
+}  // namespace statleak

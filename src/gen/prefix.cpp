@@ -1,0 +1,135 @@
+#include "gen/prefix.hpp"
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+AdderOutputs kogge_stone_adder(NetBuilder& nb, const std::vector<GateId>& a,
+                               const std::vector<GateId>& b, GateId cin) {
+  STATLEAK_CHECK(a.size() == b.size() && !a.empty(),
+                 "adder operands must be equal non-empty widths");
+  const std::size_t n = a.size();
+
+  // Bit-level generate/propagate; carry-in folds into position 0.
+  std::vector<GateId> p(n);
+  std::vector<GateId> g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = nb.xor2(a[i], b[i]);
+    g[i] = nb.and2(a[i], b[i]);
+  }
+  std::vector<GateId> big_g = g;
+  std::vector<GateId> big_p = p;
+  big_g[0] = nb.or2(g[0], nb.and2(p[0], cin));
+
+  // Prefix levels: (G,P)_i := (G,P)_i o (G,P)_{i-d}.
+  for (std::size_t d = 1; d < n; d *= 2) {
+    std::vector<GateId> next_g = big_g;
+    std::vector<GateId> next_p = big_p;
+    for (std::size_t i = d; i < n; ++i) {
+      next_g[i] = nb.or2(big_g[i], nb.and2(big_p[i], big_g[i - d]));
+      next_p[i] = nb.and2(big_p[i], big_p[i - d]);
+    }
+    big_g = std::move(next_g);
+    big_p = std::move(next_p);
+  }
+
+  AdderOutputs out;
+  out.sum.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // carry into bit i is cin for i = 0, else the group generate G_{i-1}.
+    const GateId carry_in = i == 0 ? cin : big_g[i - 1];
+    out.sum.push_back(nb.xor2(p[i], carry_in));
+  }
+  out.carry_out = big_g[n - 1];
+  return out;
+}
+
+std::vector<GateId> wallace_multiplier(NetBuilder& nb,
+                                       const std::vector<GateId>& a,
+                                       const std::vector<GateId>& b) {
+  STATLEAK_CHECK(a.size() == b.size() && a.size() >= 2,
+                 "multiplier needs equal operand widths >= 2");
+  const std::size_t n = a.size();
+  const std::size_t w = 2 * n;
+
+  // Columns of partial-product bits by weight.
+  std::vector<std::vector<GateId>> columns(w);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      columns[i + j].push_back(nb.and2(a[j], b[i]));
+    }
+  }
+
+  // 3:2 / 2:2 reduction until every column holds at most two bits.
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    std::vector<std::vector<GateId>> next(w);
+    for (std::size_t col = 0; col < w; ++col) {
+      auto& bits = columns[col];
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        const auto fa = full_adder(nb, bits[i], bits[i + 1], bits[i + 2]);
+        next[col].push_back(fa.sum);
+        if (col + 1 < w) next[col + 1].push_back(fa.carry);
+        i += 3;
+        reduced = true;
+      }
+      if (bits.size() - i == 2 && bits.size() + next[col].size() - i > 2) {
+        // Half adder only when the column would otherwise stay over two.
+        const GateId sum = nb.xor2(bits[i], bits[i + 1]);
+        const GateId carry = nb.and2(bits[i], bits[i + 1]);
+        next[col].push_back(sum);
+        if (col + 1 < w) next[col + 1].push_back(carry);
+        i += 2;
+        reduced = true;
+      }
+      for (; i < bits.size(); ++i) next[col].push_back(bits[i]);
+    }
+    columns = std::move(next);
+    // Check whether any column still needs reduction.
+    if (!reduced) {
+      for (const auto& bits : columns) {
+        if (bits.size() > 2) {
+          reduced = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Final two rows, padded with a constant zero.
+  const GateId zero = nb.and2(a[0], nb.inv(a[0]));
+  std::vector<GateId> row_a(w, zero);
+  std::vector<GateId> row_b(w, zero);
+  for (std::size_t col = 0; col < w; ++col) {
+    STATLEAK_CHECK(columns[col].size() <= 2, "reduction incomplete");
+    if (!columns[col].empty()) row_a[col] = columns[col][0];
+    if (columns[col].size() == 2) row_b[col] = columns[col][1];
+  }
+  const AdderOutputs sum = kogge_stone_adder(nb, row_a, row_b, zero);
+  return sum.sum;  // the final carry out of bit 2n-1 is always 0
+}
+
+Circuit make_kogge_stone_adder(int bits) {
+  STATLEAK_CHECK(bits >= 1, "adder width must be >= 1");
+  NetBuilder nb("ks" + std::to_string(bits));
+  const auto a = nb.inputs("a", bits);
+  const auto b = nb.inputs("b", bits);
+  const GateId cin = nb.input("cin");
+  const auto sum = kogge_stone_adder(nb, a, b, cin);
+  nb.outputs(sum.sum);
+  nb.output(sum.carry_out);
+  return nb.finish();
+}
+
+Circuit make_wallace_multiplier(int bits) {
+  STATLEAK_CHECK(bits >= 2, "multiplier width must be >= 2");
+  NetBuilder nb("wal" + std::to_string(bits));
+  const auto a = nb.inputs("a", bits);
+  const auto b = nb.inputs("b", bits);
+  nb.outputs(wallace_multiplier(nb, a, b));
+  return nb.finish();
+}
+
+}  // namespace statleak

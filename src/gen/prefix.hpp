@@ -1,0 +1,32 @@
+/// \file prefix.hpp
+/// \brief Parallel-prefix adder (Kogge-Stone) and Wallace-tree multiplier.
+///
+/// Structural counterpoints to arithmetic.hpp's ripple/CLA/array circuits:
+/// log-depth carry networks with heavy wiring (Kogge-Stone) and a
+/// carry-save reduction tree (Wallace). They broaden the suite's depth/
+/// reconvergence spectrum, which is what the SSTA MAX approximation and the
+/// optimizers are sensitive to.
+
+#pragma once
+
+#include "gen/arithmetic.hpp"
+#include "gen/builder.hpp"
+
+namespace statleak {
+
+/// Kogge-Stone parallel-prefix adder core: log2(width) prefix levels of
+/// (generate, propagate) pairs.
+AdderOutputs kogge_stone_adder(NetBuilder& nb, const std::vector<GateId>& a,
+                               const std::vector<GateId>& b, GateId cin);
+
+/// Wallace-tree multiplier core: partial products reduced with 3:2
+/// compressors (full adders) until two rows remain, summed by a
+/// Kogge-Stone adder.
+std::vector<GateId> wallace_multiplier(NetBuilder& nb,
+                                       const std::vector<GateId>& a,
+                                       const std::vector<GateId>& b);
+
+Circuit make_kogge_stone_adder(int bits);
+Circuit make_wallace_multiplier(int bits);
+
+}  // namespace statleak

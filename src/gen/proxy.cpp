@@ -1,0 +1,327 @@
+#include "gen/proxy.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gen/arithmetic.hpp"
+#include "gen/builder.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/structures.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statleak {
+
+namespace {
+
+/// Emits `count` cells of mapped random logic over `pool` signals inside an
+/// existing builder; dangling glue gates are returned so the caller can mark
+/// them as outputs. Deterministic for a given seed.
+std::vector<GateId> random_glue(NetBuilder& nb, std::vector<GateId> pool,
+                                int count, std::uint64_t seed) {
+  if (count <= 0) return {};
+  STATLEAK_CHECK(pool.size() >= 4, "glue needs a few source signals");
+  Rng rng(seed);
+  std::vector<int> fanout(pool.size(), 0);
+  const std::size_t base = pool.size();
+
+  ScopedName scope(nb, "glue");
+  for (int g = 0; g < count; ++g) {
+    const CellKind kind = random_mapped_kind(rng);
+    const int arity = cell_info(kind).fanin;
+    std::vector<GateId> fanins;
+    for (int pin = 0; pin < arity; ++pin) {
+      // Uniform source selection keeps the glue shallow (logarithmic depth),
+      // matching the wide control logic of the mirrored benchmarks.
+      std::size_t idx = static_cast<std::size_t>(rng.uniform_index(pool.size()));
+      for (int tries = 0;
+           tries < 4 &&
+           std::find(fanins.begin(), fanins.end(), pool[idx]) != fanins.end();
+           ++tries) {
+        idx = static_cast<std::size_t>(rng.uniform_index(pool.size()));
+      }
+      fanins.push_back(pool[idx]);
+      ++fanout[idx];
+    }
+    pool.push_back(nb.make(kind, std::move(fanins)));
+    fanout.push_back(0);
+  }
+
+  std::vector<GateId> sinks;
+  for (std::size_t i = base; i < pool.size(); ++i) {
+    if (fanout[i] == 0) sinks.push_back(pool[i]);
+  }
+  return sinks;
+}
+
+/// Tops a proxy up to ~target cells with glue over the given signals and
+/// marks the glue sinks as outputs.
+void top_up(NetBuilder& nb, const std::vector<GateId>& signals, int target,
+            std::uint64_t seed) {
+  const int deficit = target - static_cast<int>(nb.num_cells());
+  if (deficit > 0) nb.outputs(random_glue(nb, signals, deficit, seed));
+}
+
+/// SEC corrector layer: corrected data bit i flips when the syndrome equals
+/// the position code i+1 — an AND-tree match per bit plus an XOR.
+std::vector<GateId> ecc_corrector(NetBuilder& nb,
+                                  const std::vector<GateId>& data,
+                                  const std::vector<GateId>& syndrome) {
+  std::vector<GateId> syn_n(syndrome.size());
+  for (std::size_t s = 0; s < syndrome.size(); ++s) {
+    syn_n[s] = nb.inv(syndrome[s]);
+  }
+  std::vector<GateId> corrected;
+  corrected.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::vector<GateId> match;
+    for (std::size_t s = 0; s < syndrome.size(); ++s) {
+      match.push_back((((i + 1) >> s) & 1u) ? syndrome[s] : syn_n[s]);
+    }
+    corrected.push_back(nb.xor2(data[i], nb.and_tree(match)));
+  }
+  return corrected;
+}
+
+Circuit build_c432p() {
+  // c432: 27-channel interrupt controller — priority chains over request
+  // buses combined by control logic. Three 9-bit buses, per-bus priority,
+  // cross-bus arbitration.
+  NetBuilder nb("c432p");
+  const auto busA = nb.inputs("a", 9);
+  const auto busB = nb.inputs("b", 9);
+  const auto busC = nb.inputs("c", 9);
+  const auto pe = nb.inputs("e", 9);  // per-channel enables
+
+  std::vector<GateId> gated;
+  for (int i = 0; i < 9; ++i) {
+    gated.push_back(nb.and2(busA[i], pe[i]));
+  }
+  const auto priA = priority_encoder(nb, gated);
+  std::vector<GateId> chanB;
+  for (int i = 0; i < 9; ++i) chanB.push_back(nb.and2(busB[i], priA.grant[i]));
+  const auto priB = priority_encoder(nb, chanB);
+  std::vector<GateId> chanC;
+  for (int i = 0; i < 9; ++i) chanC.push_back(nb.and2(busC[i], priB.grant[i]));
+  const auto priC = priority_encoder(nb, chanC);
+
+  // Encode the 9 grants into 4 binary outputs + valid + parities.
+  std::vector<GateId> enc;
+  for (int bit = 0; bit < 4; ++bit) {
+    std::vector<GateId> terms;
+    for (int i = 0; i < 9; ++i) {
+      if ((i >> bit) & 1) terms.push_back(priC.grant[static_cast<size_t>(i)]);
+    }
+    if (terms.empty()) terms.push_back(priC.grant[8]);
+    enc.push_back(nb.or_tree(terms));
+  }
+  nb.outputs(enc);
+  nb.output(priC.valid);
+  nb.output(parity_tree(nb, busB));
+  nb.output(parity_tree(nb, busC));
+
+  std::vector<GateId> signals = gated;
+  signals.insert(signals.end(), priA.grant.begin(), priA.grant.end());
+  signals.insert(signals.end(), priB.grant.begin(), priB.grant.end());
+  top_up(nb, signals, 165, 0x432);
+  return nb.finish();
+}
+
+Circuit build_c499p(bool expand_xor) {
+  // c499 / c1355: 32-bit single-error-correcting circuit. c1355 is the same
+  // function with every XOR expanded into four NAND2s.
+  NetBuilder nb(expand_xor ? "c1355p" : "c499p");
+  const auto data = nb.inputs("d", 32);
+  const auto check = nb.inputs("c", 6);
+  const auto ecc = ecc_checker(nb, data, check, expand_xor);
+  const auto corrected = ecc_corrector(nb, data, ecc.syndrome);
+  nb.outputs(corrected);
+  return nb.finish();
+}
+
+Circuit build_c880p() {
+  // c880: 8-bit ALU with control decode and status flags.
+  NetBuilder nb("c880p");
+  const auto a = nb.inputs("a", 8);
+  const auto b = nb.inputs("b", 8);
+  const auto op = nb.inputs("op", 2);
+  const auto mode = nb.inputs("m", 3);
+
+  const auto core = alu(nb, a, b, op);
+  nb.outputs(core.result);
+  nb.output(core.carry_out);
+
+  const auto cmp = comparator(nb, core.result, b);
+  nb.output(cmp.eq);
+  nb.output(cmp.gt);
+
+  const auto sel = decoder(nb, mode, core.carry_out);
+  nb.output(nb.or_tree(sel));
+  nb.output(parity_tree(nb, core.result));
+
+  std::vector<GateId> signals = core.result;
+  signals.insert(signals.end(), a.begin(), a.end());
+  signals.insert(signals.end(), b.begin(), b.end());
+  top_up(nb, signals, 385, 0x880);
+  return nb.finish();
+}
+
+Circuit build_c1908p() {
+  // c1908: 16-bit SEC/DED error detector/corrector.
+  NetBuilder nb("c1908p");
+  const auto data = nb.inputs("d", 48);
+  const auto check = nb.inputs("c", 7);
+  const auto ecc = ecc_checker(nb, data, check, /*expand_xor=*/true);
+  const auto corrected = ecc_corrector(nb, data, ecc.syndrome);
+  for (std::size_t i = 0; i < 16; ++i) nb.output(corrected[i]);
+  nb.output(ecc.error_detect);
+
+  std::vector<GateId> signals(corrected.begin(), corrected.end());
+  top_up(nb, signals, 890, 0x1908);
+  return nb.finish();
+}
+
+Circuit build_c2670p() {
+  // c2670: 12-bit ALU with comparator and priority control.
+  NetBuilder nb("c2670p");
+  const auto a = nb.inputs("a", 12);
+  const auto b = nb.inputs("b", 12);
+  const auto op = nb.inputs("op", 2);
+  const auto req = nb.inputs("r", 24);
+
+  const auto core = alu(nb, a, b, op);
+  nb.outputs(core.result);
+  const auto cmp = comparator(nb, core.result, b);
+  nb.output(cmp.eq);
+  nb.output(cmp.gt);
+  const auto pri = priority_encoder(nb, req);
+  nb.outputs(pri.grant);
+  nb.output(pri.valid);
+  nb.output(parity_tree(nb, req));
+
+  std::vector<GateId> signals = core.result;
+  signals.insert(signals.end(), pri.grant.begin(), pri.grant.end());
+  top_up(nb, signals, 1200, 0x2670);
+  return nb.finish();
+}
+
+Circuit build_c3540p() {
+  // c3540: 8-bit ALU with binary/BCD arithmetic modes — proxied by a 16-bit
+  // ALU plus a second adder stage and decode.
+  NetBuilder nb("c3540p");
+  const auto a = nb.inputs("a", 16);
+  const auto b = nb.inputs("b", 16);
+  const auto op = nb.inputs("op", 2);
+  const auto mode = nb.inputs("m", 4);
+
+  const auto core = alu(nb, a, b, op);
+  const auto second = carry_select_adder(nb, core.result, b, core.carry_out);
+  nb.outputs(second.sum);
+  nb.output(second.carry_out);
+  const auto sel = decoder(nb, mode, core.carry_out);
+  nb.output(nb.or_tree(sel));
+
+  std::vector<GateId> signals = core.result;
+  signals.insert(signals.end(), second.sum.begin(), second.sum.end());
+  top_up(nb, signals, 1670, 0x3540);
+  return nb.finish();
+}
+
+Circuit build_c5315p() {
+  // c5315: 9-bit ALU with two parallel arithmetic units and selectors.
+  NetBuilder nb("c5315p");
+  const auto a = nb.inputs("a", 9);
+  const auto b = nb.inputs("b", 9);
+  const auto c = nb.inputs("c", 9);
+  const auto d = nb.inputs("d", 9);
+  const auto op = nb.inputs("op", 2);
+
+  const auto alu1 = alu(nb, a, b, op);
+  const auto alu2 = alu(nb, c, d, op);
+  std::vector<GateId> merged;
+  for (std::size_t i = 0; i < 9; ++i) {
+    merged.push_back(nb.mux2(alu1.result[i], alu2.result[i], alu1.carry_out));
+  }
+  const auto sum = carry_lookahead_adder(nb, merged, alu2.result,
+                                         alu2.carry_out);
+  nb.outputs(sum.sum);
+  const auto cmp = comparator(nb, alu1.result, alu2.result);
+  nb.output(cmp.eq);
+  nb.output(cmp.gt);
+
+  std::vector<GateId> signals = merged;
+  signals.insert(signals.end(), sum.sum.begin(), sum.sum.end());
+  top_up(nb, signals, 2310, 0x5315);
+  return nb.finish();
+}
+
+Circuit build_c6288p() {
+  // c6288: 16x16 array multiplier — mirrored directly; no glue.
+  NetBuilder nb("c6288p");
+  const auto a = nb.inputs("a", 16);
+  const auto b = nb.inputs("b", 16);
+  nb.outputs(array_multiplier(nb, a, b));
+  return nb.finish();
+}
+
+Circuit build_c7552p() {
+  // c7552: 34-bit adder/comparator with parity-checked inputs.
+  NetBuilder nb("c7552p");
+  const auto a = nb.inputs("a", 34);
+  const auto b = nb.inputs("b", 34);
+  const GateId cin = nb.input("cin");
+  const auto sum = carry_lookahead_adder(nb, a, b, cin);
+  nb.outputs(sum.sum);
+  nb.output(sum.carry_out);
+  const auto cmp = comparator(nb, a, b);
+  nb.output(cmp.eq);
+  nb.output(cmp.gt);
+  const auto ecc = ecc_checker(
+      nb, std::vector<GateId>(a.begin(), a.begin() + 32),
+      std::vector<GateId>(b.begin(), b.begin() + 6), /*expand_xor=*/true);
+  nb.output(ecc.error_detect);
+
+  std::vector<GateId> signals = sum.sum;
+  signals.insert(signals.end(), ecc.syndrome.begin(), ecc.syndrome.end());
+  top_up(nb, signals, 3530, 0x7552);
+  return nb.finish();
+}
+
+}  // namespace
+
+std::vector<std::string> iscas85_proxy_names() {
+  return {"c432p",  "c499p",  "c880p",  "c1355p", "c1908p",
+          "c2670p", "c3540p", "c5315p", "c6288p", "c7552p"};
+}
+
+std::string mirrors_of(const std::string& proxy_name) {
+  std::string base = proxy_name;
+  if (!base.empty() && base.back() == 'p') base.pop_back();
+  return base;
+}
+
+Circuit iscas85_proxy(const std::string& name) {
+  std::string key = name;
+  if (!key.empty() && key.back() != 'p') key += 'p';
+  if (key == "c432p") return build_c432p();
+  if (key == "c499p") return build_c499p(false);
+  if (key == "c1355p") return build_c499p(true);
+  if (key == "c880p") return build_c880p();
+  if (key == "c1908p") return build_c1908p();
+  if (key == "c2670p") return build_c2670p();
+  if (key == "c3540p") return build_c3540p();
+  if (key == "c5315p") return build_c5315p();
+  if (key == "c6288p") return build_c6288p();
+  if (key == "c7552p") return build_c7552p();
+  throw Error("unknown ISCAS85 proxy: " + name);
+}
+
+std::vector<Circuit> iscas85_proxy_suite() {
+  std::vector<Circuit> suite;
+  for (const std::string& name : iscas85_proxy_names()) {
+    suite.push_back(iscas85_proxy(name));
+  }
+  return suite;
+}
+
+}  // namespace statleak

@@ -1,0 +1,38 @@
+/// \file random_dag.hpp
+/// \brief Seeded random combinational DAG generator.
+///
+/// Used (a) to scale the runtime experiment beyond the ISCAS85-class sizes
+/// and (b) as "glue" logic inside the proxy circuits. The generator draws
+/// gate kinds from a weighted mix resembling mapped random logic and picks
+/// fanins with a recency bias so the DAG develops realistic depth rather
+/// than collapsing into a two-level structure.
+
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/circuit.hpp"
+
+namespace statleak {
+
+struct RandomDagSpec {
+  int num_inputs = 32;
+  int num_gates = 500;   ///< logic cells to create
+  int num_outputs = 16;  ///< sampled among sink gates
+  /// Recency bias: fanins are drawn ~Geometric(1/locality) steps back from
+  /// the newest gate. Larger -> shallower, more random; smaller -> deeper.
+  double locality = 40.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a finalized random circuit. Every non-output gate has at least
+/// one fanout (dangling gates are promoted to primary outputs).
+Circuit make_random_dag(const RandomDagSpec& spec);
+
+class Rng;
+
+/// Draws one cell kind from the mapped-random-logic mix (shared with the
+/// proxy circuits' glue logic).
+CellKind random_mapped_kind(Rng& rng);
+
+}  // namespace statleak

@@ -1,0 +1,242 @@
+#include "gen/structures.hpp"
+
+#include "gen/arithmetic.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+
+namespace {
+
+/// XOR2 expanded as four NAND2 gates — the classic c499 -> c1355 rewrite:
+/// t = nand(a,b); out = nand(nand(a,t), nand(b,t)).
+GateId xor_as_nand(NetBuilder& nb, GateId a, GateId b) {
+  const GateId t = nb.nand2(a, b);
+  return nb.nand2(nb.nand2(a, t), nb.nand2(b, t));
+}
+
+GateId xor_gate(NetBuilder& nb, GateId a, GateId b, bool expand) {
+  return expand ? xor_as_nand(nb, a, b) : nb.xor2(a, b);
+}
+
+GateId xor_tree_opt(NetBuilder& nb, std::vector<GateId> terms, bool expand) {
+  STATLEAK_CHECK(!terms.empty(), "xor tree of nothing");
+  while (terms.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i < terms.size(); i += 2) {
+      if (i + 1 < terms.size()) {
+        next.push_back(xor_gate(nb, terms[i], terms[i + 1], expand));
+      } else {
+        next.push_back(terms[i]);
+      }
+    }
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+}  // namespace
+
+GateId parity_tree(NetBuilder& nb, const std::vector<GateId>& bits) {
+  return nb.xor_tree(bits);
+}
+
+EccOutputs ecc_checker(NetBuilder& nb, const std::vector<GateId>& data,
+                       const std::vector<GateId>& check, bool expand_xor) {
+  STATLEAK_CHECK(!data.empty() && !check.empty(),
+                 "ecc needs data and check bits");
+  EccOutputs out;
+  const std::size_t k = check.size();
+  for (std::size_t s = 0; s < k; ++s) {
+    // Hamming-style strided coverage: syndrome bit s covers data positions
+    // whose (s+1)-th binary digit of (index+1) is set — each data bit lands
+    // in multiple trees, giving the heavy reconvergence of c499.
+    std::vector<GateId> covered;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (((i + 1) >> s) & 1u) covered.push_back(data[i]);
+    }
+    if (covered.empty()) covered.push_back(data[s % data.size()]);
+    const GateId tree = xor_tree_opt(nb, covered, expand_xor);
+    out.syndrome.push_back(xor_gate(nb, tree, check[s], expand_xor));
+  }
+  out.error_detect = nb.or_tree(out.syndrome);
+  return out;
+}
+
+PriorityOutputs priority_encoder(NetBuilder& nb,
+                                 const std::vector<GateId>& request) {
+  STATLEAK_CHECK(!request.empty(), "priority encoder needs requests");
+  PriorityOutputs out;
+  // blocked[i] = OR of requests 0..i-1, built as a prefix chain (linear
+  // depth — matches c432's long priority chains).
+  GateId blocked = kInvalidGate;
+  for (std::size_t i = 0; i < request.size(); ++i) {
+    if (i == 0) {
+      out.grant.push_back(nb.buf(request[0]));
+      blocked = request[0];
+    } else {
+      out.grant.push_back(nb.and2(request[i], nb.inv(blocked)));
+      blocked = nb.or2(blocked, request[i]);
+    }
+  }
+  out.valid = blocked;
+  return out;
+}
+
+std::vector<GateId> decoder(NetBuilder& nb, const std::vector<GateId>& sel,
+                            GateId enable) {
+  STATLEAK_CHECK(!sel.empty() && sel.size() <= 8, "decoder sel width 1..8");
+  const std::size_t n = std::size_t{1} << sel.size();
+  std::vector<GateId> sel_n(sel.size());
+  for (std::size_t i = 0; i < sel.size(); ++i) sel_n[i] = nb.inv(sel[i]);
+  std::vector<GateId> out;
+  out.reserve(n);
+  for (std::size_t code = 0; code < n; ++code) {
+    std::vector<GateId> terms;
+    terms.push_back(enable);
+    for (std::size_t b = 0; b < sel.size(); ++b) {
+      terms.push_back(((code >> b) & 1u) ? sel[b] : sel_n[b]);
+    }
+    out.push_back(nb.and_tree(terms));
+  }
+  return out;
+}
+
+GateId mux_tree(NetBuilder& nb, const std::vector<GateId>& data,
+                const std::vector<GateId>& sel) {
+  STATLEAK_CHECK(!sel.empty(), "mux tree needs select bits");
+  STATLEAK_CHECK(data.size() == (std::size_t{1} << sel.size()),
+                 "mux tree: |data| must be 2^|sel|");
+  std::vector<GateId> layer = data;
+  for (std::size_t s = 0; s < sel.size(); ++s) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(nb.mux2(layer[i], layer[i + 1], sel[s]));
+    }
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+ComparatorOutputs comparator(NetBuilder& nb, const std::vector<GateId>& a,
+                             const std::vector<GateId>& b) {
+  STATLEAK_CHECK(a.size() == b.size() && !a.empty(),
+                 "comparator operands must be equal non-empty widths");
+  ComparatorOutputs out;
+  // eq_i per bit; gt via MSB-down chain:
+  // gt = OR_i (a_i & !b_i & AND_{j>i} eq_j).
+  std::vector<GateId> eq_bits(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) eq_bits[i] = nb.xnor2(a[i], b[i]);
+  out.eq = nb.and_tree(eq_bits);
+
+  std::vector<GateId> gt_terms;
+  GateId higher_eq = kInvalidGate;  // AND of eq bits above the current one
+  for (std::size_t idx = a.size(); idx-- > 0;) {
+    const GateId a_gt_b = nb.and2(a[idx], nb.inv(b[idx]));
+    if (higher_eq == kInvalidGate) {
+      gt_terms.push_back(a_gt_b);
+      higher_eq = eq_bits[idx];
+    } else {
+      gt_terms.push_back(nb.and2(a_gt_b, higher_eq));
+      higher_eq = nb.and2(higher_eq, eq_bits[idx]);
+    }
+  }
+  out.gt = nb.or_tree(gt_terms);
+  return out;
+}
+
+AluOutputs alu(NetBuilder& nb, const std::vector<GateId>& a,
+               const std::vector<GateId>& b, const std::vector<GateId>& op) {
+  STATLEAK_CHECK(a.size() == b.size() && !a.empty(),
+                 "alu operands must be equal non-empty widths");
+  STATLEAK_CHECK(op.size() == 2, "alu takes a 2-bit opcode");
+  AluOutputs out;
+
+  // Carry-in 0 for ADD, built once.
+  const GateId zero = nb.and2(a[0], nb.inv(a[0]));
+  const auto add = carry_lookahead_adder(nb, a, b, zero);
+  out.carry_out = add.carry_out;
+
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const GateId and_i = nb.and2(a[i], b[i]);
+    const GateId or_i = nb.or2(a[i], b[i]);
+    const GateId xor_i = nb.xor2(a[i], b[i]);
+    // op: 00 ADD, 01 AND, 10 OR, 11 XOR
+    const GateId lo = nb.mux2(add.sum[i], and_i, op[0]);
+    const GateId hi = nb.mux2(or_i, xor_i, op[0]);
+    out.result.push_back(nb.mux2(lo, hi, op[1]));
+  }
+  return out;
+}
+
+Circuit make_parity_tree(int width) {
+  STATLEAK_CHECK(width >= 2, "parity width must be >= 2");
+  NetBuilder nb("parity" + std::to_string(width));
+  const auto bits = nb.inputs("d", width);
+  nb.output(parity_tree(nb, bits));
+  return nb.finish();
+}
+
+Circuit make_ecc_checker(int data_bits, int check_bits, bool expand_xor) {
+  STATLEAK_CHECK(data_bits >= 2 && check_bits >= 1, "bad ecc parameters");
+  NetBuilder nb(std::string("ecc") + std::to_string(data_bits) + "x" +
+                std::to_string(check_bits) + (expand_xor ? "n" : ""));
+  const auto data = nb.inputs("d", data_bits);
+  const auto check = nb.inputs("c", check_bits);
+  const auto ecc = ecc_checker(nb, data, check, expand_xor);
+  nb.outputs(ecc.syndrome);
+  nb.output(ecc.error_detect);
+  return nb.finish();
+}
+
+Circuit make_priority_encoder(int width) {
+  STATLEAK_CHECK(width >= 2, "priority width must be >= 2");
+  NetBuilder nb("prio" + std::to_string(width));
+  const auto req = nb.inputs("r", width);
+  const auto pri = priority_encoder(nb, req);
+  nb.outputs(pri.grant);
+  nb.output(pri.valid);
+  return nb.finish();
+}
+
+Circuit make_decoder(int sel_bits) {
+  STATLEAK_CHECK(sel_bits >= 1 && sel_bits <= 8, "decoder sel width 1..8");
+  NetBuilder nb("dec" + std::to_string(sel_bits));
+  const auto sel = nb.inputs("s", sel_bits);
+  const GateId en = nb.input("en");
+  nb.outputs(decoder(nb, sel, en));
+  return nb.finish();
+}
+
+Circuit make_mux_tree(int sel_bits) {
+  STATLEAK_CHECK(sel_bits >= 1 && sel_bits <= 8, "mux sel width 1..8");
+  NetBuilder nb("mux" + std::to_string(sel_bits));
+  const auto data = nb.inputs("d", 1 << sel_bits);
+  const auto sel = nb.inputs("s", sel_bits);
+  nb.output(mux_tree(nb, data, sel));
+  return nb.finish();
+}
+
+Circuit make_comparator(int bits) {
+  STATLEAK_CHECK(bits >= 1, "comparator width must be >= 1");
+  NetBuilder nb("cmp" + std::to_string(bits));
+  const auto a = nb.inputs("a", bits);
+  const auto b = nb.inputs("b", bits);
+  const auto cmp = comparator(nb, a, b);
+  nb.output(cmp.eq);
+  nb.output(cmp.gt);
+  return nb.finish();
+}
+
+Circuit make_alu(int bits) {
+  STATLEAK_CHECK(bits >= 1, "alu width must be >= 1");
+  NetBuilder nb("alu" + std::to_string(bits));
+  const auto a = nb.inputs("a", bits);
+  const auto b = nb.inputs("b", bits);
+  const auto op = nb.inputs("op", 2);
+  const auto res = alu(nb, a, b, op);
+  nb.outputs(res.result);
+  nb.output(res.carry_out);
+  return nb.finish();
+}
+
+}  // namespace statleak

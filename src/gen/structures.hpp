@@ -1,0 +1,77 @@
+/// \file structures.hpp
+/// \brief Structured logic generators: parity/ECC, priority, decode, select,
+///        compare, and a small ALU. Together with arithmetic.hpp these give
+///        the structural vocabulary of the ISCAS85 suite.
+
+#pragma once
+
+#include <vector>
+
+#include "gen/builder.hpp"
+
+namespace statleak {
+
+/// XOR parity tree over the inputs. width-1 cells, log depth.
+GateId parity_tree(NetBuilder& nb, const std::vector<GateId>& bits);
+
+/// Hamming-style syndrome checker: `check_bits` parity trees over strided
+/// subsets of `data`, XORed against the stored check inputs, plus a
+/// "syndrome != 0" detect output. The c499/c1355 structural class.
+/// When `expand_xor` is set, each XOR2 is expanded into 4 NAND2 gates —
+/// exactly the c499 -> c1355 transformation.
+struct EccOutputs {
+  std::vector<GateId> syndrome;
+  GateId error_detect = kInvalidGate;
+};
+EccOutputs ecc_checker(NetBuilder& nb, const std::vector<GateId>& data,
+                       const std::vector<GateId>& check, bool expand_xor);
+
+/// Priority encoder with one-hot grant outputs: grant[i] is high iff
+/// request[i] is the highest-priority (lowest-index) asserted request.
+/// Includes a "any request" valid output. The c432 structural class.
+struct PriorityOutputs {
+  std::vector<GateId> grant;
+  GateId valid = kInvalidGate;
+};
+PriorityOutputs priority_encoder(NetBuilder& nb,
+                                 const std::vector<GateId>& request);
+
+/// Full binary decoder: sel (LSB-first) -> 2^|sel| one-hot outputs, gated by
+/// enable.
+std::vector<GateId> decoder(NetBuilder& nb, const std::vector<GateId>& sel,
+                            GateId enable);
+
+/// Mux tree selecting one of data (|data| must be a power of two) by sel
+/// (LSB-first, |sel| = log2 |data|).
+GateId mux_tree(NetBuilder& nb, const std::vector<GateId>& data,
+                const std::vector<GateId>& sel);
+
+/// Magnitude comparator: (eq, gt) for unsigned a vs b (equal widths).
+struct ComparatorOutputs {
+  GateId eq = kInvalidGate;
+  GateId gt = kInvalidGate;
+};
+ComparatorOutputs comparator(NetBuilder& nb, const std::vector<GateId>& a,
+                             const std::vector<GateId>& b);
+
+/// Small ALU: op (2 bits, LSB-first) selects among ADD, AND, OR, XOR over
+/// two `bits`-wide operands. Result plus carry-out (valid for ADD).
+/// The c880/c2670/c3540 structural class.
+struct AluOutputs {
+  std::vector<GateId> result;
+  GateId carry_out = kInvalidGate;
+};
+AluOutputs alu(NetBuilder& nb, const std::vector<GateId>& a,
+               const std::vector<GateId>& b, const std::vector<GateId>& op);
+
+// --- standalone wrappers ---------------------------------------------------
+
+Circuit make_parity_tree(int width);
+Circuit make_ecc_checker(int data_bits, int check_bits, bool expand_xor);
+Circuit make_priority_encoder(int width);
+Circuit make_decoder(int sel_bits);
+Circuit make_mux_tree(int sel_bits);
+Circuit make_comparator(int bits);
+Circuit make_alu(int bits);
+
+}  // namespace statleak

@@ -1,0 +1,132 @@
+/// \file leakage.hpp
+/// \brief Analytic full-chip leakage distribution under process variation.
+///
+/// Gate i's leakage is Inom_i * exp(-cL*dL_i - cV*dVth_i): lognormal, since
+/// dL_i and dVth_i are Gaussian. The total is a sum of lognormals that are
+/// positively correlated through the shared inter-die components. Following
+/// the DAC'04 approach, the sum is approximated by matching its exact first
+/// two moments to a single lognormal (Wilkinson's method):
+///
+///   E[S]   = sum_i E[I_i]
+///   Var[S] = sum_i Var[I_i] + (e^{c_g} - 1) * ((sum_i E[I_i])^2
+///                                              - sum_i E[I_i]^2)
+///
+/// where c_g = cL^2 sigma_Lg^2 + cV^2 sigma_Vg^2 is the log-domain
+/// covariance every gate pair shares (cL and cV are process constants,
+/// identical for both threshold classes). All percentile queries then reduce
+/// to lognormal quantiles.
+///
+/// The analyzer keeps per-gate moments and running totals so the optimizer
+/// can re-price a single-gate change in O(1).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "netlist/circuit.hpp"
+#include "tech/variation.hpp"
+#include "util/lognormal.hpp"
+
+namespace statleak {
+
+/// Linear-space moments of one gate's leakage current.
+struct GateLeakMoments {
+  double mean_na = 0.0;
+  double var_na2 = 0.0;
+};
+
+/// The fitted full-chip leakage distribution.
+struct LeakageDistribution {
+  double mean_na = 0.0;
+  double var_na2 = 0.0;
+  Lognormal fitted;  ///< Wilkinson moment-matched lognormal
+
+  double stddev_na() const;
+  double quantile_na(double p) const { return fitted.quantile(p); }
+  double cdf(double x_na) const { return fitted.cdf(x_na); }
+};
+
+/// Per-cell-type leakage statistics under a variation model.
+class LeakageModel {
+ public:
+  LeakageModel(const CellLibrary& lib, const VariationModel& var);
+
+  /// Log-domain variance of one gate's leakage (same for every gate: the
+  /// exponent coefficients are process constants).
+  double log_sigma2() const { return log_sigma2_; }
+
+  /// Log-domain covariance shared by every gate pair (inter-die part).
+  double log_cov_global() const { return log_cov_global_; }
+
+  /// Moments of one gate's leakage. Includes the exact Gaussian
+  /// quadratic-exponent correction when the node's leak_quadratic term is
+  /// non-zero (applied to mean and variance; the pairwise covariance keeps
+  /// the linear-exponent form — see DESIGN.md ablation A1), and honours the
+  /// variation model's Pelgrom width scaling of intra-die Vth sigma.
+  GateLeakMoments gate_moments(CellKind kind, Vth vth, double size) const;
+
+  const CellLibrary& library() const { return lib_; }
+  const VariationModel& variation() const { return var_; }
+
+ private:
+  const CellLibrary& lib_;
+  const VariationModel& var_;
+  double cl_ = 0.0;            ///< leakage exponent coefficient on dL [1/nm]
+  double cv_ = 0.0;            ///< leakage exponent coefficient on dVth [1/V]
+  double q_ = 0.0;             ///< quadratic dL exponent [1/nm^2]
+  double sig_l2_ = 0.0;        ///< total dL variance [nm^2]
+  double sig_v_inter2_ = 0.0;  ///< inter-die dVth variance [V^2]
+  double log_sigma2_ = 0.0;
+  double log_cov_global_ = 0.0;
+  double mean_factor_ = 1.0;  ///< E[exp(exponent)] for a unit-nominal gate
+  double m2_factor_ = 1.0;    ///< E[exp(2*exponent)]
+};
+
+/// Full-circuit analyzer with O(1) single-gate updates.
+class LeakageAnalyzer {
+ public:
+  LeakageAnalyzer(const Circuit& circuit, const CellLibrary& lib,
+                  const VariationModel& var);
+
+  /// Recomputes all per-gate moments and totals.
+  void rebuild();
+
+  /// Call after gate `id` changed size or Vth.
+  void on_gate_changed(GateId id);
+
+  /// Current fitted distribution of total leakage.
+  LeakageDistribution distribution() const;
+
+  /// Mean total leakage [nA].
+  double mean_na() const { return sum_mean_; }
+  /// Percentile of total leakage [nA].
+  double quantile_na(double p) const { return distribution().quantile_na(p); }
+  /// Total leakage with all gates at nominal parameters [nA].
+  double nominal_na() const;
+
+  /// What the fitted distribution would report if gate `id` had the given
+  /// (vth, size) — without mutating anything. The optimizer's O(1) move
+  /// pricing.
+  double quantile_if_na(GateId id, Vth vth, double size, double p) const;
+
+  /// Exact total leakage [nA] for one Monte-Carlo parameter sample
+  /// (samples[id] = that gate's total deviations).
+  double total_sample_na(std::span<const ParamSample> samples) const;
+
+  const LeakageModel& model() const { return model_; }
+
+ private:
+  LeakageDistribution assemble(double sum_mean, double sum_mean_sq,
+                               double sum_var) const;
+
+  const Circuit& circuit_;
+  LeakageModel model_;
+  std::vector<GateLeakMoments> moments_;
+  double sum_mean_ = 0.0;
+  double sum_mean_sq_ = 0.0;
+  double sum_var_ = 0.0;
+};
+
+}  // namespace statleak

@@ -1,0 +1,75 @@
+#include "mc/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "leakage/leakage.hpp"
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statleak {
+
+double McResult::timing_yield(double t_max_ps) const {
+  STATLEAK_CHECK(!delay_ps.empty(), "no samples");
+  std::size_t pass = 0;
+  for (double d : delay_ps) {
+    if (d <= t_max_ps) ++pass;
+  }
+  return static_cast<double>(pass) / static_cast<double>(delay_ps.size());
+}
+
+double McResult::combined_yield(double t_max_ps, double leak_cap_na) const {
+  STATLEAK_CHECK(!delay_ps.empty(), "no samples");
+  STATLEAK_CHECK(delay_ps.size() == leakage_na.size(),
+                 "delay/leakage sample mismatch");
+  std::size_t pass = 0;
+  for (std::size_t i = 0; i < delay_ps.size(); ++i) {
+    if (delay_ps[i] <= t_max_ps && leakage_na[i] <= leak_cap_na) ++pass;
+  }
+  return static_cast<double>(pass) / static_cast<double>(delay_ps.size());
+}
+
+double McResult::yield_stderr(double t_max_ps) const {
+  const double y = timing_yield(t_max_ps);
+  const auto n = static_cast<double>(delay_ps.size());
+  return std::sqrt(std::max(0.0, y * (1.0 - y) / n));
+}
+
+McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
+                         const VariationModel& var, const McConfig& config) {
+  STATLEAK_CHECK(config.num_samples > 0, "need at least one sample");
+  var.validate();
+
+  StaEngine sta(circuit, lib);
+  LeakageAnalyzer leakage(circuit, lib, var);
+  Rng rng(config.seed);
+
+  const std::size_t n = circuit.num_gates();
+  std::vector<ParamSample> samples(n);
+  std::vector<double> scratch;
+
+  // Device widths feed the (optional) Pelgrom scaling of intra-die Vth
+  // sigma; widths are fixed for the whole run.
+  std::vector<double> widths(n, -1.0);
+  for (std::size_t id = 0; id < n; ++id) {
+    const Gate& g = circuit.gate(static_cast<GateId>(id));
+    if (g.kind != CellKind::kInput) widths[id] = lib.area_um(g.kind, g.size);
+  }
+
+  McResult result;
+  result.delay_ps.reserve(static_cast<std::size_t>(config.num_samples));
+  result.leakage_na.reserve(static_cast<std::size_t>(config.num_samples));
+
+  for (int s = 0; s < config.num_samples; ++s) {
+    const GlobalSample die = sample_global(var, rng);
+    for (std::size_t id = 0; id < n; ++id) {
+      samples[id] = sample_gate(var, die, rng, widths[id]);
+    }
+    result.delay_ps.push_back(
+        sta.critical_delay_sample_ps(samples, config.exact_delay, scratch));
+    result.leakage_na.push_back(leakage.total_sample_na(samples));
+  }
+  return result;
+}
+
+}  // namespace statleak

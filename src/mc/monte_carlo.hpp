@@ -1,0 +1,53 @@
+/// \file monte_carlo.hpp
+/// \brief Monte-Carlo golden reference for delay and leakage statistics.
+///
+/// Each sample draws one die: shared inter-die (dL, dVth) plus independent
+/// intra-die components per gate. Sample delay is a full deterministic STA
+/// pass under those parameters (first-order or exact alpha-power mode);
+/// sample leakage is the exact sum of per-gate exponential leakages. This is
+/// the reference the SSTA and Wilkinson approximations are validated against
+/// (experiment F4) and the source of the distribution histograms (F1).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "netlist/circuit.hpp"
+#include "tech/variation.hpp"
+#include "util/stats.hpp"
+
+namespace statleak {
+
+struct McConfig {
+  int num_samples = 10000;
+  std::uint64_t seed = 42;
+  /// Exact alpha-power delay per gate instead of the first-order multiplier.
+  bool exact_delay = false;
+};
+
+struct McResult {
+  std::vector<double> delay_ps;    ///< per-sample circuit delay
+  std::vector<double> leakage_na;  ///< per-sample total leakage
+
+  /// Fraction of samples meeting the delay target, i.e. MC timing yield.
+  double timing_yield(double t_max_ps) const;
+  /// Fraction of samples meeting BOTH the delay target and a leakage cap —
+  /// the "sellable dies" metric of post-silicon compensation studies.
+  double combined_yield(double t_max_ps, double leak_cap_na) const;
+  /// Standard error of the yield estimate at the given target.
+  double yield_stderr(double t_max_ps) const;
+
+  SampleSummary delay_summary() const { return summarize(delay_ps); }
+  SampleSummary leakage_summary() const { return summarize(leakage_na); }
+  double leakage_quantile_na(double p) const { return quantile(leakage_na, p); }
+  double delay_quantile_ps(double p) const { return quantile(delay_ps, p); }
+};
+
+/// Runs the Monte-Carlo analysis. Deterministic for a given config.
+McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
+                         const VariationModel& var, const McConfig& config);
+
+}  // namespace statleak

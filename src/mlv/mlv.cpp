@@ -1,0 +1,74 @@
+#include "mlv/mlv.hpp"
+
+#include "mlv/state_leakage.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace statleak {
+
+double vector_leakage_na(const Circuit& circuit, const CellLibrary& lib,
+                         std::span<const char> inputs) {
+  const std::vector<char> values = simulate(circuit, inputs);
+  double total = 0.0;
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    if (g.kind == CellKind::kInput) continue;
+    std::uint32_t bits = 0;
+    for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+      if (values[g.fanins[pin]]) bits |= 1u << pin;
+    }
+    total += state_leakage_na(lib, g.kind, g.vth, g.size, bits);
+  }
+  return total;
+}
+
+MlvResult find_min_leakage_vector(const Circuit& circuit,
+                                  const CellLibrary& lib,
+                                  const MlvConfig& config) {
+  STATLEAK_CHECK(config.random_trials >= 1, "need at least one trial");
+  STATLEAK_CHECK(config.greedy_passes >= 0, "passes must be non-negative");
+  Rng rng(config.seed);
+  const std::size_t n_inputs = circuit.inputs().size();
+
+  MlvResult result;
+  RunningStats probe_stats;
+  std::vector<char> vec(n_inputs);
+  result.best_leakage_na = std::numeric_limits<double>::infinity();
+
+  // Phase 1: random probes.
+  for (int t = 0; t < config.random_trials; ++t) {
+    for (auto& bit : vec) bit = rng.uniform_index(2) ? 1 : 0;
+    const double leak = vector_leakage_na(circuit, lib, vec);
+    ++result.evaluations;
+    probe_stats.add(leak);
+    if (leak < result.best_leakage_na) {
+      result.best_leakage_na = leak;
+      result.best_vector = vec;
+    }
+  }
+  result.mean_leakage_na = probe_stats.mean();
+  result.worst_leakage_na = probe_stats.max();
+
+  // Phase 2: greedy bit-flip descent from the best probe.
+  vec = result.best_vector;
+  for (int pass = 0; pass < config.greedy_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      vec[i] = vec[i] ? 0 : 1;
+      const double leak = vector_leakage_na(circuit, lib, vec);
+      ++result.evaluations;
+      if (leak < result.best_leakage_na) {
+        result.best_leakage_na = leak;
+        result.best_vector = vec;
+        improved = true;
+      } else {
+        vec[i] = vec[i] ? 0 : 1;  // revert
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace statleak

@@ -1,0 +1,134 @@
+#include "mlv/state_leakage.hpp"
+
+#include <bit>
+
+#include "cells/topology.hpp"
+#include "tech/device.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+
+namespace {
+
+/// Leakage of one NAND-like stage of fanin m with `low_count` low inputs
+/// (NOR-like is the dual with `high_count`), for a size-1 cell scaled by
+/// `scale`. Mirrors CellLibrary::precompute's per-state arithmetic.
+double stage_state_leak_na(const ProcessNode& node, Vth vth, int m,
+                           bool nand_like, double scale, int off_count) {
+  const double wn = node.wn_unit_um;
+  const double wp = node.pn_ratio * wn;
+  const double w_series = m * scale * (nand_like ? wn : wp);
+  const double w_parallel = scale * (nand_like ? wp : wn);
+  if (off_count == 0) {
+    // Series network conducting: the parallel network is fully off.
+    return m * subthreshold_current_na(node, vth, w_parallel);
+  }
+  return stack_factor(off_count) *
+         subthreshold_current_na(node, vth, w_series);
+}
+
+int popcount_low(std::uint32_t bits, int m) {
+  const std::uint32_t mask = (m >= 32) ? ~0u : ((1u << m) - 1u);
+  return m - std::popcount(bits & mask);
+}
+
+}  // namespace
+
+bool state_leakage_is_exact(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInv:
+    case CellKind::kBuf:
+    case CellKind::kNand2:
+    case CellKind::kNand3:
+    case CellKind::kNand4:
+    case CellKind::kNor2:
+    case CellKind::kNor3:
+    case CellKind::kNor4:
+    case CellKind::kAnd2:
+    case CellKind::kAnd3:
+    case CellKind::kOr2:
+    case CellKind::kOr3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double state_leakage_na(const CellLibrary& lib, CellKind kind, Vth vth,
+                        double size, std::uint32_t input_bits) {
+  STATLEAK_CHECK(size > 0.0, "cell size must be positive");
+  const ProcessNode& node = lib.node();
+  const int fanin = cell_info(kind).fanin;
+  STATLEAK_CHECK(fanin == 0 || input_bits < (1u << fanin),
+                 "input state uses more bits than the cell has pins");
+
+  if (!state_leakage_is_exact(kind)) {
+    return lib.leakage_na(kind, vth, size);  // state-average fallback
+  }
+
+  const auto nand_state = [&](int m, std::uint32_t bits, double scale) {
+    return stage_state_leak_na(node, vth, m, /*nand_like=*/true, scale,
+                               popcount_low(bits, m));
+  };
+  const auto nor_state = [&](int m, std::uint32_t bits, double scale) {
+    // NOR-like: the series pMOS stack is off per *high* input.
+    const int high = m - popcount_low(bits, m);
+    return stage_state_leak_na(node, vth, m, /*nand_like=*/false, scale,
+                               high);
+  };
+
+  double leak = 0.0;
+  switch (kind) {
+    case CellKind::kInv:
+      leak = nand_state(1, input_bits, 1.0);
+      break;
+    case CellKind::kBuf: {
+      // First inverter (half size) sees the input; second sees its
+      // complement.
+      const std::uint32_t mid = evaluate(CellKind::kInv, input_bits) ? 1 : 0;
+      leak = nand_state(1, input_bits, 0.5) + nand_state(1, mid, 1.0);
+      break;
+    }
+    case CellKind::kNand2:
+      leak = nand_state(2, input_bits, 1.0);
+      break;
+    case CellKind::kNand3:
+      leak = nand_state(3, input_bits, 1.0);
+      break;
+    case CellKind::kNand4:
+      leak = nand_state(4, input_bits, 1.0);
+      break;
+    case CellKind::kNor2:
+      leak = nor_state(2, input_bits, 1.0);
+      break;
+    case CellKind::kNor3:
+      leak = nor_state(3, input_bits, 1.0);
+      break;
+    case CellKind::kNor4:
+      leak = nor_state(4, input_bits, 1.0);
+      break;
+    case CellKind::kAnd2:
+    case CellKind::kAnd3: {
+      const int m = kind == CellKind::kAnd2 ? 2 : 3;
+      const CellKind nand_kind =
+          kind == CellKind::kAnd2 ? CellKind::kNand2 : CellKind::kNand3;
+      const std::uint32_t mid = evaluate(nand_kind, input_bits) ? 1 : 0;
+      leak = nand_state(m, input_bits, 1.0) + nand_state(1, mid, 1.0);
+      break;
+    }
+    case CellKind::kOr2:
+    case CellKind::kOr3: {
+      const int m = kind == CellKind::kOr2 ? 2 : 3;
+      const CellKind nor_kind =
+          kind == CellKind::kOr2 ? CellKind::kNor2 : CellKind::kNor3;
+      const std::uint32_t mid = evaluate(nor_kind, input_bits) ? 1 : 0;
+      leak = nor_state(m, input_bits, 1.0) + nand_state(1, mid, 1.0);
+      break;
+    }
+    default:
+      STATLEAK_CHECK(false, "unreachable: exactness checked above");
+  }
+  return leak * size;
+}
+
+}  // namespace statleak

@@ -1,0 +1,37 @@
+/// \file state_leakage.hpp
+/// \brief Input-state-dependent cell leakage.
+///
+/// The library's leakage_na() averages over input states — right for a
+/// circuit whose idle state is unknown. But standby leakage is a function
+/// of the actual input vector: an m-input NAND with all inputs low leaks
+/// through a full off-stack (suppressed ~10x per extra series device),
+/// while with all inputs high it leaks through m parallel pMOS devices.
+/// This header evaluates that state dependence:
+///
+///  * exactly for the single-stage kinds (INV, NAND2-4, NOR2-4) and the
+///    two-stage compositions whose internal nodes are derivable from the
+///    cell inputs (BUF, AND2/3, OR2/3);
+///  * as the state-average for the remaining complex kinds (XOR/XNOR,
+///    AOI/OAI, MUX2), whose internal decomposition in this library is an
+///    approximation to begin with.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cells/library.hpp"
+
+namespace statleak {
+
+/// Leakage [nA] of one cell in the given input state (bit i of `input_bits`
+/// = logic value of pin i). Falls back to the state-average for kinds whose
+/// internal state is not derivable. `input_bits` must only use the cell's
+/// fanin count worth of bits.
+double state_leakage_na(const CellLibrary& lib, CellKind kind, Vth vth,
+                        double size, std::uint32_t input_bits);
+
+/// True if state_leakage_na resolves the exact state for this kind (false
+/// = state-average fallback).
+bool state_leakage_is_exact(CellKind kind);
+
+}  // namespace statleak

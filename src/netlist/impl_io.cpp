@@ -1,0 +1,84 @@
+#include "netlist/impl_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+std::size_t read_impl(std::istream& in, Circuit& circuit) {
+  STATLEAK_CHECK(circuit.finalized(), "read_impl needs a finalized circuit");
+  std::size_t updated = 0;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string name;
+    std::string vth_token;
+    double size = 0.0;
+    if (!(fields >> name)) continue;  // blank line
+    if (!(fields >> vth_token >> size)) {
+      throw Error("impl line " + std::to_string(line_no) +
+                  ": expected '<gate> <LVT|HVT> <size>'");
+    }
+    const GateId id = circuit.find(name);
+    if (id == kInvalidGate) {
+      throw Error("impl line " + std::to_string(line_no) +
+                  ": unknown gate '" + name + "'");
+    }
+    if (circuit.gate(id).kind == CellKind::kInput) {
+      throw Error("impl line " + std::to_string(line_no) +
+                  ": '" + name + "' is a primary input");
+    }
+    Vth vth;
+    if (vth_token == "LVT") {
+      vth = Vth::kLow;
+    } else if (vth_token == "HVT") {
+      vth = Vth::kHigh;
+    } else {
+      throw Error("impl line " + std::to_string(line_no) +
+                  ": bad Vth class '" + vth_token + "' (want LVT or HVT)");
+    }
+    if (size <= 0.0) {
+      throw Error("impl line " + std::to_string(line_no) +
+                  ": size must be positive");
+    }
+    circuit.set_vth(id, vth);
+    circuit.set_size(id, size);
+    ++updated;
+  }
+  return updated;
+}
+
+std::size_t read_impl_file(const std::string& path, Circuit& circuit) {
+  std::ifstream in(path);
+  STATLEAK_CHECK(in.good(), "cannot open impl file: " + path);
+  return read_impl(in, circuit);
+}
+
+void write_impl(std::ostream& out, const Circuit& circuit) {
+  STATLEAK_CHECK(circuit.finalized(), "write_impl needs a finalized circuit");
+  out << "# statleak implementation for " << circuit.name()
+      << " — <gate> <vth> <size>\n";
+  // Sizes must round-trip exactly: an implementation is a contract.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (GateId id : circuit.topo_order()) {
+    const Gate& g = circuit.gate(id);
+    if (g.kind == CellKind::kInput) continue;
+    out << g.name << ' ' << to_string(g.vth) << ' ' << g.size << '\n';
+  }
+}
+
+void write_impl_file(const std::string& path, const Circuit& circuit) {
+  std::ofstream out(path);
+  STATLEAK_CHECK(out.good(), "cannot open impl file for writing: " + path);
+  write_impl(out, circuit);
+}
+
+}  // namespace statleak

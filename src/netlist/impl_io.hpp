@@ -1,0 +1,33 @@
+/// \file impl_io.hpp
+/// \brief Reader/writer for implementation sidecar files (".impl").
+///
+/// A netlist (.bench) fixes the logic; the *implementation* — per-gate Vth
+/// class and drive size — is what the optimizers produce. The sidecar
+/// format makes optimization results persistent and the CLI pipeline
+/// composable (optimize -> save; analyze <- load):
+///
+///   # comment
+///   <gate-name>  <LVT|HVT>  <size>
+///
+/// Unlisted gates keep their current implementation; unknown gate names are
+/// an error (catching netlist/implementation mismatches early).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace statleak {
+
+/// Applies an implementation file to a finalized circuit.
+/// Returns the number of gates updated.
+std::size_t read_impl(std::istream& in, Circuit& circuit);
+std::size_t read_impl_file(const std::string& path, Circuit& circuit);
+
+/// Writes every logic cell's implementation.
+void write_impl(std::ostream& out, const Circuit& circuit);
+void write_impl_file(const std::string& path, const Circuit& circuit);
+
+}  // namespace statleak

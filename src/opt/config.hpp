@@ -1,0 +1,55 @@
+/// \file config.hpp
+/// \brief Configuration and result types shared by both optimizers.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace statleak {
+
+/// Common optimizer knobs.
+struct OptConfig {
+  /// Circuit delay target [ps].
+  double t_max_ps = 0.0;
+
+  /// Timing-yield target eta for the statistical optimizer:
+  /// P(delay <= t_max) >= eta.
+  double yield_target = 0.99;
+
+  /// Percentile of the total-leakage distribution the statistical optimizer
+  /// minimizes (0.99 in the paper's headline experiments). Set to 0.5 to
+  /// optimize the median instead.
+  double leakage_percentile = 0.99;
+
+  /// Deterministic optimizer's guard-band: all gates evaluated at this
+  /// k-sigma slow process excursion. 0 = nominal-corner optimization.
+  double corner_k_sigma = 0.0;
+
+  /// Safety margin [ps] subtracted from slack in deterministic accept tests
+  /// (guards the strictly-greedy loop against load-coupling second-order
+  /// effects).
+  double slack_margin_ps = 0.1;
+
+  /// Hard iteration cap as a multiple of the cell count.
+  double max_iterations_factor = 24.0;
+
+  /// Rounds of the assignment phase; locked moves are retried once per
+  /// round because downsizing can free up timing room elsewhere.
+  int assignment_rounds = 3;
+};
+
+/// What an optimizer run did.
+struct OptResult {
+  bool feasible = false;       ///< constraint met at the optimizer's own model
+  int sizing_commits = 0;      ///< phase-1 upsizing moves
+  int hvt_commits = 0;         ///< gates moved to high Vth
+  int downsize_commits = 0;    ///< downsizing moves
+  int rejected_moves = 0;      ///< tentative moves undone
+  int iterations = 0;          ///< optimization loop iterations
+  double final_objective = 0.0;  ///< optimizer's own objective at exit
+                                 ///< (corner leakage / leakage percentile)
+  std::string note;            ///< human-readable outcome summary
+};
+
+}  // namespace statleak

@@ -1,0 +1,47 @@
+/// \file metrics.hpp
+/// \brief Post-optimization measurement of a circuit implementation.
+///
+/// Every experiment reports the same snapshot regardless of which optimizer
+/// produced the implementation: nominal/corner delay, SSTA timing yield at
+/// the target, and the analytic leakage distribution. Monte-Carlo
+/// counterparts are produced separately by mc/monte_carlo.hpp where an
+/// experiment calls for them.
+
+#pragma once
+
+#include <cstddef>
+
+#include "cells/library.hpp"
+#include "netlist/circuit.hpp"
+#include "tech/variation.hpp"
+
+namespace statleak {
+
+struct CircuitMetrics {
+  double nominal_delay_ps = 0.0;
+  double corner3_delay_ps = 0.0;   ///< all-gates 3-sigma-slow corner delay
+  double ssta_delay_mean_ps = 0.0;
+  double ssta_delay_sigma_ps = 0.0;
+  double timing_yield = 0.0;       ///< P(delay <= t_max) from SSTA
+
+  double leakage_nominal_na = 0.0;  ///< all parameters at nominal
+  double leakage_mean_na = 0.0;     ///< E[total leakage] under variation
+  double leakage_sigma_na = 0.0;
+  double leakage_p95_na = 0.0;
+  double leakage_p99_na = 0.0;
+
+  std::size_t hvt_count = 0;
+  std::size_t cell_count = 0;
+  double hvt_fraction = 0.0;
+  double area_um = 0.0;  ///< total device width
+};
+
+/// Measures the current implementation of `circuit` against `t_max_ps`.
+CircuitMetrics measure_metrics(const Circuit& circuit, const CellLibrary& lib,
+                               const VariationModel& var, double t_max_ps);
+
+/// Resets every cell to low Vth at the library's minimum size — the common
+/// starting point of both optimizers.
+void reset_implementation(Circuit& circuit, const CellLibrary& lib);
+
+}  // namespace statleak

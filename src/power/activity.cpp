@@ -1,0 +1,36 @@
+#include "power/activity.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statleak {
+
+std::vector<double> estimate_activity(const Circuit& circuit, int num_vectors,
+                                      std::uint64_t seed) {
+  STATLEAK_CHECK(circuit.finalized(), "activity needs a finalized circuit");
+  STATLEAK_CHECK(num_vectors >= 2, "need at least two vectors");
+
+  Rng rng(seed);
+  std::vector<char> inputs(circuit.inputs().size());
+  for (auto& bit : inputs) bit = rng.uniform_index(2) ? 1 : 0;
+  std::vector<char> prev = simulate(circuit, inputs);
+
+  std::vector<std::int64_t> toggles(circuit.num_gates(), 0);
+  for (int v = 1; v < num_vectors; ++v) {
+    for (auto& bit : inputs) bit = rng.uniform_index(2) ? 1 : 0;
+    const std::vector<char> now = simulate(circuit, inputs);
+    for (GateId id = 0; id < circuit.num_gates(); ++id) {
+      if (now[id] != prev[id]) ++toggles[id];
+    }
+    prev = now;
+  }
+
+  std::vector<double> activity(circuit.num_gates());
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    activity[id] =
+        static_cast<double>(toggles[id]) / static_cast<double>(num_vectors - 1);
+  }
+  return activity;
+}
+
+}  // namespace statleak

@@ -1,0 +1,25 @@
+/// \file activity.hpp
+/// \brief Switching-activity estimation by random-vector simulation.
+///
+/// Dynamic power needs per-net toggle probabilities. statleak estimates
+/// them the classic way: simulate a stream of independent uniform random
+/// input vectors and count output toggles between consecutive vectors.
+/// alpha_i = toggles_i / (vectors - 1) is the per-cycle switching
+/// probability of gate i's output net.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace statleak {
+
+/// Per-gate switching activity (indexed by GateId; primary inputs report
+/// their own toggle rate, ~0.5 under uniform random stimulus).
+/// `num_vectors` >= 2; deterministic per seed.
+std::vector<double> estimate_activity(const Circuit& circuit, int num_vectors,
+                                      std::uint64_t seed = 1);
+
+}  // namespace statleak

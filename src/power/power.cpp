@@ -1,0 +1,53 @@
+#include "power/power.hpp"
+
+#include "leakage/leakage.hpp"
+#include "sta/loads.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+
+double dynamic_power_nw(const Circuit& circuit, const CellLibrary& lib,
+                        std::span<const double> activity,
+                        double frequency_mhz) {
+  STATLEAK_CHECK(circuit.finalized(), "power needs a finalized circuit");
+  STATLEAK_CHECK(activity.size() == circuit.num_gates(),
+                 "one activity value per gate");
+  STATLEAK_CHECK(frequency_mhz > 0.0, "frequency must be positive");
+  const double vdd = lib.node().vdd;
+  double power = 0.0;
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    // Primary inputs drive real capacitance too; their switching is paid by
+    // the upstream driver, which this model charges to the net itself.
+    const double load_ff = output_load_ff(circuit, lib, id);
+    // fF * V^2 * MHz = 1e-15 F * V^2 * 1e6 1/s = 1e-9 W = nW.
+    power += activity[id] * load_ff * vdd * vdd * frequency_mhz;
+  }
+  return power;
+}
+
+double PowerBreakdown::leakage_share() const {
+  const double total = total_mean_nw();
+  return total > 0.0 ? leakage_mean_nw / total : 0.0;
+}
+
+double PowerBreakdown::leakage_share_p99() const {
+  const double total = dynamic_nw + leakage_p99_nw;
+  return total > 0.0 ? leakage_p99_nw / total : 0.0;
+}
+
+PowerBreakdown power_breakdown(const Circuit& circuit, const CellLibrary& lib,
+                               const VariationModel& var,
+                               std::span<const double> activity,
+                               double frequency_mhz) {
+  PowerBreakdown out;
+  out.dynamic_nw = dynamic_power_nw(circuit, lib, activity, frequency_mhz);
+  const LeakageAnalyzer leak(circuit, lib, var);
+  const double vdd = lib.node().vdd;
+  const LeakageDistribution dist = leak.distribution();
+  out.leakage_nominal_nw = leak.nominal_na() * vdd;
+  out.leakage_mean_nw = dist.mean_na * vdd;
+  out.leakage_p99_nw = dist.quantile_na(0.99) * vdd;
+  return out;
+}
+
+}  // namespace statleak

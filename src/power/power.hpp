@@ -1,0 +1,46 @@
+/// \file power.hpp
+/// \brief Dynamic power and the total-power breakdown.
+///
+/// Dynamic power of a net: P = alpha * C_load * Vdd^2 * f (the well-known
+/// CV^2f form; alpha is the per-cycle toggle probability). Leakage power is
+/// the statistical distribution from leakage/. Together they give the
+/// motivation numbers of the leakage-optimization literature: what fraction
+/// of total power leaks, and how that fraction moves with technology,
+/// optimization, and the process-variation tail.
+
+#pragma once
+
+#include <span>
+
+#include "cells/library.hpp"
+#include "netlist/circuit.hpp"
+#include "tech/variation.hpp"
+
+namespace statleak {
+
+/// Dynamic power [nW] of the whole circuit at `frequency_mhz`, given the
+/// per-gate activity vector from estimate_activity().
+double dynamic_power_nw(const Circuit& circuit, const CellLibrary& lib,
+                        std::span<const double> activity,
+                        double frequency_mhz);
+
+/// Full power picture of one implementation.
+struct PowerBreakdown {
+  double dynamic_nw = 0.0;
+  double leakage_nominal_nw = 0.0;
+  double leakage_mean_nw = 0.0;  ///< E[leakage] under variation
+  double leakage_p99_nw = 0.0;   ///< 99th percentile under variation
+
+  double total_mean_nw() const { return dynamic_nw + leakage_mean_nw; }
+  /// Leakage share of mean total power, in [0, 1].
+  double leakage_share() const;
+  /// Leakage share on a 99th-percentile-leakage die.
+  double leakage_share_p99() const;
+};
+
+PowerBreakdown power_breakdown(const Circuit& circuit, const CellLibrary& lib,
+                               const VariationModel& var,
+                               std::span<const double> activity,
+                               double frequency_mhz);
+
+}  // namespace statleak

@@ -1,0 +1,83 @@
+/// \file flow.hpp
+/// \brief The shared experiment flow used by every bench binary.
+///
+/// One experiment row = one circuit pushed through both optimizers at the
+/// same delay target and measured identically:
+///
+///   1. D_min: minimum achievable nominal delay (unconstrained greedy
+///      upsizing), so delay targets can be expressed as T = factor * D_min
+///      exactly as variation-aware sizing papers do.
+///   2. Deterministic baseline: corner-based dual-Vth + sizing. Optionally
+///      the corner is auto-selected as the smallest guard-band whose
+///      solution actually meets the timing-yield target (the honest
+///      iso-yield baseline).
+///   3. Statistical optimizer at the same T and yield target.
+///   4. Metrics for both implementations (SSTA yield, Wilkinson leakage
+///      percentiles), optionally cross-checked by Monte Carlo.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cells/library.hpp"
+#include "netlist/circuit.hpp"
+#include "opt/config.hpp"
+#include "opt/metrics.hpp"
+#include "tech/variation.hpp"
+
+namespace statleak {
+
+struct FlowConfig {
+  double t_max_factor = 1.15;       ///< T = factor * D_min
+  double yield_target = 0.99;       ///< eta
+  double leakage_percentile = 0.99; ///< optimizer objective percentile
+  /// Fixed deterministic guard-band corner; ignored when auto_corner is on.
+  double det_corner_k = 0.0;
+  /// Search k in {0, 1, 2, 3} for the smallest corner whose deterministic
+  /// solution meets eta (measured by SSTA).
+  bool det_auto_corner = false;
+  int mc_samples = 0;  ///< 0 = skip Monte-Carlo cross-check
+  std::uint64_t mc_seed = 7;
+};
+
+struct McCheck {
+  double timing_yield = 0.0;
+  double leakage_mean_na = 0.0;
+  double leakage_p99_na = 0.0;
+};
+
+struct FlowOutcome {
+  std::string circuit_name;
+  double d_min_ps = 0.0;
+  double t_max_ps = 0.0;
+  double det_corner_k = 0.0;  ///< corner actually used by the baseline
+
+  OptResult det_result;
+  OptResult stat_result;
+  CircuitMetrics det_metrics;
+  CircuitMetrics stat_metrics;
+  double det_runtime_s = 0.0;
+  double stat_runtime_s = 0.0;
+
+  bool has_mc = false;
+  McCheck det_mc;
+  McCheck stat_mc;
+
+  /// Relative saving of the statistical flow on the objective percentile:
+  /// (det_p99 - stat_p99) / det_p99.
+  double p99_saving() const;
+  /// Relative saving on mean leakage.
+  double mean_saving() const;
+};
+
+/// Minimum achievable nominal delay: unconstrained greedy upsizing.
+double min_achievable_delay_ps(const Circuit& circuit, const CellLibrary& lib);
+
+/// Runs the full det-vs-stat flow on one circuit. The circuit's
+/// implementation attributes are scratch space; on return it holds the
+/// statistical solution.
+FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
+                     const VariationModel& var, const FlowConfig& config);
+
+}  // namespace statleak

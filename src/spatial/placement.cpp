@@ -1,0 +1,40 @@
+#include "spatial/placement.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statleak {
+
+std::vector<Point> make_topological_placement(const Circuit& circuit,
+                                              std::uint64_t seed) {
+  STATLEAK_CHECK(circuit.finalized(), "placement needs a finalized circuit");
+  const int depth = std::max(1, circuit.depth());
+
+  // Count gates per level to spread them vertically.
+  std::vector<int> level_count(static_cast<std::size_t>(depth) + 1, 0);
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    ++level_count[static_cast<std::size_t>(circuit.level(id))];
+  }
+  std::vector<int> level_cursor(static_cast<std::size_t>(depth) + 1, 0);
+
+  Rng rng(seed);
+  std::vector<Point> placement(circuit.num_gates());
+  for (GateId id : circuit.topo_order()) {
+    const auto lvl = static_cast<std::size_t>(circuit.level(id));
+    const int rank = level_cursor[lvl]++;
+    const int in_level = std::max(1, level_count[lvl]);
+    Point p;
+    p.x = (static_cast<double>(lvl) + 0.5) / (depth + 1);
+    p.y = (static_cast<double>(rank) + 0.5) / in_level;
+    // Jitter decorrelates region boundaries from logic structure while
+    // keeping neighbours near each other.
+    p.x = std::clamp(p.x + rng.uniform(-0.04, 0.04), 0.0, 1.0);
+    p.y = std::clamp(p.y + rng.uniform(-0.04, 0.04), 0.0, 1.0);
+    placement[id] = p;
+  }
+  return placement;
+}
+
+}  // namespace statleak

@@ -1,0 +1,30 @@
+/// \file placement.hpp
+/// \brief Synthetic gate placement for spatial-correlation modeling.
+///
+/// Spatially correlated variation needs gate coordinates. Real placements
+/// come from a placer; statleak synthesizes a structurally faithful one:
+/// gates flow left-to-right by logic level (x = level / depth) and are
+/// spread vertically by their order within the level, with deterministic
+/// jitter so region boundaries are not aligned with logic structure. This
+/// mirrors the standard-row placements the spatial-SSTA literature assumes.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace statleak {
+
+/// A location in the unit square.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One coordinate per gate (indexed by GateId). Deterministic per seed.
+std::vector<Point> make_topological_placement(const Circuit& circuit,
+                                              std::uint64_t seed = 1);
+
+}  // namespace statleak

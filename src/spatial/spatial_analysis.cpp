@@ -1,0 +1,102 @@
+#include "spatial/spatial_analysis.hpp"
+
+#include <cmath>
+
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statleak {
+
+LeakageDistribution spatial_leakage_distribution(
+    const Circuit& circuit, const CellLibrary& lib,
+    const SpatialVariationModel& model, const std::vector<Point>& placement) {
+  model.validate();
+  STATLEAK_CHECK(placement.size() == circuit.num_gates(),
+                 "one placement point per gate");
+  // Marginal moments are those of the flat model (variance budget is
+  // preserved by the spatial split).
+  const LeakageModel margins(lib, model.base);
+  const auto& sens = lib.sensitivities(Vth::kLow);
+  const double cl = sens.leak_cl_per_nm;
+  const double cv = sens.leak_cv_per_v;
+
+  const double cov_global =
+      cl * cl * model.base.sigma_l_inter_nm * model.base.sigma_l_inter_nm +
+      cv * cv * model.base.sigma_vth_inter_v * model.base.sigma_vth_inter_v;
+  const double cov_region =
+      cl * cl * model.sigma_l_region_nm() * model.sigma_l_region_nm() +
+      cv * cv * model.sigma_vth_region_v() * model.sigma_vth_region_v();
+
+  double sum_mean = 0.0;
+  double sum_mean_sq = 0.0;
+  double sum_var = 0.0;
+  std::vector<double> region_mean(
+      static_cast<std::size_t>(model.num_regions()), 0.0);
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& g = circuit.gate(id);
+    if (g.kind == CellKind::kInput) continue;
+    const GateLeakMoments m = margins.gate_moments(g.kind, g.vth, g.size);
+    sum_mean += m.mean_na;
+    sum_mean_sq += m.mean_na * m.mean_na;
+    sum_var += m.var_na2;
+    region_mean[static_cast<std::size_t>(model.region_of(placement[id]))] +=
+        m.mean_na;
+  }
+  double sum_region_sq = 0.0;
+  for (double a : region_mean) sum_region_sq += a * a;
+
+  const double k_global = std::exp(cov_global) - 1.0;
+  const double k_same = std::exp(cov_global + cov_region) - 1.0;
+  const double cross_region =
+      k_global * std::max(0.0, sum_mean * sum_mean - sum_region_sq);
+  const double same_region =
+      k_same * std::max(0.0, sum_region_sq - sum_mean_sq);
+
+  LeakageDistribution dist;
+  dist.mean_na = sum_mean;
+  dist.var_na2 = sum_var + cross_region + same_region;
+  dist.fitted =
+      Lognormal::from_moments(std::max(sum_mean, 1e-12), dist.var_na2);
+  return dist;
+}
+
+McResult run_monte_carlo_spatial(const Circuit& circuit,
+                                 const CellLibrary& lib,
+                                 const SpatialVariationModel& model,
+                                 const std::vector<Point>& placement,
+                                 const McConfig& config) {
+  model.validate();
+  STATLEAK_CHECK(config.num_samples > 0, "need at least one sample");
+  STATLEAK_CHECK(placement.size() == circuit.num_gates(),
+                 "one placement point per gate");
+
+  StaEngine sta(circuit, lib);
+  LeakageAnalyzer leakage(circuit, lib, model.base);
+  Rng rng(config.seed);
+
+  const std::size_t n = circuit.num_gates();
+  std::vector<int> regions(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    regions[id] = model.region_of(placement[id]);
+  }
+
+  std::vector<ParamSample> samples(n);
+  std::vector<double> scratch;
+  McResult result;
+  result.delay_ps.reserve(static_cast<std::size_t>(config.num_samples));
+  result.leakage_na.reserve(static_cast<std::size_t>(config.num_samples));
+
+  for (int s = 0; s < config.num_samples; ++s) {
+    const SpatialDieSample die = sample_spatial_die(model, rng);
+    for (std::size_t id = 0; id < n; ++id) {
+      samples[id] = sample_spatial_gate(model, die, regions[id], rng);
+    }
+    result.delay_ps.push_back(
+        sta.critical_delay_sample_ps(samples, config.exact_delay, scratch));
+    result.leakage_na.push_back(leakage.total_sample_na(samples));
+  }
+  return result;
+}
+
+}  // namespace statleak

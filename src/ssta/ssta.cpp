@@ -1,0 +1,115 @@
+#include "ssta/ssta.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+SstaEngine::SstaEngine(const Circuit& circuit, const CellLibrary& lib,
+                       const VariationModel& var)
+    : circuit_(circuit), lib_(lib), var_(var), loads_(circuit, lib) {
+  var_.validate();
+}
+
+Canonical SstaEngine::gate_delay(GateId id) const {
+  const Gate& g = circuit_.gate(id);
+  Canonical d;
+  if (g.kind == CellKind::kInput) return d;
+  const double d0 = lib_.delay_ps(g.kind, g.vth, g.size, loads_.load_ff(id));
+  const auto& s = lib_.sensitivities(g.vth);
+  d.mean = d0;
+  d.gl = d0 * s.delay_sl_per_nm * var_.sigma_l_inter_nm;
+  d.gv = d0 * s.delay_sv_per_v * var_.sigma_vth_inter_v;
+  const double sigma_vth_intra =
+      var_.sigma_vth_intra_for(lib_.area_um(g.kind, g.size));
+  const double loc_l = d0 * s.delay_sl_per_nm * var_.sigma_l_intra_nm;
+  const double loc_v = d0 * s.delay_sv_per_v * sigma_vth_intra;
+  d.loc = std::sqrt(loc_l * loc_l + loc_v * loc_v);
+  return d;
+}
+
+namespace {
+
+/// Iterated Clark max over a set of canonicals, recording per-operand win
+/// probabilities (approximate: sequential binary-max tightness products).
+Canonical max_with_weights(std::span<const Canonical> operands,
+                           std::vector<double>& weights) {
+  STATLEAK_CHECK(!operands.empty(), "max of nothing");
+  weights.assign(operands.size(), 0.0);
+  Canonical running = operands[0];
+  weights[0] = 1.0;
+  for (std::size_t i = 1; i < operands.size(); ++i) {
+    double tight = 1.0;
+    running = Canonical::max(running, operands[i], &tight);
+    for (std::size_t j = 0; j < i; ++j) weights[j] *= tight;
+    weights[i] = 1.0 - tight;
+  }
+  return running;
+}
+
+}  // namespace
+
+SstaResult SstaEngine::analyze() const {
+  const std::size_t n = circuit_.num_gates();
+  SstaResult r;
+  r.arrival.assign(n, Canonical{});
+  r.criticality.assign(n, 0.0);
+
+  // Per-gate fanin win weights from the forward pass.
+  std::vector<std::vector<double>> win(n);
+  std::vector<Canonical> operands;
+  std::vector<double> weights;
+
+  for (GateId id : circuit_.topo_order()) {
+    const Gate& g = circuit_.gate(id);
+    if (g.kind == CellKind::kInput) continue;  // arrival stays zero
+    operands.clear();
+    for (GateId f : g.fanins) operands.push_back(r.arrival[f]);
+    const Canonical in_max = max_with_weights(operands, weights);
+    win[id] = weights;
+    r.arrival[id] = Canonical::sum(in_max, gate_delay(id));
+  }
+
+  // Circuit delay: max over primary outputs, with sink win weights.
+  operands.clear();
+  for (GateId out : circuit_.outputs()) operands.push_back(r.arrival[out]);
+  std::vector<double> sink_weights;
+  r.circuit_delay = max_with_weights(operands, sink_weights);
+
+  // Backward criticality.
+  for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
+    r.criticality[circuit_.outputs()[i]] += sink_weights[i];
+  }
+  const auto topo = circuit_.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId id = *it;
+    const Gate& g = circuit_.gate(id);
+    if (g.kind == CellKind::kInput || r.criticality[id] == 0.0) continue;
+    for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+      r.criticality[g.fanins[pin]] += r.criticality[id] * win[id][pin];
+    }
+  }
+  return r;
+}
+
+Canonical SstaEngine::circuit_delay() const {
+  const std::size_t n = circuit_.num_gates();
+  std::vector<Canonical> arrival(n);
+  for (GateId id : circuit_.topo_order()) {
+    const Gate& g = circuit_.gate(id);
+    if (g.kind == CellKind::kInput) continue;
+    Canonical in_max = arrival[g.fanins[0]];
+    for (std::size_t pin = 1; pin < g.fanins.size(); ++pin) {
+      in_max = Canonical::max(in_max, arrival[g.fanins[pin]]);
+    }
+    arrival[id] = Canonical::sum(in_max, gate_delay(id));
+  }
+  Canonical out = arrival[circuit_.outputs()[0]];
+  for (std::size_t i = 1; i < circuit_.outputs().size(); ++i) {
+    out = Canonical::max(out, arrival[circuit_.outputs()[i]]);
+  }
+  return out;
+}
+
+}  // namespace statleak

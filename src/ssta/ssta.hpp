@@ -1,0 +1,68 @@
+/// \file ssta.hpp
+/// \brief Block-based statistical static timing analysis.
+///
+/// Forward PERT traversal propagating canonical forms: at each gate, the
+/// fanin arrivals are combined with iterated Clark MAX (recording per-fanin
+/// "win" probabilities), then the gate's own canonical delay is added. The
+/// circuit delay is the Clark MAX over all primary outputs. A backward pass
+/// turns the recorded win probabilities into per-gate criticality — the
+/// probability mass of critical paths through each gate — which the
+/// statistical optimizer uses to price timing cost.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "netlist/circuit.hpp"
+#include "ssta/canonical.hpp"
+#include "sta/loads.hpp"
+#include "tech/variation.hpp"
+
+namespace statleak {
+
+/// Result of one SSTA pass.
+struct SstaResult {
+  std::vector<Canonical> arrival;  ///< per gate
+  Canonical circuit_delay;         ///< max over primary outputs
+  std::vector<double> criticality; ///< per gate, in [0, 1]; sums to ~1 per cut
+
+  /// Timing yield P(D <= t_max) under the Gaussian circuit-delay model.
+  double yield(double t_max_ps) const { return circuit_delay.cdf(t_max_ps); }
+  /// Delay at the given yield (quantile of the circuit delay).
+  double delay_at_yield_ps(double eta) const {
+    return circuit_delay.quantile(eta);
+  }
+};
+
+/// SSTA engine. Holds references; circuit, library and variation model must
+/// outlive it. Shares the LoadCache pattern of StaEngine: call on_resize()
+/// after a gate size change.
+class SstaEngine {
+ public:
+  SstaEngine(const Circuit& circuit, const CellLibrary& lib,
+             const VariationModel& var);
+
+  void on_resize(GateId id) { loads_.on_resize(id); }
+  void rebuild_loads() { loads_.rebuild(); }
+  const LoadCache& loads() const { return loads_; }
+
+  /// Canonical delay of one gate under the variation model.
+  Canonical gate_delay(GateId id) const;
+
+  /// Full analysis with criticality (two passes).
+  SstaResult analyze() const;
+
+  /// Forward-only analysis: circuit-delay canonical without per-gate
+  /// criticality (cheaper; used in the optimizer's accept/reject tests).
+  Canonical circuit_delay() const;
+
+ private:
+  const Circuit& circuit_;
+  const CellLibrary& lib_;
+  const VariationModel& var_;
+  LoadCache loads_;
+};
+
+}  // namespace statleak

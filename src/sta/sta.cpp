@@ -1,0 +1,160 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+double StaResult::worst_slack_ps() const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (double s : slack_ps) worst = std::min(worst, s);
+  return worst;
+}
+
+StaEngine::StaEngine(const Circuit& circuit, const CellLibrary& lib)
+    : circuit_(circuit), lib_(lib), loads_(circuit, lib) {}
+
+double StaEngine::gate_delay_ps(GateId id) const {
+  const Gate& g = circuit_.gate(id);
+  if (g.kind == CellKind::kInput) return 0.0;
+  return lib_.delay_ps(g.kind, g.vth, g.size, loads_.load_ff(id));
+}
+
+double StaEngine::gate_delay_corner_ps(GateId id, const VariationModel& var,
+                                       double k_sigma) const {
+  const Gate& g = circuit_.gate(id);
+  if (g.kind == CellKind::kInput) return 0.0;
+  return lib_.delay_ps(g.kind, g.vth, g.size, loads_.load_ff(id),
+                       k_sigma * var.sigma_l_total_nm(),
+                       k_sigma * var.sigma_vth_total_v());
+}
+
+template <typename DelayFn>
+StaResult StaEngine::analyze_impl(double t_max_ps, DelayFn&& delay) const {
+  const std::size_t n = circuit_.num_gates();
+  StaResult r;
+  r.arrival_ps.assign(n, 0.0);
+  r.required_ps.assign(n, std::numeric_limits<double>::infinity());
+  r.slack_ps.assign(n, 0.0);
+
+  // Cache per-gate delays once: both passes need them.
+  std::vector<double> d(n, 0.0);
+  for (GateId id = 0; id < n; ++id) d[id] = delay(id);
+
+  for (GateId id : circuit_.topo_order()) {
+    double in_arr = 0.0;
+    for (GateId f : circuit_.gate(id).fanins) {
+      in_arr = std::max(in_arr, r.arrival_ps[f]);
+    }
+    r.arrival_ps[id] = in_arr + d[id];
+  }
+
+  r.critical_delay_ps = 0.0;
+  for (GateId out : circuit_.outputs()) {
+    r.critical_delay_ps = std::max(r.critical_delay_ps, r.arrival_ps[out]);
+  }
+
+  for (GateId out : circuit_.outputs()) r.required_ps[out] = t_max_ps;
+  const auto topo = circuit_.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId id = *it;
+    // required at this gate's *output*; propagate to fanins through d[id].
+    const double req_in = r.required_ps[id] - d[id];
+    for (GateId f : circuit_.gate(id).fanins) {
+      r.required_ps[f] = std::min(r.required_ps[f], req_in);
+    }
+  }
+  // Gates with no fanout and not marked output keep +inf required; clamp to
+  // t_max so slack stays meaningful.
+  for (GateId id = 0; id < n; ++id) {
+    if (!std::isfinite(r.required_ps[id])) r.required_ps[id] = t_max_ps;
+    r.slack_ps[id] = r.required_ps[id] - r.arrival_ps[id];
+  }
+  return r;
+}
+
+StaResult StaEngine::analyze(double t_max_ps) const {
+  return analyze_impl(t_max_ps, [this](GateId id) { return gate_delay_ps(id); });
+}
+
+StaResult StaEngine::analyze_corner(double t_max_ps, const VariationModel& var,
+                                    double k_sigma) const {
+  return analyze_impl(t_max_ps, [&](GateId id) {
+    return gate_delay_corner_ps(id, var, k_sigma);
+  });
+}
+
+double StaEngine::critical_delay_ps() const {
+  std::vector<double> arr(circuit_.num_gates(), 0.0);
+  for (GateId id : circuit_.topo_order()) {
+    double in_arr = 0.0;
+    for (GateId f : circuit_.gate(id).fanins) in_arr = std::max(in_arr, arr[f]);
+    arr[id] = in_arr + gate_delay_ps(id);
+  }
+  double worst = 0.0;
+  for (GateId out : circuit_.outputs()) worst = std::max(worst, arr[out]);
+  return worst;
+}
+
+double StaEngine::critical_delay_sample_ps(std::span<const ParamSample> samples,
+                                           bool exact_delay,
+                                           std::vector<double>& scratch) const {
+  const std::size_t n = circuit_.num_gates();
+  STATLEAK_CHECK(samples.size() == n, "one parameter sample per gate");
+  scratch.assign(n, 0.0);
+  for (GateId id : circuit_.topo_order()) {
+    const Gate& g = circuit_.gate(id);
+    double in_arr = 0.0;
+    for (GateId f : g.fanins) in_arr = std::max(in_arr, scratch[f]);
+    double d = 0.0;
+    if (g.kind != CellKind::kInput) {
+      if (exact_delay) {
+        d = lib_.delay_ps(g.kind, g.vth, g.size, loads_.load_ff(id),
+                          samples[id].dl_nm, samples[id].dvth_v);
+      } else {
+        const auto& s = lib_.sensitivities(g.vth);
+        const double mult = 1.0 + s.delay_sl_per_nm * samples[id].dl_nm +
+                            s.delay_sv_per_v * samples[id].dvth_v;
+        d = gate_delay_ps(id) * std::max(0.05, mult);
+      }
+    }
+    scratch[id] = in_arr + d;
+  }
+  double worst = 0.0;
+  for (GateId out : circuit_.outputs()) worst = std::max(worst, scratch[out]);
+  return worst;
+}
+
+std::vector<GateId> StaEngine::critical_path() const {
+  const StaResult r = analyze(0.0);
+  GateId cursor = kInvalidGate;
+  double best = -1.0;
+  for (GateId out : circuit_.outputs()) {
+    if (r.arrival_ps[out] > best) {
+      best = r.arrival_ps[out];
+      cursor = out;
+    }
+  }
+  STATLEAK_CHECK(cursor != kInvalidGate, "circuit has no outputs");
+
+  std::vector<GateId> path;
+  while (cursor != kInvalidGate) {
+    path.push_back(cursor);
+    const Gate& g = circuit_.gate(cursor);
+    GateId next = kInvalidGate;
+    double next_arr = -1.0;
+    for (GateId f : g.fanins) {
+      if (r.arrival_ps[f] > next_arr) {
+        next_arr = r.arrival_ps[f];
+        next = f;
+      }
+    }
+    cursor = next;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace statleak

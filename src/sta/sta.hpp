@@ -1,0 +1,89 @@
+/// \file sta.hpp
+/// \brief Deterministic static timing analysis.
+///
+/// Classic PERT traversal over the gate DAG: arrival times forward, required
+/// times backward, slack per gate, critical-path extraction. Supports three
+/// evaluation modes:
+///
+///   * nominal       — library delays at zero variation,
+///   * corner        — every gate shifted by the same k-sigma worst-case
+///                     (dL, dVth) excursion (the guard-band baseline the
+///                     deterministic optimizer uses),
+///   * per-sample    — each gate gets its own (dL, dVth) draw; used by the
+///                     Monte-Carlo engine, in either first-order (linear
+///                     multiplier) or exact (alpha-power) delay mode.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "netlist/circuit.hpp"
+#include "sta/loads.hpp"
+#include "tech/variation.hpp"
+
+namespace statleak {
+
+/// Result of a full deterministic timing pass.
+struct StaResult {
+  std::vector<double> arrival_ps;   ///< per gate
+  std::vector<double> required_ps;  ///< per gate, w.r.t. the given t_max
+  std::vector<double> slack_ps;     ///< required - arrival
+  double critical_delay_ps = 0.0;   ///< max arrival over primary outputs
+
+  /// Worst slack over all gates.
+  double worst_slack_ps() const;
+};
+
+/// Deterministic STA over a circuit with cached loads. The engine holds
+/// references: circuit and library must outlive it. After the optimizer
+/// mutates a gate's size, call on_resize(); Vth changes need no load update.
+class StaEngine {
+ public:
+  StaEngine(const Circuit& circuit, const CellLibrary& lib);
+
+  const LoadCache& loads() const { return loads_; }
+  void on_resize(GateId id) { loads_.on_resize(id); }
+  void rebuild_loads() { loads_.rebuild(); }
+
+  /// Nominal delay of one gate (pseudo-inputs have zero delay).
+  double gate_delay_ps(GateId id) const;
+
+  /// Gate delay at a global k-sigma corner of the variation model (both dL
+  /// and dVth pushed k standard deviations slow).
+  double gate_delay_corner_ps(GateId id, const VariationModel& var,
+                              double k_sigma) const;
+
+  /// Full nominal analysis against a delay target.
+  StaResult analyze(double t_max_ps) const;
+
+  /// Full corner analysis: all gates at the same k-sigma slow excursion.
+  StaResult analyze_corner(double t_max_ps, const VariationModel& var,
+                           double k_sigma) const;
+
+  /// Nominal critical delay only (no required/slack computation).
+  double critical_delay_ps() const;
+
+  /// Critical delay under per-gate parameter samples. `samples[id]` is the
+  /// total (dL, dVth) of gate id. With `exact_delay` the alpha-power model
+  /// is re-evaluated per gate; otherwise the first-order multiplier
+  /// (1 + sL*dL + sV*dVth) is applied to the nominal delay. `scratch` is
+  /// caller-provided to avoid per-sample allocation in Monte-Carlo loops.
+  double critical_delay_sample_ps(std::span<const ParamSample> samples,
+                                  bool exact_delay,
+                                  std::vector<double>& scratch) const;
+
+  /// Gates of the nominal critical path, input to output.
+  std::vector<GateId> critical_path() const;
+
+ private:
+  template <typename DelayFn>
+  StaResult analyze_impl(double t_max_ps, DelayFn&& delay) const;
+
+  const Circuit& circuit_;
+  const CellLibrary& lib_;
+  LoadCache loads_;
+};
+
+}  // namespace statleak

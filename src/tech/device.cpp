@@ -1,0 +1,60 @@
+#include "tech/device.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+namespace {
+constexpr double kLn10 = 2.302585092994046;
+}
+
+DeviceSensitivities device_sensitivities(const ProcessNode& node, Vth vth) {
+  const double vth_v = node.vth_of(vth);
+  const double overdrive = node.vdd - vth_v;
+  STATLEAK_CHECK(overdrive > 0.0, "vdd must exceed vth");
+  DeviceSensitivities s;
+  s.leak_cl_per_nm = kLn10 * node.vth_rolloff_v_per_nm /
+                     node.subthreshold_slope;
+  s.leak_cv_per_v = kLn10 / node.subthreshold_slope;
+  s.leak_q_per_nm2 = node.leak_quadratic_per_nm2;
+  s.delay_sl_per_nm =
+      1.0 / node.leff_nm + node.alpha * node.vth_rolloff_v_per_nm / overdrive;
+  s.delay_sv_per_v = node.alpha / overdrive;
+  return s;
+}
+
+double subthreshold_current_na(const ProcessNode& node, Vth vth,
+                               double width_um, double dl_nm, double dvth_v) {
+  STATLEAK_CHECK(width_um >= 0.0, "device width must be non-negative");
+  const double vth_eff =
+      node.vth_of(vth) + node.vth_rolloff_v_per_nm * dl_nm + dvth_v;
+  const double exponent = -vth_eff / node.subthreshold_slope;
+  const double quad = node.leak_quadratic_per_nm2 * dl_nm * dl_nm;
+  return node.i0_na_per_um * width_um *
+         std::pow(10.0, exponent) * std::exp(quad);
+}
+
+double drive_current_ua(const ProcessNode& node, Vth vth, double width_um,
+                        double dl_nm, double dvth_v) {
+  STATLEAK_CHECK(width_um >= 0.0, "device width must be non-negative");
+  const double vth_eff =
+      node.vth_of(vth) + node.vth_rolloff_v_per_nm * dl_nm + dvth_v;
+  const double overdrive = node.vdd - vth_eff;
+  STATLEAK_CHECK(overdrive > 0.0,
+                 "effective vth reached vdd — variation sample non-physical");
+  const double length_factor = node.leff_nm / (node.leff_nm + dl_nm);
+  return node.k_drive_ua_per_um * width_um *
+         std::pow(overdrive, node.alpha) * length_factor;
+}
+
+double gate_cap_ff(const ProcessNode& node, double width_um) {
+  return node.cg_ff_per_um * width_um;
+}
+
+double junction_cap_ff(const ProcessNode& node, double width_um) {
+  return node.cj_ff_per_um * width_um;
+}
+
+}  // namespace statleak

@@ -1,0 +1,65 @@
+/// \file device.hpp
+/// \brief Closed-form transistor-level models: sub-threshold leakage and
+///        alpha-power-law drive, with their variation sensitivities.
+///
+/// Leakage (off-state sub-threshold current of a device of width W um):
+///
+///   Ioff(W, vth, dL, dVth)
+///     = i0 * W * 10^(-(Vth + rolloff*dL + dVth) / S) * exp(q * dL^2)
+///
+/// so ln Ioff is linear (plus an optional quadratic term q, default 0) in the
+/// Gaussian parameters — the lognormal-leakage foundation of the paper:
+///
+///   Ioff = Inom * exp(-cL*dL - cV*dVth + q*dL^2),
+///   cL = ln(10) * rolloff / S [1/nm],   cV = ln(10) / S [1/V].
+///
+/// Drive (alpha-power law, Sakurai–Newton):
+///
+///   Id(W, vth, dL, dVth) = k_drive * W * (Vdd - Vth_eff)^alpha * Lnom/L
+///
+/// giving a gate delay d = k_delay * C * Vdd / Id whose first-order relative
+/// sensitivities are
+///
+///   sL = 1/Leff + alpha*rolloff/(Vdd - Vth)  [1/nm]   (slower when L grows)
+///   sV = alpha / (Vdd - Vth)                 [1/V].
+///
+/// Note the built-in anti-correlation: +dL makes a die slower AND less leaky.
+
+#pragma once
+
+#include "tech/process.hpp"
+
+namespace statleak {
+
+/// Variation-sensitivity coefficients of a Vth class under a node. Computed
+/// once per (node, Vth) and reused by the SSTA and leakage engines.
+struct DeviceSensitivities {
+  double leak_cl_per_nm = 0.0;  ///< cL: -d ln(Ioff)/d(dL) [1/nm]
+  double leak_cv_per_v = 0.0;   ///< cV: -d ln(Ioff)/d(dVth) [1/V]
+  double leak_q_per_nm2 = 0.0;  ///< q: optional quadratic exponent [1/nm^2]
+  double delay_sl_per_nm = 0.0; ///< sL: +d ln(delay)/d(dL) [1/nm]
+  double delay_sv_per_v = 0.0;  ///< sV: +d ln(delay)/d(dVth) [1/V]
+};
+
+/// Sensitivities for devices of the given threshold class.
+DeviceSensitivities device_sensitivities(const ProcessNode& node, Vth vth);
+
+/// Off-state sub-threshold current [nA] of a device of width `width_um`.
+/// `dl_nm`/`dvth_v` are that device's total parameter deviations.
+double subthreshold_current_na(const ProcessNode& node, Vth vth,
+                               double width_um, double dl_nm = 0.0,
+                               double dvth_v = 0.0);
+
+/// On-state drive current [uA] of a device of width `width_um` under the
+/// alpha-power law, including Vth roll-off and channel-length modulation of
+/// the deviations.
+double drive_current_ua(const ProcessNode& node, Vth vth, double width_um,
+                        double dl_nm = 0.0, double dvth_v = 0.0);
+
+/// Gate (input) capacitance [fF] of a device of width `width_um`.
+double gate_cap_ff(const ProcessNode& node, double width_um);
+
+/// Drain junction capacitance [fF] of a device of width `width_um`.
+double junction_cap_ff(const ProcessNode& node, double width_um);
+
+}  // namespace statleak

@@ -1,0 +1,57 @@
+#include "tech/process.hpp"
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+const char* to_string(Vth vth) { return vth == Vth::kLow ? "LVT" : "HVT"; }
+
+void ProcessNode::validate() const {
+  STATLEAK_CHECK(vdd > 0.0, "vdd must be positive");
+  STATLEAK_CHECK(leff_nm > 0.0, "leff must be positive");
+  STATLEAK_CHECK(vth_low > 0.0 && vth_high > vth_low,
+                 "need 0 < vth_low < vth_high");
+  STATLEAK_CHECK(vth_high < vdd, "vth_high must be below vdd");
+  STATLEAK_CHECK(subthreshold_slope > 0.0, "subthreshold slope must be > 0");
+  STATLEAK_CHECK(i0_na_per_um > 0.0, "leakage prefactor must be positive");
+  STATLEAK_CHECK(vth_rolloff_v_per_nm >= 0.0, "roll-off must be >= 0");
+  STATLEAK_CHECK(alpha >= 1.0 && alpha <= 2.0,
+                 "alpha-power index must be in [1, 2]");
+  STATLEAK_CHECK(k_drive_ua_per_um > 0.0, "drive constant must be positive");
+  STATLEAK_CHECK(k_delay > 0.0, "delay constant must be positive");
+  STATLEAK_CHECK(cg_ff_per_um > 0.0 && cj_ff_per_um >= 0.0,
+                 "capacitances must be positive");
+  STATLEAK_CHECK(wn_unit_um > 0.0 && pn_ratio > 0.0,
+                 "unit geometry must be positive");
+}
+
+ProcessNode generic_100nm() {
+  ProcessNode node;
+  node.name = "generic-100nm";
+  // Defaults in the struct are the 100 nm calibration.
+  node.validate();
+  return node;
+}
+
+ProcessNode generic_70nm() {
+  ProcessNode node;
+  node.name = "generic-70nm";
+  node.vdd = 1.0;
+  node.leff_nm = 42.0;
+  node.vth_low = 0.18;
+  node.vth_high = 0.29;
+  node.subthreshold_slope = 0.105;   // hotter, worse electrostatics
+  node.i0_na_per_um = 6000.0;        // leakier baseline
+  node.vth_rolloff_v_per_nm = 0.0016;  // steeper roll-off at shorter L
+  node.alpha = 1.25;
+  node.k_drive_ua_per_um = 750.0;
+  node.cg_ff_per_um = 1.25;
+  node.cj_ff_per_um = 0.85;
+  node.cw_fixed_ff = 0.45;
+  node.cw_per_fanout_ff = 0.20;
+  node.wn_unit_um = 0.35;
+  node.validate();
+  return node;
+}
+
+}  // namespace statleak

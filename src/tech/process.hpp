@@ -1,0 +1,89 @@
+/// \file process.hpp
+/// \brief Technology-node description for a generic dual-Vth CMOS process.
+///
+/// The DAC'04 paper calibrates against a Berkeley Predictive Technology Model
+/// (BPTM) 100 nm-class process. Those SPICE decks are not redistributable
+/// here, so statleak ships closed-form device models parameterized by the
+/// published headline constants of such a node (Vdd, Leff, sub-threshold
+/// slope, dual-Vth values, drive strength, caps). See DESIGN.md §3 for the
+/// substitution argument: the optimization consumes only
+/// (delay, leakage) = f(size, Vth, load, dL, dVth), and these closed forms
+/// preserve the functional sensitivities that drive every conclusion —
+/// delay linear in dL/dVth, leakage exponential in them.
+///
+/// Unit conventions used throughout statleak:
+///   length nm · width um · capacitance fF · time ps · leakage current nA ·
+///   drive current uA · voltage V · leakage power nW.
+
+#pragma once
+
+#include <string>
+
+namespace statleak {
+
+/// Threshold-voltage class of a cell. The dual-Vth flow assigns each gate to
+/// one of exactly two classes.
+enum class Vth { kLow, kHigh };
+
+/// Short display name ("LVT" / "HVT").
+const char* to_string(Vth vth);
+
+/// All parameters of a technology node consumed by the device models.
+struct ProcessNode {
+  std::string name;
+
+  double vdd = 1.2;              ///< supply voltage [V]
+  double leff_nm = 60.0;         ///< nominal effective channel length [nm]
+  double temperature_k = 373.0;  ///< analysis temperature [K] (100 C)
+
+  // --- dual-Vth corners -----------------------------------------------
+  double vth_low = 0.20;   ///< low (fast, leaky) threshold [V]
+  double vth_high = 0.32;  ///< high (slow, low-leakage) threshold [V]
+
+  // --- sub-threshold leakage ------------------------------------------
+  /// Sub-threshold swing S [V/decade] at the analysis temperature.
+  double subthreshold_slope = 0.100;
+  /// Leakage prefactor: Ioff of a 1 um-wide device extrapolated to Vth = 0
+  /// [nA/um]. Calibrated so a 100 nm-class LVT device leaks ~30 nA/um.
+  double i0_na_per_um = 3000.0;
+  /// Vth roll-off slope dVth/dL [V/nm]: shorter channel -> lower Vth ->
+  /// exponentially higher leakage. Positive value; Vth_eff = Vth + rolloff*dL.
+  double vth_rolloff_v_per_nm = 0.0010;
+  /// Optional second-order channel-length exponent [1/nm^2] in
+  /// ln Ioff = ln Inom - cL*dL - cV*dVth + q*dL^2. Zero in the canonical
+  /// linear-exponent (lognormal) model; exercised by the ablation bench.
+  double leak_quadratic_per_nm2 = 0.0;
+
+  // --- drive / delay ----------------------------------------------------
+  double alpha = 1.30;          ///< alpha-power-law velocity-saturation index
+  double k_drive_ua_per_um = 600.0;  ///< Idsat of 1 um LVT device / (Vdd-Vth)^alpha [uA/um/V^alpha]
+  double k_delay = 0.69;        ///< delay fitting constant (RC-style 0.69)
+
+  // --- capacitance -------------------------------------------------------
+  double cg_ff_per_um = 1.50;    ///< gate input capacitance [fF/um]
+  double cj_ff_per_um = 1.00;    ///< drain junction capacitance [fF/um]
+  double cw_fixed_ff = 0.60;     ///< fixed wire capacitance per net [fF]
+  double cw_per_fanout_ff = 0.25;  ///< incremental wire cap per fanout [fF]
+
+  // --- geometry ----------------------------------------------------------
+  double wn_unit_um = 0.5;  ///< NMOS width of the unit (size-1) inverter [um]
+  double pn_ratio = 1.8;    ///< PMOS/NMOS width ratio of all cells
+
+  /// Threshold voltage of the given class [V].
+  double vth_of(Vth vth) const {
+    return vth == Vth::kLow ? vth_low : vth_high;
+  }
+
+  /// Throws statleak::Error if any parameter is non-physical.
+  void validate() const;
+};
+
+/// Generic 100 nm-class node (BPTM/ITRS-2003-era constants). The default
+/// technology for all experiments.
+ProcessNode generic_100nm();
+
+/// Generic 70 nm-class node: scaled Vdd/Leff, steeper roll-off, leakier.
+/// Used to show trends across nodes.
+ProcessNode generic_70nm();
+
+}  // namespace statleak

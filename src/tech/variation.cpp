@@ -1,0 +1,53 @@
+#include "tech/variation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statleak {
+
+void VariationModel::validate() const {
+  STATLEAK_CHECK(sigma_l_inter_nm >= 0.0 && sigma_l_intra_nm >= 0.0 &&
+                     sigma_vth_inter_v >= 0.0 && sigma_vth_intra_v >= 0.0,
+                 "variation sigmas must be non-negative");
+}
+
+VariationModel VariationModel::none() {
+  return VariationModel{0.0, 0.0, 0.0, 0.0};
+}
+
+VariationModel VariationModel::typical_100nm() { return VariationModel{}; }
+
+VariationModel VariationModel::scaled(double factor) const {
+  STATLEAK_CHECK(factor >= 0.0, "scale factor must be non-negative");
+  VariationModel out = *this;  // preserves the Pelgrom configuration
+  out.sigma_l_inter_nm *= factor;
+  out.sigma_l_intra_nm *= factor;
+  out.sigma_vth_inter_v *= factor;
+  out.sigma_vth_intra_v *= factor;
+  return out;
+}
+
+GlobalSample sample_global(const VariationModel& model, Rng& rng) {
+  return GlobalSample{rng.normal(0.0, model.sigma_l_inter_nm),
+                      rng.normal(0.0, model.sigma_vth_inter_v)};
+}
+
+double VariationModel::sigma_vth_intra_for(double device_width_um) const {
+  if (!pelgrom_vth_scaling || device_width_um <= 0.0) {
+    return sigma_vth_intra_v;
+  }
+  return sigma_vth_intra_v *
+         std::sqrt(pelgrom_ref_width_um / device_width_um);
+}
+
+ParamSample sample_gate(const VariationModel& model, const GlobalSample& g,
+                        Rng& rng, double device_width_um) {
+  return ParamSample{
+      g.dl_nm + rng.normal(0.0, model.sigma_l_intra_nm),
+      g.dvth_v +
+          rng.normal(0.0, model.sigma_vth_intra_for(device_width_um))};
+}
+
+}  // namespace statleak

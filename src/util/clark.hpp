@@ -1,0 +1,28 @@
+/// \file clark.hpp
+/// \brief Clark's moment matching for the maximum of two correlated Gaussians.
+///
+/// C. E. Clark, "The greatest of a finite set of random variables,"
+/// Operations Research, 1961 — the workhorse of block-based SSTA. Given
+/// X ~ N(m1, s1^2), Y ~ N(m2, s2^2) with correlation rho, computes the first
+/// two moments of max(X, Y) and the tightness probability P(X >= Y).
+
+#pragma once
+
+namespace statleak {
+
+/// Moments of max(X, Y) plus the probability that X dominates.
+struct ClarkMax {
+  double mean = 0.0;
+  double variance = 0.0;
+  /// P(X >= Y): the probability that the first operand is the larger one.
+  /// SSTA uses this to blend sensitivity coefficients of the two operands.
+  double tightness = 1.0;
+};
+
+/// Computes Clark's approximation of max(X, Y).
+/// Handles the degenerate theta == 0 case (perfectly tracking operands) by
+/// selecting the operand with the larger mean. rho must be in [-1, 1].
+ClarkMax clark_max(double mean1, double var1, double mean2, double var2,
+                   double rho);
+
+}  // namespace statleak

@@ -1,0 +1,55 @@
+/// \file error.hpp
+/// \brief Error handling primitives shared across all statleak libraries.
+///
+/// The library reports contract violations and malformed inputs by throwing
+/// statleak::Error (a std::runtime_error). Hot inner loops use the
+/// STATLEAK_ASSERT macro, which compiles to nothing in NDEBUG builds.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace statleak {
+
+/// Exception thrown for malformed inputs, contract violations, and
+/// unsatisfiable requests (e.g. a timing constraint below the minimum
+/// achievable delay).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(std::string_view file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+/// Always-on check: throws statleak::Error with file/line context when the
+/// condition is false. Use for input validation on public API boundaries.
+#define STATLEAK_CHECK(cond, msg)                                   \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::statleak::detail::throw_error(__FILE__, __LINE__,           \
+                                      std::string("check failed: " \
+                                                  #cond " — ") +    \
+                                          (msg));                   \
+    }                                                               \
+  } while (false)
+
+/// Debug-only assertion for internal invariants on hot paths.
+#ifdef NDEBUG
+#define STATLEAK_ASSERT(cond, msg) ((void)0)
+#else
+#define STATLEAK_ASSERT(cond, msg) STATLEAK_CHECK(cond, msg)
+#endif
+
+}  // namespace statleak

@@ -1,0 +1,40 @@
+#include "util/lognormal.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/normal.hpp"
+
+namespace statleak {
+
+double Lognormal::mean() const { return std::exp(mu + 0.5 * sigma2); }
+
+double Lognormal::variance() const {
+  return (std::exp(sigma2) - 1.0) * std::exp(2.0 * mu + sigma2);
+}
+
+double Lognormal::stddev() const { return std::sqrt(variance()); }
+
+double Lognormal::median() const { return std::exp(mu); }
+
+double Lognormal::quantile(double p) const {
+  return std::exp(mu + std::sqrt(sigma2) * normal_inverse_cdf(p));
+}
+
+double Lognormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (sigma2 <= 0.0) return std::log(x) >= mu ? 1.0 : 0.0;
+  return normal_cdf((std::log(x) - mu) / std::sqrt(sigma2));
+}
+
+Lognormal Lognormal::from_moments(double mean, double variance) {
+  STATLEAK_CHECK(mean > 0.0, "lognormal mean must be positive");
+  STATLEAK_CHECK(variance >= 0.0, "variance must be non-negative");
+  Lognormal ln;
+  // sigma2 = ln(1 + Var/mean^2), mu = ln(mean) - sigma2/2 (moment inversion).
+  ln.sigma2 = std::log1p(variance / (mean * mean));
+  ln.mu = std::log(mean) - 0.5 * ln.sigma2;
+  return ln;
+}
+
+}  // namespace statleak

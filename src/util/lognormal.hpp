@@ -1,0 +1,37 @@
+/// \file lognormal.hpp
+/// \brief Lognormal distribution utilities.
+///
+/// Sub-threshold leakage is exponential in Gaussian process parameters, so a
+/// gate's leakage current is lognormal: I = exp(N) with N ~ N(mu, sigma^2).
+/// This header provides conversions between the (mu, sigma) "log-space"
+/// parameterization and linear-space moments, plus percentile queries —
+/// everything the Wilkinson sum (leakage/wilkinson.hpp) and the statistical
+/// optimizer need.
+
+#pragma once
+
+namespace statleak {
+
+/// A lognormal random variable X = exp(N), N ~ N(mu, sigma2).
+struct Lognormal {
+  double mu = 0.0;      ///< mean of the underlying normal
+  double sigma2 = 0.0;  ///< variance of the underlying normal
+
+  /// E[X] = exp(mu + sigma2/2).
+  double mean() const;
+  /// Var[X] = (exp(sigma2) - 1) exp(2 mu + sigma2).
+  double variance() const;
+  double stddev() const;
+  /// Median exp(mu).
+  double median() const;
+  /// p-quantile: exp(mu + sigma * Phi^-1(p)).
+  double quantile(double p) const;
+  /// P(X <= x) for x > 0; 0 for x <= 0.
+  double cdf(double x) const;
+
+  /// Builds a lognormal matching the given linear-space mean and variance.
+  /// mean must be positive; variance non-negative.
+  static Lognormal from_moments(double mean, double variance);
+};
+
+}  // namespace statleak

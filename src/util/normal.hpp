@@ -1,0 +1,29 @@
+/// \file normal.hpp
+/// \brief Standard normal distribution functions: pdf, cdf, inverse cdf.
+///
+/// The SSTA engine (Clark's MAX), yield computation P(D <= T), and lognormal
+/// percentile queries all reduce to these three functions. The inverse CDF
+/// uses Acklam's rational approximation refined with one Halley step, giving
+/// ~1e-15 relative accuracy — more than enough to resolve 99.9% yield targets.
+
+#pragma once
+
+namespace statleak {
+
+/// Standard normal probability density phi(x).
+double normal_pdf(double x);
+
+/// Standard normal cumulative distribution Phi(x), accurate in both tails
+/// (implemented with erfc to avoid cancellation for x << 0).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF. Requires p in (0, 1); throws otherwise.
+double normal_inverse_cdf(double p);
+
+/// P(X <= x) for X ~ N(mean, stddev^2). stddev == 0 degenerates to a step.
+double normal_cdf(double x, double mean, double stddev);
+
+/// Quantile of N(mean, stddev^2).
+double normal_quantile(double p, double mean, double stddev);
+
+}  // namespace statleak

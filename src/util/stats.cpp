@@ -1,0 +1,165 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  STATLEAK_CHECK(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  STATLEAK_CHECK(count_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  STATLEAK_CHECK(count_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  STATLEAK_CHECK(!sorted.empty(), "quantile of empty data");
+  STATLEAK_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::span<const double> data, double q) {
+  std::vector<double> copy(data.begin(), data.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+SampleSummary summarize(std::span<const double> data) {
+  STATLEAK_CHECK(!data.empty(), "summarize of empty data");
+  std::vector<double> copy(data.begin(), data.end());
+  std::sort(copy.begin(), copy.end());
+  RunningStats rs;
+  for (double x : copy) rs.add(x);
+  SampleSummary s;
+  s.count = data.size();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = copy.front();
+  s.max = copy.back();
+  s.p50 = quantile_sorted(copy, 0.50);
+  s.p95 = quantile_sorted(copy, 0.95);
+  s.p99 = quantile_sorted(copy, 0.99);
+  return s;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  STATLEAK_CHECK(x.size() == y.size(), "correlation: size mismatch");
+  STATLEAK_CHECK(x.size() >= 2, "correlation needs at least two points");
+  const double mx = mean_of(x);
+  const double my = mean_of(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom == 0.0) return 0.0;
+  return sxy / denom;
+}
+
+double mean_of(std::span<const double> data) {
+  STATLEAK_CHECK(!data.empty(), "mean of empty data");
+  double sum = 0.0;
+  for (double x : data) sum += x;
+  return sum / static_cast<double>(data.size());
+}
+
+double stddev_of(std::span<const double> data) {
+  if (data.size() < 2) return 0.0;
+  RunningStats rs;
+  for (double x : data) rs.add(x);
+  return rs.stddev();
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t nbins)
+    : lo(lo_), hi(hi_), bins(nbins, 0) {
+  STATLEAK_CHECK(nbins > 0, "histogram needs at least one bin");
+  STATLEAK_CHECK(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo) / (hi - lo);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins.size()) - 1);
+  ++bins[static_cast<std::size_t>(idx)];
+}
+
+std::size_t Histogram::total() const {
+  std::size_t n = 0;
+  for (auto b : bins) n += b;
+  return n;
+}
+
+double Histogram::center(std::size_t i) const {
+  STATLEAK_CHECK(i < bins.size(), "histogram bin out of range");
+  const double width = (hi - lo) / static_cast<double>(bins.size());
+  return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+double Histogram::density(std::size_t i) const {
+  STATLEAK_CHECK(i < bins.size(), "histogram bin out of range");
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  const double width = (hi - lo) / static_cast<double>(bins.size());
+  return static_cast<double>(bins[i]) / (static_cast<double>(n) * width);
+}
+
+}  // namespace statleak

@@ -1,0 +1,84 @@
+/// \file stats.hpp
+/// \brief Streaming and batch descriptive statistics.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace statleak {
+
+/// Numerically stable streaming mean/variance accumulator (Welford), also
+/// tracking min/max. Suitable for millions of Monte-Carlo samples.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample set, as reported in experiment tables.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Linear-interpolated quantile of an unsorted sample (copies + sorts).
+/// q must be in [0, 1]; throws on empty data.
+double quantile(std::span<const double> data, double q);
+
+/// Quantile of data already sorted ascending (no copy).
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Full summary (one sort, many quantiles).
+SampleSummary summarize(std::span<const double> data);
+
+/// Pearson correlation coefficient; throws if sizes differ or n < 2.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+/// Mean of a sample; throws on empty data.
+double mean_of(std::span<const double> data);
+
+/// Unbiased sample standard deviation; 0 for n < 2.
+double stddev_of(std::span<const double> data);
+
+/// Equal-width histogram over [lo, hi]; values outside are clamped to the
+/// boundary bins. Used by the distribution-figure benches.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> bins;
+
+  Histogram(double lo_, double hi_, std::size_t nbins);
+  void add(double x);
+  std::size_t total() const;
+  /// Bin center of bin i.
+  double center(std::size_t i) const;
+  /// Normalized density of bin i (integrates to ~1 over [lo, hi]).
+  double density(std::size_t i) const;
+};
+
+}  // namespace statleak

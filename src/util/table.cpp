@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  STATLEAK_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::begin_row() { rows_.emplace_back(); }
+
+void Table::add(std::string cell) {
+  STATLEAK_CHECK(!rows_.empty(), "call begin_row before add");
+  STATLEAK_CHECK(rows_.back().size() < header_.size(),
+                 "row has more cells than header columns");
+  rows_.back().push_back(std::move(cell));
+}
+
+void Table::add(double value, int precision) {
+  add(format_fixed(value, precision));
+}
+
+void Table::add_int(long long value) { add(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (char ch : cell) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << cell;
+    }
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) os << ',';
+      if (c < row.size()) emit_cell(row[c]);
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string format_si(double value, const std::string& unit, int precision) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix prefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}};
+  const double mag = std::fabs(value);
+  for (const auto& p : prefixes) {
+    if (mag >= p.scale || p.scale == 1e-15) {
+      return format_fixed(value / p.scale, precision) + " " + p.name + unit;
+    }
+  }
+  return format_fixed(value, precision) + " " + unit;
+}
+
+}  // namespace statleak

@@ -1,0 +1,53 @@
+/// \file table.hpp
+/// \brief Minimal table formatter for experiment output.
+///
+/// The benchmark harness prints every reproduced table/figure as an aligned
+/// plain-text table (and optionally CSV) so EXPERIMENTS.md rows can be pasted
+/// straight from bench output.
+
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace statleak {
+
+/// A simple row-oriented table with a header. Cells are strings; numeric
+/// helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new empty row.
+  void begin_row();
+  /// Appends a string cell to the current row.
+  void add(std::string cell);
+  /// Appends a formatted number (fixed, `precision` digits).
+  void add(double value, int precision = 3);
+  /// Appends an integer cell.
+  void add_int(long long value);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+  /// Renders as an aligned ASCII table.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (RFC-4180-ish: cells containing commas/quotes get
+  /// quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision into a string.
+std::string format_fixed(double value, int precision);
+
+/// Formats a double in engineering style with an SI prefix (e.g. 1.23e-9 A
+/// -> "1.23 nA" when unit == "A").
+std::string format_si(double value, const std::string& unit, int precision = 3);
+
+}  // namespace statleak

@@ -1,0 +1,243 @@
+// Unit tests for the .bench reader/writer, including the ISCAS85 c17
+// benchmark (small enough to embed and verify exhaustively), wide-operator
+// decomposition, forward references, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "netlist/bench_io.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+namespace {
+
+// The canonical ISCAS85 c17 netlist.
+const char* kC17 = R"(
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+/// Reference model of c17.
+std::pair<bool, bool> c17_reference(bool i1, bool i2, bool i3, bool i6,
+                                    bool i7) {
+  const bool n10 = !(i1 && i3);
+  const bool n11 = !(i3 && i6);
+  const bool n16 = !(i2 && n11);
+  const bool n19 = !(n11 && i7);
+  return {!(n10 && n16), !(n16 && n19)};
+}
+
+TEST(BenchReader, C17Structure) {
+  const Circuit c = read_bench_string(kC17, "c17");
+  EXPECT_EQ(c.name(), "c17");
+  EXPECT_EQ(c.inputs().size(), 5u);
+  EXPECT_EQ(c.outputs().size(), 2u);
+  EXPECT_EQ(c.num_cells(), 6u);
+  EXPECT_EQ(c.depth(), 3);
+  EXPECT_EQ(c.gate(c.find("10")).kind, CellKind::kNand2);
+}
+
+TEST(BenchReader, C17ExhaustiveFunctional) {
+  const Circuit c = read_bench_string(kC17, "c17");
+  const GateId o22 = c.find("22");
+  const GateId o23 = c.find("23");
+  for (int bits = 0; bits < 32; ++bits) {
+    std::vector<char> in(5);
+    for (int i = 0; i < 5; ++i) in[i] = (bits >> i) & 1;
+    const auto values = simulate(c, in);
+    const auto [r22, r23] =
+        c17_reference(in[0], in[1], in[2], in[3], in[4]);
+    EXPECT_EQ(values[o22] != 0, r22) << "bits=" << bits;
+    EXPECT_EQ(values[o23] != 0, r23) << "bits=" << bits;
+  }
+}
+
+TEST(BenchReader, ForwardReferencesAllowed) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(x)      # x defined later
+x = NOT(a)
+)";
+  const Circuit c = read_bench_string(text, "fwd");
+  EXPECT_EQ(c.num_cells(), 2u);
+  const std::vector<char> in = {1};
+  EXPECT_EQ(simulate(c, in)[c.find("y")], 1);
+}
+
+TEST(BenchReader, CaseInsensitiveOperators) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = nand(a, b)
+)";
+  const Circuit c = read_bench_string(text, "ci");
+  EXPECT_EQ(c.gate(c.find("y")).kind, CellKind::kNand2);
+}
+
+TEST(BenchReader, AllNativeOperators) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(o1)
+OUTPUT(o2)
+n1 = NOT(a)
+n2 = BUFF(b)
+n3 = AND(a, b)
+n4 = OR(c, d)
+n5 = NAND(a, b, c)
+n6 = NOR(a, b, c, d)
+n7 = XOR(a, b)
+n8 = XNOR(c, d)
+o1 = AND(n1, n2, n3)
+o2 = OR(n4, n5, n6, n7, n8)
+)";
+  const Circuit c = read_bench_string(text, "ops");
+  EXPECT_EQ(c.gate(c.find("n1")).kind, CellKind::kInv);
+  EXPECT_EQ(c.gate(c.find("n2")).kind, CellKind::kBuf);
+  EXPECT_EQ(c.gate(c.find("n3")).kind, CellKind::kAnd2);
+  EXPECT_EQ(c.gate(c.find("n5")).kind, CellKind::kNand3);
+  EXPECT_EQ(c.gate(c.find("n6")).kind, CellKind::kNor4);
+  EXPECT_EQ(c.gate(c.find("n7")).kind, CellKind::kXor2);
+  EXPECT_EQ(c.gate(c.find("o1")).kind, CellKind::kAnd3);
+}
+
+/// Wide-operator decomposition must preserve functionality.
+class WideOpTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WideOpTest, DecomposedEquivalence) {
+  const std::string op = GetParam();
+  const int width = 6;
+  std::string text;
+  for (int i = 0; i < width; ++i) {
+    text += "INPUT(i" + std::to_string(i) + ")\n";
+  }
+  text += "OUTPUT(y)\ny = " + op + "(";
+  for (int i = 0; i < width; ++i) {
+    if (i) text += ", ";
+    text += "i" + std::to_string(i);
+  }
+  text += ")\n";
+
+  const Circuit c = read_bench_string(text, "wide");
+  const GateId y = c.find("y");
+  for (int bits = 0; bits < (1 << width); ++bits) {
+    std::vector<char> in(width);
+    int ones = 0;
+    for (int i = 0; i < width; ++i) {
+      in[i] = (bits >> i) & 1;
+      ones += in[i];
+    }
+    bool expected = false;
+    if (op == "AND") expected = ones == width;
+    if (op == "NAND") expected = ones != width;
+    if (op == "OR") expected = ones > 0;
+    if (op == "NOR") expected = ones == 0;
+    if (op == "XOR") expected = (ones % 2) == 1;
+    if (op == "XNOR") expected = (ones % 2) == 0;
+    EXPECT_EQ(simulate(c, in)[y] != 0, expected)
+        << op << " bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWideOps, WideOpTest,
+                         ::testing::Values("AND", "NAND", "OR", "NOR", "XOR",
+                                           "XNOR"));
+
+TEST(BenchReader, Errors) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n", "t"),
+               Error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "t"),
+               Error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = NOT(missing)\n",
+                                 "t"),
+               Error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\n", "t"), Error);
+  EXPECT_THROW(read_bench_string("garbage line\n", "t"), Error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n", "t"),
+               Error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n", "t"),
+               Error);
+}
+
+TEST(BenchReader, ErrorMentionsLineNumber) {
+  try {
+    read_bench_string("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "t");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchReader, MissingFileThrows) {
+  EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), Error);
+}
+
+TEST(BenchWriter, RoundTripPreservesFunction) {
+  const Circuit original = read_bench_string(kC17, "c17");
+  const std::string text = write_bench_string(original);
+  const Circuit reparsed = read_bench_string(text, "c17rt");
+  ASSERT_EQ(reparsed.inputs().size(), original.inputs().size());
+  const GateId o22a = original.find("22");
+  const GateId o22b = reparsed.find("22");
+  const GateId o23a = original.find("23");
+  const GateId o23b = reparsed.find("23");
+  for (int bits = 0; bits < 32; ++bits) {
+    std::vector<char> in(5);
+    for (int i = 0; i < 5; ++i) in[i] = (bits >> i) & 1;
+    const auto va = simulate(original, in);
+    const auto vb = simulate(reparsed, in);
+    EXPECT_EQ(va[o22a], vb[o22b]);
+    EXPECT_EQ(va[o23a], vb[o23b]);
+  }
+}
+
+TEST(BenchWriter, DecomposesInexpressibleKinds) {
+  // AOI21, OAI21 and MUX2 have no .bench operator; the writer must emit a
+  // logically equivalent decomposition.
+  Circuit c("complexcells");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId s = c.add_input("s");
+  const GateId aoi = c.add_gate("aoi", CellKind::kAoi21, {a, b, s});
+  const GateId oai = c.add_gate("oai", CellKind::kOai21, {a, b, s});
+  const GateId mux = c.add_gate("mux", CellKind::kMux2, {a, b, s});
+  c.mark_output(aoi);
+  c.mark_output(oai);
+  c.mark_output(mux);
+  c.finalize();
+
+  const Circuit reparsed =
+      read_bench_string(write_bench_string(c), "roundtrip");
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<char> in(3);
+    for (int i = 0; i < 3; ++i) in[i] = (bits >> i) & 1;
+    const auto va = simulate(c, in);
+    const auto vb = simulate(reparsed, in);
+    EXPECT_EQ(va[aoi], vb[reparsed.find("aoi")]) << bits;
+    EXPECT_EQ(va[oai], vb[reparsed.find("oai")]) << bits;
+    EXPECT_EQ(va[mux], vb[reparsed.find("mux")]) << bits;
+  }
+}
+
+}  // namespace
+}  // namespace statleak

@@ -1,0 +1,287 @@
+// Unit tests for statleak_cells: kind traits, boolean evaluation, stage
+// specs, and the synthesized library (delay / cap / leakage / area).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/cell_kind.hpp"
+#include "cells/library.hpp"
+#include "cells/topology.hpp"
+#include "tech/process.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+namespace {
+
+TEST(CellKind, InfoLookups) {
+  EXPECT_EQ(to_string(CellKind::kNand2), "NAND2");
+  EXPECT_EQ(cell_info(CellKind::kNand2).fanin, 2);
+  EXPECT_EQ(cell_info(CellKind::kInv).fanin, 1);
+  EXPECT_EQ(cell_info(CellKind::kMux2).fanin, 3);
+  EXPECT_EQ(cell_info(CellKind::kInput).fanin, 0);
+}
+
+TEST(CellKind, AllKindsExcludesInput) {
+  const auto kinds = all_cell_kinds();
+  EXPECT_EQ(kinds.size(), kNumCellKinds - 1);
+  for (CellKind k : kinds) EXPECT_NE(k, CellKind::kInput);
+}
+
+TEST(CellKind, LogicalEffortOrdering) {
+  // NOR has worse logical effort than NAND of the same fanin (series pMOS).
+  EXPECT_GT(cell_info(CellKind::kNor2).logical_effort,
+            cell_info(CellKind::kNand2).logical_effort);
+  EXPECT_GT(cell_info(CellKind::kNand3).logical_effort,
+            cell_info(CellKind::kNand2).logical_effort);
+  EXPECT_EQ(cell_info(CellKind::kInv).logical_effort, 1.0);
+}
+
+TEST(CellEvaluate, TruthTables) {
+  // NAND2
+  EXPECT_TRUE(evaluate(CellKind::kNand2, 0b00));
+  EXPECT_TRUE(evaluate(CellKind::kNand2, 0b01));
+  EXPECT_TRUE(evaluate(CellKind::kNand2, 0b10));
+  EXPECT_FALSE(evaluate(CellKind::kNand2, 0b11));
+  // NOR2
+  EXPECT_TRUE(evaluate(CellKind::kNor2, 0b00));
+  EXPECT_FALSE(evaluate(CellKind::kNor2, 0b01));
+  // XOR2 / XNOR2
+  EXPECT_FALSE(evaluate(CellKind::kXor2, 0b00));
+  EXPECT_TRUE(evaluate(CellKind::kXor2, 0b01));
+  EXPECT_TRUE(evaluate(CellKind::kXnor2, 0b11));
+  // AOI21: !((a&b)|c) — pins (a,b,c)
+  EXPECT_TRUE(evaluate(CellKind::kAoi21, 0b000));
+  EXPECT_FALSE(evaluate(CellKind::kAoi21, 0b011));  // a=b=1
+  EXPECT_FALSE(evaluate(CellKind::kAoi21, 0b100));  // c=1
+  EXPECT_TRUE(evaluate(CellKind::kAoi21, 0b001));   // a=1 only
+  // OAI21: !((a|b)&c)
+  EXPECT_TRUE(evaluate(CellKind::kOai21, 0b011));   // c=0
+  EXPECT_FALSE(evaluate(CellKind::kOai21, 0b101));  // a=1, c=1
+  EXPECT_TRUE(evaluate(CellKind::kOai21, 0b100));   // only c=1
+  // MUX2: pins (a,b,sel)
+  EXPECT_FALSE(evaluate(CellKind::kMux2, 0b010));  // sel=0 -> a=0
+  EXPECT_TRUE(evaluate(CellKind::kMux2, 0b110));   // sel=1 -> b=1
+  EXPECT_TRUE(evaluate(CellKind::kMux2, 0b001));   // sel=0 -> a=1
+}
+
+TEST(CellEvaluate, InputPseudoCellThrows) {
+  EXPECT_THROW(evaluate(CellKind::kInput, 0), Error);
+}
+
+TEST(CellEvaluate, NandIsComplementOfAnd) {
+  for (std::uint32_t bits = 0; bits < 4; ++bits) {
+    EXPECT_NE(evaluate(CellKind::kNand2, bits),
+              evaluate(CellKind::kAnd2, bits));
+    EXPECT_NE(evaluate(CellKind::kNor2, bits), evaluate(CellKind::kOr2, bits));
+    EXPECT_NE(evaluate(CellKind::kXor2, bits),
+              evaluate(CellKind::kXnor2, bits));
+  }
+}
+
+TEST(CellEvaluate, IsInvertingMatchesAllZeroInput) {
+  // Every inverting cell outputs 1 on the all-zero input; every
+  // non-inverting cell outputs 0 (true for this AOI/OAI/NAND/NOR family).
+  for (CellKind kind : all_cell_kinds()) {
+    EXPECT_EQ(evaluate(kind, 0), is_inverting(kind))
+        << to_string(kind);
+  }
+}
+
+TEST(Topology, StackFactorMonotone) {
+  EXPECT_EQ(stack_factor(1), 1.0);
+  EXPECT_GT(stack_factor(1), stack_factor(2));
+  EXPECT_GT(stack_factor(2), stack_factor(3));
+  EXPECT_GE(stack_factor(3), stack_factor(4));
+  EXPECT_EQ(stack_factor(9), stack_factor(4));  // saturates
+  EXPECT_THROW(stack_factor(0), Error);
+}
+
+TEST(Topology, EveryKindHasStages) {
+  for (CellKind kind : all_cell_kinds()) {
+    EXPECT_FALSE(stage_spec(kind).empty()) << to_string(kind);
+  }
+  EXPECT_TRUE(stage_spec(CellKind::kInput).empty());
+}
+
+// ------------------------------------------------------------- library ----
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  ProcessNode node_ = generic_100nm();
+  CellLibrary lib_{node_};
+};
+
+TEST_F(LibraryTest, SizeStepsAscendingFromOne) {
+  const auto steps = lib_.size_steps();
+  ASSERT_FALSE(steps.empty());
+  EXPECT_DOUBLE_EQ(steps.front(), 1.0);
+  EXPECT_DOUBLE_EQ(steps.back(), 16.0);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_GT(steps[i], steps[i - 1]);
+  }
+}
+
+TEST_F(LibraryTest, NearestStep) {
+  EXPECT_EQ(lib_.nearest_step(0.1), 0u);
+  EXPECT_EQ(lib_.nearest_step(1.0), 0u);
+  EXPECT_EQ(lib_.nearest_step(100.0), lib_.size_steps().size() - 1);
+  const auto steps = lib_.size_steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(lib_.nearest_step(steps[i]), i);
+  }
+}
+
+TEST_F(LibraryTest, PinCapScalesWithSizeAndEffort) {
+  const double c1 = lib_.pin_cap_ff(CellKind::kInv, 1.0);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_NEAR(lib_.pin_cap_ff(CellKind::kInv, 4.0), 4.0 * c1, 1e-12);
+  EXPECT_NEAR(lib_.pin_cap_ff(CellKind::kNand2, 1.0), c1 * 4.0 / 3.0, 1e-12);
+}
+
+TEST_F(LibraryTest, WireCapGrowsWithFanout) {
+  EXPECT_EQ(lib_.wire_cap_ff(0), 0.0);
+  EXPECT_GT(lib_.wire_cap_ff(1), 0.0);
+  EXPECT_GT(lib_.wire_cap_ff(4), lib_.wire_cap_ff(1));
+}
+
+TEST_F(LibraryTest, DelayDecreasesWithSize) {
+  const double load = 10.0;
+  const double d1 = lib_.delay_ps(CellKind::kInv, Vth::kLow, 1.0, load);
+  const double d4 = lib_.delay_ps(CellKind::kInv, Vth::kLow, 4.0, load);
+  EXPECT_LT(d4, d1);
+}
+
+TEST_F(LibraryTest, DelayLinearInLoad) {
+  const double d0 = lib_.delay_ps(CellKind::kNand2, Vth::kLow, 2.0, 0.0);
+  const double d5 = lib_.delay_ps(CellKind::kNand2, Vth::kLow, 2.0, 5.0);
+  const double d10 = lib_.delay_ps(CellKind::kNand2, Vth::kLow, 2.0, 10.0);
+  EXPECT_NEAR(d10 - d5, d5 - d0, 1e-9);
+}
+
+TEST_F(LibraryTest, HvtSlowerThanLvt) {
+  for (CellKind kind : all_cell_kinds()) {
+    const double l = lib_.delay_ps(kind, Vth::kLow, 1.0, 5.0);
+    const double h = lib_.delay_ps(kind, Vth::kHigh, 1.0, 5.0);
+    EXPECT_GT(h, l) << to_string(kind);
+    // HVT penalty is bounded (roughly the alpha-power ratio ~18 %).
+    EXPECT_LT(h / l, 1.4) << to_string(kind);
+  }
+}
+
+TEST_F(LibraryTest, Fo4DelayInPlausibleRange) {
+  // FO4: inverter driving 4 identical inverters.
+  const double load =
+      4.0 * lib_.pin_cap_ff(CellKind::kInv, 1.0) + lib_.wire_cap_ff(4);
+  const double fo4 = lib_.delay_ps(CellKind::kInv, Vth::kLow, 1.0, load);
+  // 100 nm-class FO4 is a few tens of ps.
+  EXPECT_GT(fo4, 5.0);
+  EXPECT_LT(fo4, 100.0);
+}
+
+TEST_F(LibraryTest, ExactDelayMatchesSensitivitiesToFirstOrder) {
+  const auto& s = lib_.sensitivities(Vth::kLow);
+  const double load = 8.0;
+  const double d0 = lib_.delay_ps(CellKind::kNand2, Vth::kLow, 2.0, load);
+  const double dl = 0.5;   // small dL excursion [nm]
+  const double dv = 0.005; // small dVth excursion [V]
+  const double exact =
+      lib_.delay_ps(CellKind::kNand2, Vth::kLow, 2.0, load, dl, dv);
+  const double first_order =
+      d0 * (1.0 + s.delay_sl_per_nm * dl + s.delay_sv_per_v * dv);
+  EXPECT_NEAR(exact, first_order, 0.02 * d0);
+}
+
+TEST_F(LibraryTest, ExactDelaySlowerAtSlowCorner) {
+  const double d0 = lib_.delay_ps(CellKind::kInv, Vth::kLow, 1.0, 5.0);
+  const double slow = lib_.delay_ps(CellKind::kInv, Vth::kLow, 1.0, 5.0,
+                                    9.0, 0.039);  // ~3 sigma
+  EXPECT_GT(slow, d0 * 1.1);
+}
+
+TEST_F(LibraryTest, LeakageLinearInSize) {
+  const double l1 = lib_.leakage_na(CellKind::kNor3, Vth::kLow, 1.0);
+  const double l2 = lib_.leakage_na(CellKind::kNor3, Vth::kLow, 2.0);
+  EXPECT_NEAR(l2, 2.0 * l1, 1e-9);
+}
+
+TEST_F(LibraryTest, LeakagePositiveForAllKinds) {
+  for (CellKind kind : all_cell_kinds()) {
+    for (Vth vth : {Vth::kLow, Vth::kHigh}) {
+      EXPECT_GT(lib_.leakage_na(kind, vth, 1.0), 0.0)
+          << to_string(kind) << " " << to_string(vth);
+    }
+  }
+}
+
+TEST_F(LibraryTest, HvtLeaksFarLess) {
+  for (CellKind kind : all_cell_kinds()) {
+    const double l = lib_.leakage_na(kind, Vth::kLow, 1.0);
+    const double h = lib_.leakage_na(kind, Vth::kHigh, 1.0);
+    EXPECT_GT(l / h, 8.0) << to_string(kind);
+  }
+}
+
+TEST_F(LibraryTest, StackedKindsLeakLessPerStage) {
+  // A NAND4's deep stack leaks less than 4 parallel inverter-equivalents.
+  const double nand4 = lib_.leakage_na(CellKind::kNand4, Vth::kLow, 1.0);
+  const double inv = lib_.leakage_na(CellKind::kInv, Vth::kLow, 1.0);
+  EXPECT_LT(nand4, 4.0 * inv);
+}
+
+TEST_F(LibraryTest, VariationLeakageMatchesExponentialForm) {
+  const auto& s = lib_.sensitivities(Vth::kLow);
+  const double nom = lib_.leakage_na(CellKind::kInv, Vth::kLow, 1.0);
+  const double dl = -2.0;
+  const double dv = -0.01;
+  const double expected =
+      nom * std::exp(-s.leak_cl_per_nm * dl - s.leak_cv_per_v * dv);
+  EXPECT_NEAR(lib_.leakage_na(CellKind::kInv, Vth::kLow, 1.0, dl, dv),
+              expected, expected * 1e-9);
+}
+
+TEST_F(LibraryTest, LeakagePowerIsCurrentTimesVdd) {
+  const double i = lib_.leakage_na(CellKind::kInv, Vth::kLow, 2.0);
+  EXPECT_NEAR(lib_.leakage_power_nw(CellKind::kInv, Vth::kLow, 2.0),
+              i * node_.vdd, 1e-9);
+}
+
+TEST_F(LibraryTest, AreaMonotoneInSizeAndComplexity) {
+  EXPECT_GT(lib_.area_um(CellKind::kInv, 2.0),
+            lib_.area_um(CellKind::kInv, 1.0));
+  EXPECT_GT(lib_.area_um(CellKind::kNand4, 1.0),
+            lib_.area_um(CellKind::kNand2, 1.0));
+  EXPECT_GT(lib_.area_um(CellKind::kNor4, 1.0),
+            lib_.area_um(CellKind::kNand4, 1.0));
+}
+
+TEST_F(LibraryTest, TauHvtGreater) {
+  EXPECT_GT(lib_.tau_ps(Vth::kHigh), lib_.tau_ps(Vth::kLow));
+}
+
+TEST_F(LibraryTest, CustomSizeGridValidation) {
+  EXPECT_THROW(CellLibrary(node_, {}), Error);
+  EXPECT_THROW(CellLibrary(node_, {2.0, 1.0}), Error);
+  EXPECT_THROW(CellLibrary(node_, {-1.0, 1.0}), Error);
+  const CellLibrary custom(node_, {1.0, 2.0, 4.0});
+  EXPECT_EQ(custom.size_steps().size(), 3u);
+}
+
+TEST_F(LibraryTest, GuardsBadArguments) {
+  EXPECT_THROW(lib_.delay_ps(CellKind::kInv, Vth::kLow, 0.0, 1.0), Error);
+  EXPECT_THROW(lib_.delay_ps(CellKind::kInv, Vth::kLow, 1.0, -1.0), Error);
+  EXPECT_THROW(lib_.leakage_na(CellKind::kInv, Vth::kLow, -2.0), Error);
+  EXPECT_THROW(lib_.pin_cap_ff(CellKind::kInv, 0.0), Error);
+  EXPECT_THROW(lib_.wire_cap_ff(-1), Error);
+}
+
+TEST(Library70nm, LeakierAndFaster) {
+  const CellLibrary lib100(generic_100nm());
+  const CellLibrary lib70(generic_70nm());
+  EXPECT_GT(lib70.leakage_na(CellKind::kInv, Vth::kLow, 1.0),
+            lib100.leakage_na(CellKind::kInv, Vth::kLow, 1.0));
+  EXPECT_LT(lib70.tau_ps(Vth::kLow), lib100.tau_ps(Vth::kLow));
+}
+
+}  // namespace
+}  // namespace statleak

@@ -1,0 +1,116 @@
+// Integration tests: the full experiment flow (report/flow) wiring both
+// optimizers, metrics, and the Monte-Carlo cross-check together — exactly
+// what every bench binary runs.
+
+#include <gtest/gtest.h>
+
+#include "gen/arithmetic.hpp"
+#include "gen/proxy.hpp"
+#include "report/flow.hpp"
+#include "sta/sta.hpp"
+#include "tech/process.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+namespace {
+
+class FlowTest : public ::testing::Test {
+ protected:
+  ProcessNode node_ = generic_100nm();
+  CellLibrary lib_{node_};
+  VariationModel var_ = VariationModel::typical_100nm();
+};
+
+TEST_F(FlowTest, MinAchievableDelayBelowMinSizeDelay) {
+  const Circuit c = make_carry_lookahead_adder(16);
+  const double d_min = min_achievable_delay_ps(c, lib_);
+  Circuit minsize = c;
+  // All-minimum-size delay is an upper bound on the sized optimum.
+  const double d_minsize = StaEngine(minsize, lib_).critical_delay_ps();
+  EXPECT_LT(d_min, d_minsize);
+  EXPECT_GT(d_min, 0.0);
+}
+
+TEST_F(FlowTest, MinAchievableDelayDoesNotMutate) {
+  const Circuit c = make_carry_lookahead_adder(8);
+  Circuit copy = c;
+  (void)min_achievable_delay_ps(copy, lib_);
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    EXPECT_DOUBLE_EQ(copy.gate(id).size, c.gate(id).size);
+    EXPECT_EQ(copy.gate(id).vth, c.gate(id).vth);
+  }
+}
+
+TEST_F(FlowTest, OutcomeFieldsPopulated) {
+  Circuit c = iscas85_proxy("c432p");
+  FlowConfig cfg;
+  cfg.t_max_factor = 1.2;
+  cfg.det_corner_k = 3.0;
+  cfg.mc_samples = 800;
+  const FlowOutcome out = run_flow(c, lib_, var_, cfg);
+
+  EXPECT_EQ(out.circuit_name, "c432p");
+  EXPECT_GT(out.d_min_ps, 0.0);
+  EXPECT_NEAR(out.t_max_ps, 1.2 * out.d_min_ps, 1e-9);
+  EXPECT_EQ(out.det_corner_k, 3.0);
+  EXPECT_GT(out.det_runtime_s, 0.0);
+  EXPECT_GT(out.stat_runtime_s, 0.0);
+  EXPECT_TRUE(out.has_mc);
+  EXPECT_GT(out.det_mc.leakage_mean_na, 0.0);
+  EXPECT_GT(out.stat_mc.leakage_p99_na, 0.0);
+  EXPECT_GE(out.det_mc.timing_yield, 0.0);
+  EXPECT_LE(out.det_mc.timing_yield, 1.0);
+}
+
+TEST_F(FlowTest, StatBeatsFixedWorstCaseCorner) {
+  Circuit c = iscas85_proxy("c499p");
+  FlowConfig cfg;
+  cfg.t_max_factor = 1.15;
+  cfg.det_corner_k = 3.0;
+  const FlowOutcome out = run_flow(c, lib_, var_, cfg);
+  EXPECT_GE(out.stat_metrics.timing_yield, cfg.yield_target - 1e-9);
+  EXPECT_GT(out.p99_saving(), 0.0);
+  EXPECT_GT(out.mean_saving(), 0.0);
+}
+
+TEST_F(FlowTest, AutoCornerFindsYieldMeetingBaseline) {
+  Circuit c = iscas85_proxy("c432p");
+  FlowConfig cfg;
+  cfg.t_max_factor = 1.2;
+  cfg.det_auto_corner = true;
+  const FlowOutcome out = run_flow(c, lib_, var_, cfg);
+  EXPECT_GE(out.det_metrics.timing_yield, cfg.yield_target - 0.02);
+  // The chosen corner should be interior, not the 3-sigma fallback.
+  EXPECT_LT(out.det_corner_k, 3.0);
+}
+
+TEST_F(FlowTest, CircuitHoldsStatisticalSolutionOnReturn) {
+  Circuit c = make_carry_lookahead_adder(8);
+  FlowConfig cfg;
+  const FlowOutcome out = run_flow(c, lib_, var_, cfg);
+  const CircuitMetrics m = measure_metrics(c, lib_, var_, out.t_max_ps);
+  EXPECT_NEAR(m.leakage_p99_na, out.stat_metrics.leakage_p99_na,
+              1e-6 * out.stat_metrics.leakage_p99_na);
+}
+
+TEST_F(FlowTest, RejectsBadFactor) {
+  Circuit c = make_ripple_carry_adder(4);
+  FlowConfig cfg;
+  cfg.t_max_factor = 0.9;
+  EXPECT_THROW(run_flow(c, lib_, var_, cfg), Error);
+}
+
+TEST_F(FlowTest, SavingsHelpers) {
+  FlowOutcome out;
+  out.det_metrics.leakage_p99_na = 200.0;
+  out.stat_metrics.leakage_p99_na = 150.0;
+  out.det_metrics.leakage_mean_na = 100.0;
+  out.stat_metrics.leakage_mean_na = 90.0;
+  EXPECT_NEAR(out.p99_saving(), 0.25, 1e-12);
+  EXPECT_NEAR(out.mean_saving(), 0.10, 1e-12);
+  FlowOutcome zero;
+  EXPECT_EQ(zero.p99_saving(), 0.0);
+}
+
+}  // namespace
+}  // namespace statleak

@@ -1,0 +1,110 @@
+// Unit tests for the Monte-Carlo engine: determinism, degenerate cases,
+// yield estimation, and the exact-delay mode.
+
+#include <gtest/gtest.h>
+
+#include "gen/arithmetic.hpp"
+#include "mc/monte_carlo.hpp"
+#include "sta/sta.hpp"
+#include "tech/process.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+namespace {
+
+class McTest : public ::testing::Test {
+ protected:
+  ProcessNode node_ = generic_100nm();
+  CellLibrary lib_{node_};
+  VariationModel var_ = VariationModel::typical_100nm();
+  Circuit circuit_ = make_ripple_carry_adder(8);
+};
+
+TEST_F(McTest, DeterministicForSeed) {
+  McConfig cfg;
+  cfg.num_samples = 200;
+  cfg.seed = 5;
+  const McResult a = run_monte_carlo(circuit_, lib_, var_, cfg);
+  const McResult b = run_monte_carlo(circuit_, lib_, var_, cfg);
+  ASSERT_EQ(a.delay_ps.size(), b.delay_ps.size());
+  for (std::size_t i = 0; i < a.delay_ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.delay_ps[i], b.delay_ps[i]);
+    EXPECT_DOUBLE_EQ(a.leakage_na[i], b.leakage_na[i]);
+  }
+}
+
+TEST_F(McTest, DifferentSeedsDiffer) {
+  McConfig cfg;
+  cfg.num_samples = 100;
+  cfg.seed = 5;
+  const McResult a = run_monte_carlo(circuit_, lib_, var_, cfg);
+  cfg.seed = 6;
+  const McResult b = run_monte_carlo(circuit_, lib_, var_, cfg);
+  EXPECT_NE(a.delay_ps[0], b.delay_ps[0]);
+}
+
+TEST_F(McTest, ZeroVariationGivesConstantSamples) {
+  McConfig cfg;
+  cfg.num_samples = 50;
+  const VariationModel none = VariationModel::none();
+  const McResult res = run_monte_carlo(circuit_, lib_, none, cfg);
+  const StaEngine sta(circuit_, lib_);
+  for (double d : res.delay_ps) {
+    EXPECT_NEAR(d, sta.critical_delay_ps(), 1e-9);
+  }
+  const double nominal_leak = res.leakage_na[0];
+  for (double l : res.leakage_na) EXPECT_DOUBLE_EQ(l, nominal_leak);
+}
+
+TEST_F(McTest, YieldBracketsAndStderr) {
+  McConfig cfg;
+  cfg.num_samples = 2000;
+  const McResult res = run_monte_carlo(circuit_, lib_, var_, cfg);
+  const SampleSummary s = res.delay_summary();
+  EXPECT_EQ(res.timing_yield(s.max + 1.0), 1.0);
+  EXPECT_EQ(res.timing_yield(s.min - 1.0), 0.0);
+  const double y = res.timing_yield(s.p50);
+  EXPECT_NEAR(y, 0.5, 0.05);
+  EXPECT_GT(res.yield_stderr(s.p50), 0.0);
+  EXPECT_LT(res.yield_stderr(s.p50), 0.02);
+}
+
+TEST_F(McTest, ExactDelayModeCloseToLinear) {
+  McConfig lin;
+  lin.num_samples = 2000;
+  lin.seed = 9;
+  McConfig exact = lin;
+  exact.exact_delay = true;
+  const McResult a = run_monte_carlo(circuit_, lib_, var_, lin);
+  const McResult b = run_monte_carlo(circuit_, lib_, var_, exact);
+  const double mean_lin = a.delay_summary().mean;
+  const double mean_exact = b.delay_summary().mean;
+  EXPECT_NEAR(mean_lin, mean_exact, 0.05 * mean_exact);
+}
+
+TEST_F(McTest, DelayAndLeakageAntiCorrelated) {
+  // Slow dies (long channels) leak less: the defining coupling of the
+  // problem. Correlation of per-sample delay and leakage must be negative.
+  McConfig cfg;
+  cfg.num_samples = 4000;
+  const McResult res = run_monte_carlo(circuit_, lib_, var_, cfg);
+  EXPECT_LT(correlation(res.delay_ps, res.leakage_na), -0.3);
+}
+
+TEST_F(McTest, RejectsBadConfig) {
+  McConfig cfg;
+  cfg.num_samples = 0;
+  EXPECT_THROW(run_monte_carlo(circuit_, lib_, var_, cfg), Error);
+}
+
+TEST_F(McTest, LeakageSamplesSkewedRight) {
+  // Lognormal-like totals: mean > median.
+  McConfig cfg;
+  cfg.num_samples = 6000;
+  const McResult res = run_monte_carlo(circuit_, lib_, var_, cfg);
+  const SampleSummary s = res.leakage_summary();
+  EXPECT_GT(s.mean, s.p50);
+}
+
+}  // namespace
+}  // namespace statleak

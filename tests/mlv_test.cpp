@@ -1,0 +1,193 @@
+// Tests for state-dependent leakage and the minimum-leakage-vector search.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "gen/arithmetic.hpp"
+#include "gen/proxy.hpp"
+#include "mlv/mlv.hpp"
+#include "mlv/state_leakage.hpp"
+#include "tech/process.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+namespace {
+
+class StateLeakTest : public ::testing::Test {
+ protected:
+  ProcessNode node_ = generic_100nm();
+  CellLibrary lib_{node_};
+};
+
+TEST_F(StateLeakTest, StateAverageRecoversLibraryLeakage) {
+  // For single-stage kinds, the equiprobable average over input states must
+  // equal the library's state-averaged value exactly. (Composite kinds
+  // differ slightly by design: the library averages each stage over
+  // independent equiprobable inputs, while the state evaluator uses the
+  // correlated internal node value.)
+  for (CellKind kind :
+       {CellKind::kInv, CellKind::kNand2, CellKind::kNand3, CellKind::kNand4,
+        CellKind::kNor2, CellKind::kNor3, CellKind::kNor4}) {
+    for (Vth vth : {Vth::kLow, Vth::kHigh}) {
+      const int fanin = cell_info(kind).fanin;
+      const int states = 1 << fanin;
+      double avg = 0.0;
+      for (int s = 0; s < states; ++s) {
+        avg += state_leakage_na(lib_, kind, vth, 1.5,
+                                static_cast<std::uint32_t>(s));
+      }
+      avg /= states;
+      EXPECT_NEAR(avg, lib_.leakage_na(kind, vth, 1.5),
+                  1e-9 * lib_.leakage_na(kind, vth, 1.5))
+          << to_string(kind) << " " << to_string(vth);
+    }
+  }
+}
+
+TEST_F(StateLeakTest, CompositeKindsDecomposeExactly) {
+  // AND2's state leakage must equal its NAND2 stage plus the output
+  // inverter evaluated at the correlated internal node — and stay within
+  // ~15 % of the library's independent-stage average.
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    const std::uint32_t mid = evaluate(CellKind::kNand2, s) ? 1 : 0;
+    const double expect =
+        state_leakage_na(lib_, CellKind::kNand2, Vth::kLow, 2.0, s) +
+        state_leakage_na(lib_, CellKind::kInv, Vth::kLow, 2.0, mid);
+    EXPECT_NEAR(state_leakage_na(lib_, CellKind::kAnd2, Vth::kLow, 2.0, s),
+                expect, 1e-9 * expect)
+        << "state " << s;
+  }
+  double avg = 0.0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    avg += state_leakage_na(lib_, CellKind::kAnd2, Vth::kLow, 1.0, s);
+  }
+  avg /= 4.0;
+  EXPECT_NEAR(avg, lib_.leakage_na(CellKind::kAnd2, Vth::kLow, 1.0),
+              0.15 * avg);
+}
+
+TEST_F(StateLeakTest, NandAllLowIsMinimumState) {
+  // All inputs low = fully stacked off nMOS network = the least leaky
+  // state of a NAND (the stacking effect MLV exploits).
+  double min_leak = std::numeric_limits<double>::infinity();
+  std::uint32_t argmin = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    const double leak =
+        state_leakage_na(lib_, CellKind::kNand2, Vth::kLow, 1.0, s);
+    if (leak < min_leak) {
+      min_leak = leak;
+      argmin = s;
+    }
+  }
+  EXPECT_EQ(argmin, 0u);
+  // And the spread between best and worst state is large (stack factor).
+  const double worst =
+      state_leakage_na(lib_, CellKind::kNand2, Vth::kLow, 1.0, 0b11);
+  EXPECT_GT(worst / min_leak, 3.0);
+}
+
+TEST_F(StateLeakTest, NorAllHighIsMinimumState) {
+  double all_high =
+      state_leakage_na(lib_, CellKind::kNor2, Vth::kLow, 1.0, 0b11);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_LE(all_high,
+              state_leakage_na(lib_, CellKind::kNor2, Vth::kLow, 1.0, s) +
+                  1e-12);
+  }
+}
+
+TEST_F(StateLeakTest, LinearInSize) {
+  const double l1 =
+      state_leakage_na(lib_, CellKind::kAnd2, Vth::kLow, 1.0, 0b01);
+  const double l3 =
+      state_leakage_na(lib_, CellKind::kAnd2, Vth::kLow, 3.0, 0b01);
+  EXPECT_NEAR(l3, 3.0 * l1, 1e-9 * l3);
+}
+
+TEST_F(StateLeakTest, FallbackKindsUseAverage) {
+  EXPECT_FALSE(state_leakage_is_exact(CellKind::kXor2));
+  EXPECT_NEAR(state_leakage_na(lib_, CellKind::kXor2, Vth::kLow, 2.0, 0b01),
+              lib_.leakage_na(CellKind::kXor2, Vth::kLow, 2.0), 1e-12);
+}
+
+TEST_F(StateLeakTest, RejectsOutOfRangeState) {
+  EXPECT_THROW(state_leakage_na(lib_, CellKind::kInv, Vth::kLow, 1.0, 2),
+               Error);
+  EXPECT_THROW(state_leakage_na(lib_, CellKind::kNand2, Vth::kLow, 0.0, 0),
+               Error);
+}
+
+// ------------------------------------------------------------------ MLV ----
+
+class MlvTest : public ::testing::Test {
+ protected:
+  ProcessNode node_ = generic_100nm();
+  CellLibrary lib_{node_};
+};
+
+TEST_F(MlvTest, VectorLeakagePositiveAndStateDependent) {
+  const Circuit c = make_ripple_carry_adder(8);
+  std::vector<char> zeros(c.inputs().size(), 0);
+  std::vector<char> ones(c.inputs().size(), 1);
+  const double l0 = vector_leakage_na(c, lib_, zeros);
+  const double l1 = vector_leakage_na(c, lib_, ones);
+  EXPECT_GT(l0, 0.0);
+  EXPECT_GT(l1, 0.0);
+  EXPECT_NE(l0, l1);  // states differ, leakage must differ
+}
+
+TEST_F(MlvTest, SearchBeatsRandomMean) {
+  const Circuit c = iscas85_proxy("c432p");
+  MlvConfig cfg;
+  cfg.random_trials = 64;
+  cfg.greedy_passes = 3;
+  const MlvResult res = find_min_leakage_vector(c, lib_, cfg);
+  EXPECT_LT(res.best_leakage_na, res.mean_leakage_na);
+  EXPECT_LE(res.best_leakage_na, res.worst_leakage_na);
+  EXPECT_GT(res.saving_vs_mean(), 0.02);  // at least a few percent
+  EXPECT_EQ(res.best_vector.size(), c.inputs().size());
+  EXPECT_GE(res.evaluations, cfg.random_trials);
+}
+
+TEST_F(MlvTest, BestVectorEvaluatesToReportedLeakage) {
+  const Circuit c = make_carry_lookahead_adder(8);
+  const MlvResult res = find_min_leakage_vector(c, lib_);
+  EXPECT_NEAR(vector_leakage_na(c, lib_, res.best_vector),
+              res.best_leakage_na, 1e-9 * res.best_leakage_na);
+}
+
+TEST_F(MlvTest, NearExhaustiveOnTinyCircuit) {
+  // 6 inputs -> 64 states: the heuristic must land within 2 % of optimum.
+  const Circuit c = make_ripple_carry_adder(2);  // 5 inputs
+  double exact_best = std::numeric_limits<double>::infinity();
+  const std::size_t n = c.inputs().size();
+  for (std::uint32_t v = 0; v < (1u << n); ++v) {
+    std::vector<char> in(n);
+    for (std::size_t i = 0; i < n; ++i) in[i] = (v >> i) & 1;
+    exact_best = std::min(exact_best, vector_leakage_na(c, lib_, in));
+  }
+  MlvConfig cfg;
+  cfg.random_trials = 16;
+  cfg.greedy_passes = 4;
+  const MlvResult res = find_min_leakage_vector(c, lib_, cfg);
+  EXPECT_LE(res.best_leakage_na, exact_best * 1.02);
+}
+
+TEST_F(MlvTest, DeterministicPerSeed) {
+  const Circuit c = make_ripple_carry_adder(8);
+  const MlvResult a = find_min_leakage_vector(c, lib_);
+  const MlvResult b = find_min_leakage_vector(c, lib_);
+  EXPECT_EQ(a.best_vector, b.best_vector);
+  EXPECT_DOUBLE_EQ(a.best_leakage_na, b.best_leakage_na);
+}
+
+TEST_F(MlvTest, RejectsBadConfig) {
+  const Circuit c = make_ripple_carry_adder(4);
+  MlvConfig cfg;
+  cfg.random_trials = 0;
+  EXPECT_THROW(find_min_leakage_vector(c, lib_, cfg), Error);
+}
+
+}  // namespace
+}  // namespace statleak

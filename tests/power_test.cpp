@@ -1,0 +1,126 @@
+// Tests for the dynamic-power extension: activity estimation by random
+// simulation and the CV^2f power model with its leakage breakdown.
+
+#include <gtest/gtest.h>
+
+#include "gen/arithmetic.hpp"
+#include "gen/proxy.hpp"
+#include "power/activity.hpp"
+#include "power/power.hpp"
+#include "sta/loads.hpp"
+#include "tech/process.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+namespace {
+
+class PowerTest : public ::testing::Test {
+ protected:
+  ProcessNode node_ = generic_100nm();
+  CellLibrary lib_{node_};
+  VariationModel var_ = VariationModel::typical_100nm();
+};
+
+TEST_F(PowerTest, ActivityBounds) {
+  const Circuit c = make_carry_lookahead_adder(8);
+  const auto activity = estimate_activity(c, 500, 3);
+  ASSERT_EQ(activity.size(), c.num_gates());
+  for (double a : activity) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST_F(PowerTest, InputActivityNearHalf) {
+  // Uniform random stimulus toggles each input with probability 1/2.
+  const Circuit c = make_ripple_carry_adder(8);
+  const auto activity = estimate_activity(c, 4000, 5);
+  for (GateId id : c.inputs()) {
+    EXPECT_NEAR(activity[id], 0.5, 0.05);
+  }
+}
+
+TEST_F(PowerTest, XorPropagatesActivityAndGatesAttenuate) {
+  // XOR of two random inputs toggles ~0.5; AND toggles ~0.375
+  // (P(out=1)=1/4 -> toggle rate 2*p*(1-p)=0.375).
+  Circuit c("mix");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId x = c.add_gate("x", CellKind::kXor2, {a, b});
+  const GateId n = c.add_gate("n", CellKind::kAnd2, {a, b});
+  c.mark_output(x);
+  c.mark_output(n);
+  c.finalize();
+  const auto activity = estimate_activity(c, 20000, 7);
+  EXPECT_NEAR(activity[x], 0.5, 0.02);
+  EXPECT_NEAR(activity[n], 0.375, 0.02);
+}
+
+TEST_F(PowerTest, ActivityDeterministicPerSeed) {
+  const Circuit c = make_ripple_carry_adder(6);
+  EXPECT_EQ(estimate_activity(c, 200, 11), estimate_activity(c, 200, 11));
+}
+
+TEST_F(PowerTest, ActivityRejectsBadArgs) {
+  const Circuit c = make_ripple_carry_adder(4);
+  EXPECT_THROW(estimate_activity(c, 1), Error);
+}
+
+TEST_F(PowerTest, DynamicPowerMatchesHandComputation) {
+  Circuit c("one");
+  const GateId a = c.add_input("a");
+  const GateId g = c.add_gate("g", CellKind::kInv, {a});
+  c.mark_output(g);
+  c.finalize();
+  const std::vector<double> activity = {0.5, 0.25};
+  const double f_mhz = 1000.0;
+  const double vdd = node_.vdd;
+  const double expected =
+      0.5 * output_load_ff(c, lib_, a) * vdd * vdd * f_mhz +
+      0.25 * output_load_ff(c, lib_, g) * vdd * vdd * f_mhz;
+  EXPECT_NEAR(dynamic_power_nw(c, lib_, activity, f_mhz), expected, 1e-9);
+}
+
+TEST_F(PowerTest, DynamicPowerLinearInFrequency) {
+  const Circuit c = make_ripple_carry_adder(6);
+  const auto activity = estimate_activity(c, 300, 3);
+  const double p1 = dynamic_power_nw(c, lib_, activity, 500.0);
+  const double p2 = dynamic_power_nw(c, lib_, activity, 1000.0);
+  EXPECT_NEAR(p2, 2.0 * p1, 1e-9 * p2);
+}
+
+TEST_F(PowerTest, DynamicPowerGuards) {
+  const Circuit c = make_ripple_carry_adder(4);
+  const std::vector<double> wrong(3, 0.5);
+  EXPECT_THROW(dynamic_power_nw(c, lib_, wrong, 100.0), Error);
+  const auto activity = estimate_activity(c, 100, 1);
+  EXPECT_THROW(dynamic_power_nw(c, lib_, activity, 0.0), Error);
+}
+
+TEST_F(PowerTest, BreakdownConsistent) {
+  const Circuit c = iscas85_proxy("c432p");
+  const auto activity = estimate_activity(c, 500, 9);
+  const PowerBreakdown pb =
+      power_breakdown(c, lib_, var_, activity, 1000.0);
+  EXPECT_GT(pb.dynamic_nw, 0.0);
+  EXPECT_GT(pb.leakage_mean_nw, pb.leakage_nominal_nw);
+  EXPECT_GT(pb.leakage_p99_nw, pb.leakage_mean_nw);
+  EXPECT_NEAR(pb.total_mean_nw(), pb.dynamic_nw + pb.leakage_mean_nw, 1e-9);
+  EXPECT_GT(pb.leakage_share(), 0.0);
+  EXPECT_LT(pb.leakage_share(), 1.0);
+  EXPECT_GT(pb.leakage_share_p99(), pb.leakage_share());
+}
+
+TEST_F(PowerTest, LeakierNodeHasHigherLeakageShare) {
+  const Circuit c = make_array_multiplier(6);
+  const auto activity = estimate_activity(c, 400, 13);
+  const CellLibrary lib70(generic_70nm());
+  const PowerBreakdown p100 =
+      power_breakdown(c, lib_, var_, activity, 1000.0);
+  const PowerBreakdown p70 =
+      power_breakdown(c, lib70, var_, activity, 1000.0);
+  EXPECT_GT(p70.leakage_share(), p100.leakage_share());
+}
+
+}  // namespace
+}  // namespace statleak

@@ -1,0 +1,242 @@
+// Unit tests for statleak_tech: process nodes, device models, and the
+// variation model. Key properties: leakage is exponential in (dL, dVth) with
+// exactly the advertised sensitivities, delay sensitivities match finite
+// differences of the actual drive model, and dual-Vth gives the expected
+// order-of-magnitude leakage ratio.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/device.hpp"
+#include "tech/process.hpp"
+#include "tech/variation.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace statleak {
+namespace {
+
+TEST(ProcessNode, FactoriesValidate) {
+  EXPECT_NO_THROW(generic_100nm().validate());
+  EXPECT_NO_THROW(generic_70nm().validate());
+}
+
+TEST(ProcessNode, VthOfSelectsClass) {
+  const ProcessNode node = generic_100nm();
+  EXPECT_DOUBLE_EQ(node.vth_of(Vth::kLow), node.vth_low);
+  EXPECT_DOUBLE_EQ(node.vth_of(Vth::kHigh), node.vth_high);
+  EXPECT_LT(node.vth_low, node.vth_high);
+}
+
+TEST(ProcessNode, ValidateRejectsNonPhysical) {
+  ProcessNode node = generic_100nm();
+  node.vdd = -1.0;
+  EXPECT_THROW(node.validate(), Error);
+
+  node = generic_100nm();
+  node.vth_high = node.vth_low - 0.01;
+  EXPECT_THROW(node.validate(), Error);
+
+  node = generic_100nm();
+  node.vth_high = node.vdd + 0.1;
+  EXPECT_THROW(node.validate(), Error);
+
+  node = generic_100nm();
+  node.subthreshold_slope = 0.0;
+  EXPECT_THROW(node.validate(), Error);
+
+  node = generic_100nm();
+  node.alpha = 3.0;
+  EXPECT_THROW(node.validate(), Error);
+}
+
+TEST(VthEnum, ToString) {
+  EXPECT_STREQ(to_string(Vth::kLow), "LVT");
+  EXPECT_STREQ(to_string(Vth::kHigh), "HVT");
+}
+
+// ------------------------------------------------------------- leakage ----
+
+TEST(Device, DualVthLeakageRatioIsOrderTenToThirty) {
+  const ProcessNode node = generic_100nm();
+  const double lvt = subthreshold_current_na(node, Vth::kLow, 1.0);
+  const double hvt = subthreshold_current_na(node, Vth::kHigh, 1.0);
+  const double ratio = lvt / hvt;
+  // delta-Vth of 120 mV at 100 mV/dec -> ~16x.
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 40.0);
+}
+
+TEST(Device, LeakageLinearInWidth) {
+  const ProcessNode node = generic_100nm();
+  const double i1 = subthreshold_current_na(node, Vth::kLow, 1.0);
+  const double i3 = subthreshold_current_na(node, Vth::kLow, 3.0);
+  EXPECT_NEAR(i3, 3.0 * i1, 1e-9);
+}
+
+TEST(Device, LeakageOneDecadePerSlope) {
+  const ProcessNode node = generic_100nm();
+  const double base = subthreshold_current_na(node, Vth::kLow, 1.0, 0.0, 0.0);
+  const double shifted = subthreshold_current_na(node, Vth::kLow, 1.0, 0.0,
+                                                 node.subthreshold_slope);
+  EXPECT_NEAR(shifted, base / 10.0, base * 1e-9);
+}
+
+TEST(Device, ShorterChannelLeaksMore) {
+  const ProcessNode node = generic_100nm();
+  const double nom = subthreshold_current_na(node, Vth::kLow, 1.0, 0.0, 0.0);
+  const double shorter = subthreshold_current_na(node, Vth::kLow, 1.0, -3.0, 0.0);
+  const double longer = subthreshold_current_na(node, Vth::kLow, 1.0, 3.0, 0.0);
+  EXPECT_GT(shorter, nom);
+  EXPECT_LT(longer, nom);
+}
+
+TEST(Device, LeakageSensitivitiesMatchFiniteDifference) {
+  const ProcessNode node = generic_100nm();
+  for (Vth vth : {Vth::kLow, Vth::kHigh}) {
+    const DeviceSensitivities s = device_sensitivities(node, vth);
+    const double eps = 1e-4;
+    const double i0 = subthreshold_current_na(node, vth, 1.0, 0.0, 0.0);
+    const double il = subthreshold_current_na(node, vth, 1.0, eps, 0.0);
+    const double iv = subthreshold_current_na(node, vth, 1.0, 0.0, eps);
+    const double cl_fd = -(std::log(il) - std::log(i0)) / eps;
+    const double cv_fd = -(std::log(iv) - std::log(i0)) / eps;
+    EXPECT_NEAR(cl_fd, s.leak_cl_per_nm, 1e-6 * s.leak_cl_per_nm + 1e-9);
+    EXPECT_NEAR(cv_fd, s.leak_cv_per_v, 1e-6 * s.leak_cv_per_v);
+  }
+}
+
+TEST(Device, QuadraticExponentApplied) {
+  ProcessNode node = generic_100nm();
+  node.leak_quadratic_per_nm2 = 0.01;
+  const double base = subthreshold_current_na(node, Vth::kLow, 1.0, 0.0, 0.0);
+  const double at3 = subthreshold_current_na(node, Vth::kLow, 1.0, 3.0, 0.0);
+  node.leak_quadratic_per_nm2 = 0.0;
+  const double linear3 = subthreshold_current_na(node, Vth::kLow, 1.0, 3.0, 0.0);
+  EXPECT_NEAR(at3, linear3 * std::exp(0.01 * 9.0), base * 1e-9);
+}
+
+// --------------------------------------------------------------- drive ----
+
+TEST(Device, DriveLinearInWidth) {
+  const ProcessNode node = generic_100nm();
+  const double i1 = drive_current_ua(node, Vth::kLow, 1.0);
+  const double i2 = drive_current_ua(node, Vth::kLow, 2.0);
+  EXPECT_NEAR(i2, 2.0 * i1, 1e-9);
+}
+
+TEST(Device, HvtDrivesLess) {
+  const ProcessNode node = generic_100nm();
+  const double lvt = drive_current_ua(node, Vth::kLow, 1.0);
+  const double hvt = drive_current_ua(node, Vth::kHigh, 1.0);
+  EXPECT_LT(hvt, lvt);
+  // alpha-power ratio: ((vdd-vth_h)/(vdd-vth_l))^alpha.
+  const double expect = std::pow((node.vdd - node.vth_high) /
+                                     (node.vdd - node.vth_low),
+                                 node.alpha);
+  EXPECT_NEAR(hvt / lvt, expect, 1e-9);
+}
+
+TEST(Device, LongerChannelDrivesLess) {
+  const ProcessNode node = generic_100nm();
+  const double nom = drive_current_ua(node, Vth::kLow, 1.0, 0.0, 0.0);
+  const double longer = drive_current_ua(node, Vth::kLow, 1.0, 5.0, 0.0);
+  EXPECT_LT(longer, nom);
+}
+
+TEST(Device, DelaySensitivitiesMatchFiniteDifference) {
+  // Delay ~ 1/Id up to a constant, so dln(delay) = -dln(Id). The canonical
+  // sL drops the (small) channel-length-modulation term that the exact
+  // drive model carries, so compare against the exact model with a
+  // tolerance covering that documented approximation.
+  const ProcessNode node = generic_100nm();
+  for (Vth vth : {Vth::kLow, Vth::kHigh}) {
+    const DeviceSensitivities s = device_sensitivities(node, vth);
+    const double eps = 1e-4;
+    const double i0 = drive_current_ua(node, vth, 1.0, 0.0, 0.0);
+    const double il = drive_current_ua(node, vth, 1.0, eps, 0.0);
+    const double iv = drive_current_ua(node, vth, 1.0, 0.0, eps);
+    const double sl_fd = -(std::log(il) - std::log(i0)) / eps;
+    const double sv_fd = -(std::log(iv) - std::log(i0)) / eps;
+    EXPECT_NEAR(sl_fd, s.delay_sl_per_nm, 0.05 * s.delay_sl_per_nm);
+    EXPECT_NEAR(sv_fd, s.delay_sv_per_v, 1e-4 * s.delay_sv_per_v);
+  }
+}
+
+TEST(Device, DriveThrowsWhenVthReachesVdd) {
+  const ProcessNode node = generic_100nm();
+  // A +1000 mV dVth excursion pushes Vth past Vdd.
+  EXPECT_THROW(drive_current_ua(node, Vth::kHigh, 1.0, 0.0, 1.0), Error);
+}
+
+TEST(Device, Capacitances) {
+  const ProcessNode node = generic_100nm();
+  EXPECT_NEAR(gate_cap_ff(node, 2.0), 2.0 * node.cg_ff_per_um, 1e-12);
+  EXPECT_NEAR(junction_cap_ff(node, 2.0), 2.0 * node.cj_ff_per_um, 1e-12);
+}
+
+// ----------------------------------------------------------- variation ----
+
+TEST(Variation, TotalsAreQuadratureSums) {
+  const VariationModel var{3.0, 4.0, 0.003, 0.004};
+  EXPECT_NEAR(var.sigma_l_total_nm(), 5.0, 1e-12);
+  EXPECT_NEAR(var.sigma_vth_total_v(), 0.005, 1e-12);
+}
+
+TEST(Variation, NoneIsZero) {
+  const VariationModel var = VariationModel::none();
+  EXPECT_EQ(var.sigma_l_total_nm(), 0.0);
+  EXPECT_EQ(var.sigma_vth_total_v(), 0.0);
+}
+
+TEST(Variation, ScaledScalesEverySigma) {
+  const VariationModel var = VariationModel::typical_100nm().scaled(2.0);
+  const VariationModel base = VariationModel::typical_100nm();
+  EXPECT_NEAR(var.sigma_l_inter_nm, 2.0 * base.sigma_l_inter_nm, 1e-12);
+  EXPECT_NEAR(var.sigma_vth_intra_v, 2.0 * base.sigma_vth_intra_v, 1e-12);
+  EXPECT_THROW(base.scaled(-1.0), Error);
+}
+
+TEST(Variation, ValidateRejectsNegative) {
+  VariationModel var = VariationModel::typical_100nm();
+  var.sigma_l_inter_nm = -1.0;
+  EXPECT_THROW(var.validate(), Error);
+}
+
+TEST(Variation, SampleMomentsMatchModel) {
+  const VariationModel var = VariationModel::typical_100nm();
+  Rng rng(21);
+  RunningStats dl_global;
+  RunningStats dl_total;
+  RunningStats dv_total;
+  for (int i = 0; i < 50000; ++i) {
+    const GlobalSample g = sample_global(var, rng);
+    dl_global.add(g.dl_nm);
+    const ParamSample p = sample_gate(var, g, rng);
+    dl_total.add(p.dl_nm);
+    dv_total.add(p.dvth_v);
+  }
+  EXPECT_NEAR(dl_global.mean(), 0.0, 0.05);
+  EXPECT_NEAR(dl_global.stddev(), var.sigma_l_inter_nm, 0.05);
+  EXPECT_NEAR(dl_total.stddev(), var.sigma_l_total_nm(), 0.05);
+  EXPECT_NEAR(dv_total.stddev(), var.sigma_vth_total_v(), 0.001);
+}
+
+TEST(Variation, GatesOnSameDieShareGlobalComponent) {
+  const VariationModel var = VariationModel::typical_100nm();
+  Rng rng(22);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30000; ++i) {
+    const GlobalSample g = sample_global(var, rng);
+    a.push_back(sample_gate(var, g, rng).dl_nm);
+    b.push_back(sample_gate(var, g, rng).dl_nm);
+  }
+  // Correlation = sigma_inter^2 / sigma_total^2 = 0.5 for the 50/50 split.
+  EXPECT_NEAR(correlation(a, b), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace statleak

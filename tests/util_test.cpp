@@ -1,0 +1,477 @@
+// Unit tests for statleak_util: RNG, normal distribution, statistics,
+// Clark's max, lognormal, and the table formatter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/clark.hpp"
+#include "util/error.hpp"
+#include "util/lognormal.hpp"
+#include "util/normal.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace statleak {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.uniform());
+  EXPECT_NEAR(rs.mean(), 0.5, 0.01);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, UniformIndexRoughlyUniform) {
+  Rng rng(19);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(8)];
+  for (int c : counts) EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(rng.normal());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.01);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(5);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 10.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.split();
+  // Child stream differs from the parent continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ------------------------------------------------------------- normal ----
+
+TEST(Normal, PdfKnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(Normal, CdfTailsAccurate) {
+  // erfc-based implementation keeps relative accuracy deep in the tail.
+  EXPECT_NEAR(normal_cdf(-6.0) / 9.865876450377018e-10, 1.0, 1e-6);
+  EXPECT_GT(normal_cdf(-30.0), 0.0);
+}
+
+TEST(Normal, InverseCdfRoundTrip) {
+  for (double p : {1e-6, 1e-3, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999,
+                   1.0 - 1e-6}) {
+    EXPECT_NEAR(normal_cdf(normal_inverse_cdf(p)), p, 1e-12)
+        << "p = " << p;
+  }
+}
+
+TEST(Normal, InverseCdfKnownValues) {
+  EXPECT_NEAR(normal_inverse_cdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_inverse_cdf(0.8413447460685429), 1.0, 1e-9);
+  EXPECT_NEAR(normal_inverse_cdf(0.99), 2.3263478740408408, 1e-9);
+}
+
+TEST(Normal, InverseCdfRejectsOutOfRange) {
+  EXPECT_THROW(normal_inverse_cdf(0.0), Error);
+  EXPECT_THROW(normal_inverse_cdf(1.0), Error);
+  EXPECT_THROW(normal_inverse_cdf(-0.5), Error);
+}
+
+TEST(Normal, ParameterizedCdfAndQuantile) {
+  EXPECT_NEAR(normal_cdf(12.0, 10.0, 2.0), normal_cdf(1.0), 1e-12);
+  EXPECT_NEAR(normal_quantile(0.9, 10.0, 2.0),
+              10.0 + 2.0 * normal_inverse_cdf(0.9), 1e-12);
+}
+
+TEST(Normal, DegenerateSigmaIsStep) {
+  EXPECT_EQ(normal_cdf(9.99, 10.0, 0.0), 0.0);
+  EXPECT_EQ(normal_cdf(10.0, 10.0, 0.0), 1.0);
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.2);
+  EXPECT_NEAR(rs.variance(), 37.2, 1e-12);
+  EXPECT_EQ(rs.min(), 1.0);
+  EXPECT_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), Error);
+  EXPECT_THROW(rs.min(), Error);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 20.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.99), 7.0);
+}
+
+TEST(Quantile, EmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(quantile(xs, 0.5), Error);
+}
+
+TEST(Quantile, OutOfRangeThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(quantile(xs, -0.1), Error);
+  EXPECT_THROW(quantile(xs, 1.1), Error);
+}
+
+TEST(Summarize, FieldsConsistent) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) xs.push_back(rng.normal(5.0, 1.0));
+  const SampleSummary s = summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_NEAR(s.mean, 5.0, 0.05);
+  EXPECT_NEAR(s.stddev, 1.0, 0.05);
+  EXPECT_NEAR(s.p50, 5.0, 0.05);
+  EXPECT_NEAR(s.p95, 5.0 + 1.6449, 0.1);
+  EXPECT_NEAR(s.p99, 5.0 + 2.3263, 0.15);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  std::vector<double> z = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  EXPECT_NEAR(correlation(x, y), 0.0, 0.02);
+}
+
+TEST(Correlation, SizeMismatchThrows) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW(correlation(x, y), Error);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(15.0);  // clamps to bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.bins[0], 2u);
+  EXPECT_EQ(h.bins[9], 2u);
+  EXPECT_EQ(h.bins[5], 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Rng rng(4);
+  Histogram h(-4.0, 4.0, 64);
+  for (int i = 0; i < 50000; ++i) h.add(rng.normal());
+  double integral = 0.0;
+  const double width = 8.0 / 64.0;
+  for (std::size_t i = 0; i < h.bins.size(); ++i) {
+    integral += h.density(i) * width;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+  EXPECT_NEAR(h.center(32), 0.0625, 1e-12);
+}
+
+// -------------------------------------------------------------- clark ----
+
+TEST(Clark, IndependentStandardNormals) {
+  // E[max(X, Y)] = 1/sqrt(pi) for independent standard normals.
+  const ClarkMax m = clark_max(0.0, 1.0, 0.0, 1.0, 0.0);
+  EXPECT_NEAR(m.mean, 1.0 / std::sqrt(M_PI), 1e-12);
+  EXPECT_NEAR(m.tightness, 0.5, 1e-12);
+  // Var[max] = 1 - 1/pi.
+  EXPECT_NEAR(m.variance, 1.0 - 1.0 / M_PI, 1e-12);
+}
+
+TEST(Clark, PerfectlyCorrelatedEqualOperands) {
+  const ClarkMax m = clark_max(5.0, 2.0, 5.0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean, 5.0);
+  EXPECT_DOUBLE_EQ(m.variance, 2.0);
+  EXPECT_DOUBLE_EQ(m.tightness, 1.0);
+}
+
+TEST(Clark, DominantOperandWins) {
+  const ClarkMax m = clark_max(100.0, 1.0, 0.0, 1.0, 0.0);
+  EXPECT_NEAR(m.mean, 100.0, 1e-6);
+  EXPECT_NEAR(m.variance, 1.0, 1e-6);
+  EXPECT_NEAR(m.tightness, 1.0, 1e-9);
+}
+
+TEST(Clark, SymmetricInOperands) {
+  const ClarkMax ab = clark_max(3.0, 2.0, 4.0, 1.0, 0.3);
+  const ClarkMax ba = clark_max(4.0, 1.0, 3.0, 2.0, 0.3);
+  EXPECT_NEAR(ab.mean, ba.mean, 1e-12);
+  EXPECT_NEAR(ab.variance, ba.variance, 1e-12);
+  EXPECT_NEAR(ab.tightness, 1.0 - ba.tightness, 1e-12);
+}
+
+TEST(Clark, MatchesMonteCarlo) {
+  Rng rng(9);
+  const double m1 = 10.0, s1 = 2.0, m2 = 11.0, s2 = 1.5, rho = 0.4;
+  RunningStats rs;
+  int x_wins = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double z1 = rng.normal();
+    const double z2 = rho * z1 + std::sqrt(1.0 - rho * rho) * rng.normal();
+    const double x = m1 + s1 * z1;
+    const double y = m2 + s2 * z2;
+    rs.add(std::max(x, y));
+    if (x >= y) ++x_wins;
+  }
+  const ClarkMax m = clark_max(m1, s1 * s1, m2, s2 * s2, rho);
+  EXPECT_NEAR(m.mean, rs.mean(), 0.02);
+  EXPECT_NEAR(std::sqrt(m.variance), rs.stddev(), 0.02);
+  EXPECT_NEAR(m.tightness, static_cast<double>(x_wins) / n, 0.01);
+}
+
+TEST(Clark, MeanAtLeastBothOperands) {
+  const ClarkMax m = clark_max(1.0, 0.5, 1.2, 0.25, -0.5);
+  EXPECT_GE(m.mean, 1.2);
+  EXPECT_GE(m.variance, 0.0);
+}
+
+TEST(Clark, RejectsNegativeVariance) {
+  EXPECT_THROW(clark_max(0.0, -1.0, 0.0, 1.0, 0.0), Error);
+}
+
+TEST(Clark, RejectsBadCorrelation) {
+  EXPECT_THROW(clark_max(0.0, 1.0, 0.0, 1.0, 2.0), Error);
+}
+
+// ----------------------------------------------------------- lognormal ----
+
+TEST(Lognormal, MomentsClosedForm) {
+  const Lognormal ln{1.0, 0.25};
+  EXPECT_NEAR(ln.mean(), std::exp(1.125), 1e-12);
+  EXPECT_NEAR(ln.variance(),
+              (std::exp(0.25) - 1.0) * std::exp(2.0 + 0.25), 1e-9);
+  EXPECT_NEAR(ln.median(), std::exp(1.0), 1e-12);
+}
+
+TEST(Lognormal, FromMomentsRoundTrip) {
+  const Lognormal ln = Lognormal::from_moments(100.0, 400.0);
+  EXPECT_NEAR(ln.mean(), 100.0, 1e-9);
+  EXPECT_NEAR(ln.variance(), 400.0, 1e-6);
+}
+
+TEST(Lognormal, QuantileCdfInverse) {
+  const Lognormal ln = Lognormal::from_moments(50.0, 900.0);
+  for (double p : {0.01, 0.5, 0.95, 0.99}) {
+    EXPECT_NEAR(ln.cdf(ln.quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(Lognormal, CdfAtNonPositive) {
+  const Lognormal ln{0.0, 1.0};
+  EXPECT_EQ(ln.cdf(0.0), 0.0);
+  EXPECT_EQ(ln.cdf(-3.0), 0.0);
+}
+
+TEST(Lognormal, ZeroVarianceDegenerates) {
+  const Lognormal ln = Lognormal::from_moments(42.0, 0.0);
+  EXPECT_NEAR(ln.mean(), 42.0, 1e-9);
+  EXPECT_NEAR(ln.quantile(0.99), 42.0, 1e-6);
+}
+
+TEST(Lognormal, MatchesSampling) {
+  Rng rng(13);
+  const Lognormal ln{2.0, 0.09};
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) {
+    rs.add(std::exp(rng.normal(2.0, 0.3)));
+  }
+  EXPECT_NEAR(rs.mean(), ln.mean(), ln.mean() * 0.01);
+  EXPECT_NEAR(rs.stddev(), ln.stddev(), ln.stddev() * 0.02);
+}
+
+TEST(Lognormal, FromMomentsRejectsBadInput) {
+  EXPECT_THROW(Lognormal::from_moments(0.0, 1.0), Error);
+  EXPECT_THROW(Lognormal::from_moments(-1.0, 1.0), Error);
+  EXPECT_THROW(Lognormal::from_moments(1.0, -1.0), Error);
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.begin_row();
+  t.add("x");
+  t.add(1.5, 1);
+  t.begin_row();
+  t.add("longer");
+  t.add_int(42);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| x      | 1.5   |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 42    |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.add("plain");
+  t.add("has,comma");
+  t.begin_row();
+  t.add("has\"quote");
+  t.add("x");
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a,b\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,\"has,comma\"\n"), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\",x\n"), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.begin_row();
+  t.add("a");
+  EXPECT_THROW(t.add("b"), Error);
+}
+
+TEST(Table, AddBeforeBeginRowThrows) {
+  Table t({"c"});
+  EXPECT_THROW(t.add("x"), Error);
+}
+
+TEST(FormatSi, PicksPrefixes) {
+  EXPECT_EQ(format_si(1.5e-9, "A", 2), "1.50 nA");
+  EXPECT_EQ(format_si(2.5e-6, "A", 1), "2.5 uA");
+  EXPECT_EQ(format_si(3.0, "V", 0), "3 V");
+  EXPECT_EQ(format_si(4.2e3, "Hz", 1), "4.2 kHz");
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+}  // namespace
+}  // namespace statleak

@@ -1,0 +1,322 @@
+/// \file statleak_cli.cpp
+/// \brief The statleak command-line driver.
+///
+/// Subcommands (run with no arguments for usage):
+///
+///   gen <circuit> -o out.bench            generate a circuit
+///   stats <netlist.bench>                 structural statistics
+///   analyze <netlist.bench> [options]     STA + SSTA + leakage report
+///   optimize <netlist.bench> [options]    run a flow, write .impl sidecar
+///   mc <netlist.bench> [options]          Monte-Carlo report
+///
+/// Circuits for `gen`: any ISCAS85 proxy name (c432 .. c7552), or
+/// rca<N> / cla<N> / csel<N> / mult<N> / alu<N> / parity<N> / rand<N>.
+///
+/// The optimize/analyze/mc commands compose through .impl sidecars:
+///
+///   statleak gen c880 -o c880.bench
+///   statleak optimize c880.bench --tmax-factor 1.15 --eta 0.99 -o c880.impl
+///   statleak analyze c880.bench --impl c880.impl --tmax 1200
+///   statleak mc c880.bench --impl c880.impl --tmax 1200 --samples 10000
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/arithmetic.hpp"
+#include "gen/prefix.hpp"
+#include "gen/proxy.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/structures.hpp"
+#include "mc/monte_carlo.hpp"
+#include "mlv/mlv.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/impl_io.hpp"
+#include "opt/deterministic.hpp"
+#include "opt/metrics.hpp"
+#include "opt/statistical.hpp"
+#include "report/flow.hpp"
+#include "sta/sta.hpp"
+#include "tech/process.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace statleak;
+
+int usage() {
+  std::cerr <<
+      R"(statleak — statistical leakage optimization under process variation
+
+usage:
+  statleak gen <circuit> [-o out.bench]
+  statleak stats <netlist.bench>
+  statleak analyze <netlist.bench> [--impl f.impl] [--tmax ps] [--node 100|70]
+  statleak optimize <netlist.bench> [--flow stat|det] [--tmax ps |
+           --tmax-factor f] [--eta y] [--corner k] [--node 100|70]
+           [-o out.impl] [--write-bench out.bench]
+  statleak mc <netlist.bench> [--impl f.impl] [--tmax ps] [--samples n]
+           [--seed s] [--node 100|70]
+  statleak mlv <netlist.bench> [--impl f.impl] [--trials n] [--node 100|70]
+
+circuits for gen: c432 c499 c880 c1355 c1908 c2670 c3540 c5315 c6288 c7552
+                  rca<N> cla<N> csel<N> ks<N> mult<N> wal<N> alu<N> parity<N> rand<N>
+)";
+  return 2;
+}
+
+/// Minimal flag parser: positionals plus --key value / -o value pairs.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string tok = argv[i];
+      if (tok.rfind("--", 0) == 0 || tok == "-o") {
+        const std::string key = tok == "-o" ? "--out" : tok;
+        STATLEAK_CHECK(i + 1 < argc, "flag " + tok + " needs a value");
+        flags_.emplace_back(key, argv[++i]);
+      } else {
+        positional_.push_back(tok);
+      }
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    for (const auto& [k, v] : flags_) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+  long get_long(const std::string& key, long fallback) const {
+    const auto v = get(key);
+    return v ? std::atol(v->c_str()) : fallback;
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<std::string> positional_;
+};
+
+Circuit generate(const std::string& spec) {
+  const auto numeric_suffix = [&](const std::string& prefix) -> int {
+    return std::atoi(spec.substr(prefix.size()).c_str());
+  };
+  if (spec.rfind("rca", 0) == 0) {
+    return make_ripple_carry_adder(numeric_suffix("rca"));
+  }
+  if (spec.rfind("cla", 0) == 0) {
+    return make_carry_lookahead_adder(numeric_suffix("cla"));
+  }
+  if (spec.rfind("csel", 0) == 0) {
+    return make_carry_select_adder(numeric_suffix("csel"));
+  }
+  if (spec.rfind("mult", 0) == 0) {
+    return make_array_multiplier(numeric_suffix("mult"));
+  }
+  if (spec.rfind("ks", 0) == 0) {
+    return make_kogge_stone_adder(numeric_suffix("ks"));
+  }
+  if (spec.rfind("wal", 0) == 0) {
+    return make_wallace_multiplier(numeric_suffix("wal"));
+  }
+  if (spec.rfind("alu", 0) == 0) return make_alu(numeric_suffix("alu"));
+  if (spec.rfind("parity", 0) == 0) {
+    return make_parity_tree(numeric_suffix("parity"));
+  }
+  if (spec.rfind("rand", 0) == 0) {
+    RandomDagSpec r;
+    r.num_gates = numeric_suffix("rand");
+    return make_random_dag(r);
+  }
+  return iscas85_proxy(spec);  // throws with a clear message if unknown
+}
+
+CellLibrary make_library(const Args& args) {
+  const long node = args.get_long("--node", 100);
+  STATLEAK_CHECK(node == 100 || node == 70, "--node must be 100 or 70");
+  return CellLibrary(node == 100 ? generic_100nm() : generic_70nm());
+}
+
+void print_metrics(const CircuitMetrics& m, double t_max) {
+  Table t({"metric", "value"});
+  const auto row = [&](const std::string& k, const std::string& v) {
+    t.begin_row();
+    t.add(k);
+    t.add(v);
+  };
+  row("delay target", format_fixed(t_max, 1) + " ps");
+  row("nominal delay", format_fixed(m.nominal_delay_ps, 1) + " ps");
+  row("3-sigma corner delay", format_fixed(m.corner3_delay_ps, 1) + " ps");
+  row("delay mean / sigma (SSTA)",
+      format_fixed(m.ssta_delay_mean_ps, 1) + " / " +
+          format_fixed(m.ssta_delay_sigma_ps, 1) + " ps");
+  row("timing yield (SSTA)", format_fixed(m.timing_yield, 4));
+  row("leakage nominal", format_si(m.leakage_nominal_na * 1e-9, "A"));
+  row("leakage mean", format_si(m.leakage_mean_na * 1e-9, "A"));
+  row("leakage p95 / p99", format_si(m.leakage_p95_na * 1e-9, "A") + " / " +
+                               format_si(m.leakage_p99_na * 1e-9, "A"));
+  row("HVT cells", std::to_string(m.hvt_count) + " / " +
+                       std::to_string(m.cell_count) + " (" +
+                       format_fixed(100.0 * m.hvt_fraction, 1) + " %)");
+  row("area", format_fixed(m.area_um, 1) + " um device width");
+  t.print(std::cout);
+}
+
+Circuit load_circuit(const Args& args) {
+  STATLEAK_CHECK(!args.positional().empty(), "missing netlist argument");
+  Circuit c = read_bench_file(args.positional()[0]);
+  if (const auto impl = args.get("--impl")) {
+    const std::size_t updated = read_impl_file(*impl, c);
+    std::cout << "applied " << updated << " implementation entries from "
+              << *impl << "\n";
+  }
+  return c;
+}
+
+int cmd_gen(const Args& args) {
+  STATLEAK_CHECK(!args.positional().empty(), "gen needs a circuit spec");
+  const Circuit c = generate(args.positional()[0]);
+  const std::string out =
+      args.get("--out").value_or(c.name() + ".bench");
+  std::ofstream file(out);
+  STATLEAK_CHECK(file.good(), "cannot write " + out);
+  write_bench(file, c);
+  std::cout << "wrote " << out << " (" << c.num_cells() << " cells)\n";
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const Circuit c = load_circuit(args);
+  const CircuitStats s = circuit_stats(c);
+  std::cout << c.name() << ": " << s.num_cells << " cells, " << s.num_inputs
+            << " PIs, " << s.num_outputs << " POs, depth " << s.depth
+            << ", avg fanout " << format_fixed(s.avg_fanout, 2) << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  Circuit c = load_circuit(args);
+  const CellLibrary lib = make_library(args);
+  const VariationModel var = VariationModel::typical_100nm();
+  const double t_max = args.get_double(
+      "--tmax", 1.1 * StaEngine(c, lib).critical_delay_ps());
+  print_metrics(measure_metrics(c, lib, var, t_max), t_max);
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  Circuit c = load_circuit(args);
+  const CellLibrary lib = make_library(args);
+  const VariationModel var = VariationModel::typical_100nm();
+
+  OptConfig cfg;
+  if (const auto tmax = args.get("--tmax")) {
+    cfg.t_max_ps = std::atof(tmax->c_str());
+  } else {
+    const double factor = args.get_double("--tmax-factor", 1.15);
+    cfg.t_max_ps = factor * min_achievable_delay_ps(c, lib);
+  }
+  cfg.yield_target = args.get_double("--eta", 0.99);
+  cfg.corner_k_sigma = args.get_double("--corner", 3.0);
+
+  const std::string flow = args.get("--flow").value_or("stat");
+  OptResult result;
+  if (flow == "stat") {
+    result = StatisticalOptimizer(lib, var, cfg).run(c);
+  } else if (flow == "det") {
+    result = DeterministicOptimizer(lib, var, cfg).run(c);
+  } else {
+    throw Error("--flow must be 'stat' or 'det'");
+  }
+
+  std::cout << flow << " flow on " << c.name() << ": " << result.note
+            << " (" << result.sizing_commits << " upsizes, "
+            << result.hvt_commits << " HVT swaps, "
+            << result.downsize_commits << " downsizes)\n\n";
+  print_metrics(measure_metrics(c, lib, var, cfg.t_max_ps), cfg.t_max_ps);
+
+  const std::string out = args.get("--out").value_or(c.name() + ".impl");
+  write_impl_file(out, c);
+  std::cout << "\nwrote " << out << "\n";
+  if (const auto bench_out = args.get("--write-bench")) {
+    std::ofstream file(*bench_out);
+    STATLEAK_CHECK(file.good(), "cannot write " + *bench_out);
+    write_bench(file, c);
+    std::cout << "wrote " << *bench_out << "\n";
+  }
+  return 0;
+}
+
+int cmd_mc(const Args& args) {
+  Circuit c = load_circuit(args);
+  const CellLibrary lib = make_library(args);
+  const VariationModel var = VariationModel::typical_100nm();
+  McConfig mc;
+  mc.num_samples = static_cast<int>(args.get_long("--samples", 5000));
+  mc.seed = static_cast<std::uint64_t>(args.get_long("--seed", 42));
+  const double t_max = args.get_double(
+      "--tmax", 1.1 * StaEngine(c, lib).critical_delay_ps());
+
+  const McResult res = run_monte_carlo(c, lib, var, mc);
+  const SampleSummary d = res.delay_summary();
+  const SampleSummary l = res.leakage_summary();
+  std::cout << mc.num_samples << " dies of " << c.name() << ":\n"
+            << "  delay   mean " << format_fixed(d.mean, 1) << " ps, sigma "
+            << format_fixed(d.stddev, 1) << " ps, p99 "
+            << format_fixed(d.p99, 1) << " ps\n"
+            << "  leakage mean " << format_si(l.mean * 1e-9, "A")
+            << ", p99 " << format_si(l.p99 * 1e-9, "A") << "\n"
+            << "  timing yield at " << format_fixed(t_max, 1) << " ps: "
+            << format_fixed(res.timing_yield(t_max), 4) << " +/- "
+            << format_fixed(res.yield_stderr(t_max), 4) << "\n";
+  return 0;
+}
+
+int cmd_mlv(const Args& args) {
+  Circuit c = load_circuit(args);
+  const CellLibrary lib = make_library(args);
+  MlvConfig cfg;
+  cfg.random_trials = static_cast<int>(args.get_long("--trials", 128));
+  const MlvResult res = find_min_leakage_vector(c, lib, cfg);
+  std::cout << "standby leakage of " << c.name() << ": random mean "
+            << format_si(res.mean_leakage_na * 1e-9, "A") << ", worst "
+            << format_si(res.worst_leakage_na * 1e-9, "A")
+            << ", min-leakage vector "
+            << format_si(res.best_leakage_na * 1e-9, "A") << " ("
+            << format_fixed(100.0 * res.saving_vs_mean(), 1)
+            << " % below mean, " << res.evaluations << " evaluations)\n"
+            << "vector: ";
+  for (char bit : res.best_vector) std::cout << (bit ? '1' : '0');
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "optimize") return cmd_optimize(args);
+    if (cmd == "mc") return cmd_mc(args);
+    if (cmd == "mlv") return cmd_mlv(args);
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
