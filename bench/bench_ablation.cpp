@@ -31,7 +31,7 @@ void ablation_wilkinson(const bench::Setup& setup) {
                "---\n";
   Table table({"circuit", "MC p99 [uA]", "Wilkinson p99 [uA]",
                "indep-sum p99 [uA]", "Wilkinson err%", "indep err%"});
-  for (const std::string& name : {"c432p", "c880p", "c1908p"}) {
+  for (const std::string name : {"c432p", "c880p", "c1908p"}) {
     const Circuit c = iscas85_proxy(name);
     const LeakageAnalyzer an(c, setup.lib, setup.var);
     const LeakageDistribution full = an.distribution();
@@ -72,7 +72,7 @@ void ablation_clark(const bench::Setup& setup) {
   std::cout << "--- (b) Clark MAX vs max-of-means SSTA ---\n";
   Table table({"circuit", "MC delay mean [ps]", "Clark mean [ps]",
                "max-of-means [ps]", "Clark err%", "naive err%"});
-  for (const std::string& name : {"c432p", "c880p", "c1908p"}) {
+  for (const std::string name : {"c432p", "c880p", "c1908p"}) {
     const Circuit c = iscas85_proxy(name);
     const SstaEngine ssta(c, setup.lib, setup.var);
     const Canonical clark = ssta.circuit_delay();
@@ -112,7 +112,7 @@ void ablation_corner(const bench::Setup& setup) {
   std::cout << "--- (c) how strong can the deterministic baseline get? ---\n";
   Table table({"circuit", "saving vs det@3sigma %",
                "saving vs auto-corner %", "auto corner k"});
-  for (const std::string& name : {"c432p", "c880p"}) {
+  for (const std::string name : {"c432p", "c880p"}) {
     Circuit c1 = iscas85_proxy(name);
     FlowConfig fixed;
     fixed.det_corner_k = 3.0;
@@ -145,7 +145,7 @@ void ablation_quadratic(const bench::Setup& setup) {
 
   Table table({"circuit", "linear p99 [uA]", "quadratic p99 [uA]",
                "tail inflation %"});
-  for (const std::string& name : {"c432p", "c880p"}) {
+  for (const std::string name : {"c432p", "c880p"}) {
     const Circuit c = iscas85_proxy(name);
     const double lin =
         LeakageAnalyzer(c, setup.lib, setup.var).quantile_na(0.99);

@@ -39,7 +39,7 @@ int main() {
                "timing yield+ABB", "combined yield", "combined+ABB",
                "RBB dies %", "FBB dies %"});
 
-  for (const std::string& name : {"c432p", "c880p", "c1908p"}) {
+  for (const std::string name : {"c432p", "c880p", "c1908p"}) {
     for (const bool optimized : {false, true}) {
       Circuit c = iscas85_proxy(name);
       double t_max = 0.0;

@@ -25,7 +25,7 @@ int main() {
 
   Table table({"circuit", "impl", "mean [uA]", "worst [uA]", "MLV [uA]",
                "saving vs mean %", "evals"});
-  for (const std::string& name : {"c432p", "c880p", "c1908p", "c3540p"}) {
+  for (const std::string name : {"c432p", "c880p", "c1908p", "c3540p"}) {
     for (const bool optimized : {false, true}) {
       Circuit c = iscas85_proxy(name);
       if (optimized) {

@@ -29,7 +29,7 @@ int main() {
   Table table({"circuit", "node", "impl", "dyn [uW]", "leak mean [uW]",
                "leak p99 [uW]", "leak share %", "share on p99 die %"});
 
-  for (const std::string& name : {"c432p", "c880p"}) {
+  for (const std::string name : {"c432p", "c880p"}) {
     for (const bool newer_node : {false, true}) {
       const ProcessNode node = newer_node ? generic_70nm() : generic_100nm();
       const CellLibrary lib(node);

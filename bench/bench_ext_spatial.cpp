@@ -40,7 +40,7 @@ int main() {
   Table leak({"circuit", "MC p99(L) [uA]", "flat p99 [uA]",
               "spatial p99 [uA]", "flat err%", "spatial err%"});
 
-  for (const std::string& name : {"c432p", "c880p", "c1908p", "c3540p"}) {
+  for (const std::string name : {"c432p", "c880p", "c1908p", "c3540p"}) {
     const Circuit c = iscas85_proxy(name);
     const auto placement = make_topological_placement(c, 11);
 

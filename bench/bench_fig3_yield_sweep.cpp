@@ -24,7 +24,7 @@ int main() {
                       "det@3sigma reference)");
 
   const std::vector<double> etas = {0.84, 0.90, 0.95, 0.99, 0.999};
-  for (const std::string& name : {"c499p", "c880p"}) {
+  for (const std::string name : {"c499p", "c880p"}) {
     std::cout << "--- " << name << " ---\n";
     Table table({"eta", "stat p99 [uA]", "stat yield", "det p99 [uA]",
                  "saving %", "stat HVT %"});

@@ -137,6 +137,7 @@ void BM_MonteCarloSample(benchmark::State& state) {
   const Circuit c = iscas85_proxy("c880p");
   McConfig cfg;
   cfg.num_samples = 100;
+  cfg.num_threads = 1;
   for (auto _ : state) {
     const McResult res = run_monte_carlo(c, lib(), var(), cfg);
     benchmark::DoNotOptimize(res.delay_ps.back());
@@ -144,6 +145,55 @@ void BM_MonteCarloSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_MonteCarloSample)->Unit(benchmark::kMillisecond);
+
+// ------------------------------ threads scaling (tentpole acceptance) -----
+
+// 10k-sample Monte-Carlo on a c-series circuit vs worker count. Output is
+// bit-identical across the series (counter-based sample streams); only the
+// wall clock should move. items_per_second is samples/s.
+void BM_MonteCarloThreads(benchmark::State& state) {
+  const Circuit c = iscas85_proxy("c880p");
+  McConfig cfg;
+  cfg.num_samples = 10000;
+  cfg.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const McResult res = run_monte_carlo(c, lib(), var(), cfg);
+    benchmark::DoNotOptimize(res.delay_ps.back());
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_samples);
+  state.counters["threads"] = static_cast<double>(cfg.num_threads);
+}
+BENCHMARK(BM_MonteCarloThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+// Statistical-optimizer candidate scoring vs worker count on a 1000-cell
+// DAG; the committed implementation (and OptResult) is identical per arg.
+void BM_StatisticalOptimizerThreads(benchmark::State& state) {
+  Circuit base = sized_dag(1000);
+  OptConfig cfg;
+  cfg.t_max_ps = 1.2 * StaEngine(base, lib()).critical_delay_ps();
+  cfg.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Circuit c = base;
+    const OptResult r = StatisticalOptimizer(lib(), var(), cfg).run(c);
+    benchmark::DoNotOptimize(r.final_objective);
+  }
+  state.counters["threads"] = static_cast<double>(cfg.num_threads);
+}
+BENCHMARK(BM_StatisticalOptimizerThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -23,7 +23,7 @@ int main() {
                       "HVT fraction vs T/Dmin (det@3sigma vs stat, eta = "
                       "0.99)");
 
-  for (const std::string& name : {"c432p", "c880p"}) {
+  for (const std::string name : {"c432p", "c880p"}) {
     std::cout << "--- " << name << " ---\n";
     Circuit base = iscas85_proxy(name);
     const double d_min = min_achievable_delay_ps(base, setup.lib);

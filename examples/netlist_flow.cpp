@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
   OptConfig cfg;
   cfg.t_max_ps = t_factor * d_min;
   cfg.yield_target = 0.99;
+  cfg.num_threads = 0;  // scoring on all cores; result is thread-invariant
   const OptResult r = StatisticalOptimizer(lib, var, cfg).run(circuit);
 
   // Equivalence check: implementation choices must not change the function.
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
   const CircuitMetrics m = measure_metrics(circuit, lib, var, cfg.t_max_ps);
   McConfig mc;
   mc.num_samples = 5000;
+  mc.num_threads = 0;  // parallel sampling; identical samples on any machine
   const McResult mcr = run_monte_carlo(circuit, lib, var, mc);
 
   std::cout << "\nsignoff report (" << (r.feasible ? "CLEAN" : "VIOLATED")

@@ -6,6 +6,7 @@
 #include "leakage/leakage.hpp"
 #include "sta/sta.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace statleak {
@@ -57,72 +58,82 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
 
   StaEngine sta(circuit, lib);
   LeakageAnalyzer leakage(circuit, lib, var);
-  Rng rng(mc.seed);
   const std::vector<double> ladder = abb.ladder();
 
   const std::size_t n = circuit.num_gates();
-  std::vector<ParamSample> samples(n);
-  std::vector<ParamSample> biased(n);
-  std::vector<double> scratch;
   std::vector<double> widths(n, -1.0);
   for (std::size_t id = 0; id < n; ++id) {
     const Gate& g = circuit.gate(static_cast<GateId>(id));
     if (g.kind != CellKind::kInput) widths[id] = lib.area_um(g.kind, g.size);
   }
 
+  const auto num_samples = static_cast<std::size_t>(mc.num_samples);
   AbbResult result;
-  result.baseline.delay_ps.reserve(static_cast<std::size_t>(mc.num_samples));
-  result.compensated.delay_ps.reserve(
-      static_cast<std::size_t>(mc.num_samples));
+  result.baseline.delay_ps.assign(num_samples, 0.0);
+  result.baseline.leakage_na.assign(num_samples, 0.0);
+  result.compensated.delay_ps.assign(num_samples, 0.0);
+  result.compensated.leakage_na.assign(num_samples, 0.0);
+  result.bias_v.assign(num_samples, 0.0);
 
-  for (int s = 0; s < mc.num_samples; ++s) {
-    const GlobalSample die = sample_global(var, rng);
-    for (std::size_t id = 0; id < n; ++id) {
-      samples[id] = sample_gate(var, die, rng, widths[id]);
-    }
-    result.baseline.delay_ps.push_back(
-        sta.critical_delay_sample_ps(samples, mc.exact_delay, scratch));
-    result.baseline.leakage_na.push_back(leakage.total_sample_na(samples));
+  // Die i reuses the Monte-Carlo engine's counter-derived stream i, so the
+  // baseline population is bit-identical to run_monte_carlo with the same
+  // config (the experiment is paired) — for any thread count of either.
+  parallel_for(
+      mc.num_threads, num_samples,
+      [&](std::size_t begin, std::size_t end, int /*worker*/) {
+        std::vector<ParamSample> samples(n);
+        std::vector<ParamSample> biased(n);
+        std::vector<double> scratch;
+        for (std::size_t s = begin; s < end; ++s) {
+          Rng rng = Rng::stream(mc.seed, s);
+          const GlobalSample die = sample_global(var, rng);
+          for (std::size_t id = 0; id < n; ++id) {
+            samples[id] = sample_gate(var, die, rng, widths[id]);
+          }
+          result.baseline.delay_ps[s] =
+              sta.critical_delay_sample_ps(samples, mc.exact_delay, scratch);
+          result.baseline.leakage_na[s] = leakage.total_sample_na(samples);
 
-    // Sweep the ladder: min leakage subject to delay <= T; if nothing
-    // meets T, the fastest (most forward) setting.
-    double best_bias = ladder.front();
-    double best_leak = std::numeric_limits<double>::infinity();
-    double best_delay = std::numeric_limits<double>::infinity();
-    bool any_feasible = false;
-    double fastest_delay = std::numeric_limits<double>::infinity();
-    double fastest_bias = 0.0;
-    double fastest_leak = 0.0;
-    for (double vbb : ladder) {
-      const double dvth = -abb.k_body_v_per_v * vbb;
-      for (std::size_t id = 0; id < n; ++id) {
-        biased[id] = samples[id];
-        biased[id].dvth_v += dvth;
-      }
-      const double delay =
-          sta.critical_delay_sample_ps(biased, mc.exact_delay, scratch);
-      const double leak = leakage.total_sample_na(biased);
-      if (delay < fastest_delay) {
-        fastest_delay = delay;
-        fastest_bias = vbb;
-        fastest_leak = leak;
-      }
-      if (delay <= t_max_ps && leak < best_leak) {
-        any_feasible = true;
-        best_leak = leak;
-        best_bias = vbb;
-        best_delay = delay;
-      }
-    }
-    if (!any_feasible) {
-      best_bias = fastest_bias;
-      best_delay = fastest_delay;
-      best_leak = fastest_leak;
-    }
-    result.compensated.delay_ps.push_back(best_delay);
-    result.compensated.leakage_na.push_back(best_leak);
-    result.bias_v.push_back(best_bias);
-  }
+          // Sweep the ladder: min leakage subject to delay <= T; if nothing
+          // meets T, the fastest (most forward) setting.
+          double best_bias = ladder.front();
+          double best_leak = std::numeric_limits<double>::infinity();
+          double best_delay = std::numeric_limits<double>::infinity();
+          bool any_feasible = false;
+          double fastest_delay = std::numeric_limits<double>::infinity();
+          double fastest_bias = 0.0;
+          double fastest_leak = 0.0;
+          for (double vbb : ladder) {
+            const double dvth = -abb.k_body_v_per_v * vbb;
+            for (std::size_t id = 0; id < n; ++id) {
+              biased[id] = samples[id];
+              biased[id].dvth_v += dvth;
+            }
+            const double delay =
+                sta.critical_delay_sample_ps(biased, mc.exact_delay, scratch);
+            const double leak = leakage.total_sample_na(biased);
+            if (delay < fastest_delay) {
+              fastest_delay = delay;
+              fastest_bias = vbb;
+              fastest_leak = leak;
+            }
+            if (delay <= t_max_ps && leak < best_leak) {
+              any_feasible = true;
+              best_leak = leak;
+              best_bias = vbb;
+              best_delay = delay;
+            }
+          }
+          if (!any_feasible) {
+            best_bias = fastest_bias;
+            best_delay = fastest_delay;
+            best_leak = fastest_leak;
+          }
+          result.compensated.delay_ps[s] = best_delay;
+          result.compensated.leakage_na[s] = best_leak;
+          result.bias_v[s] = best_bias;
+        }
+      });
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include "leakage/leakage.hpp"
 #include "sta/sta.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace statleak {
@@ -40,13 +41,13 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
   STATLEAK_CHECK(config.num_samples > 0, "need at least one sample");
   var.validate();
 
+  // Shared, read-only during the sample loop: the engines' per-sample entry
+  // points are const and take caller-owned scratch, so one instance serves
+  // every worker.
   StaEngine sta(circuit, lib);
   LeakageAnalyzer leakage(circuit, lib, var);
-  Rng rng(config.seed);
 
   const std::size_t n = circuit.num_gates();
-  std::vector<ParamSample> samples(n);
-  std::vector<double> scratch;
 
   // Device widths feed the (optional) Pelgrom scaling of intra-die Vth
   // sigma; widths are fixed for the whole run.
@@ -56,19 +57,30 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
     if (g.kind != CellKind::kInput) widths[id] = lib.area_um(g.kind, g.size);
   }
 
+  const auto num_samples = static_cast<std::size_t>(config.num_samples);
   McResult result;
-  result.delay_ps.reserve(static_cast<std::size_t>(config.num_samples));
-  result.leakage_na.reserve(static_cast<std::size_t>(config.num_samples));
+  result.delay_ps.assign(num_samples, 0.0);
+  result.leakage_na.assign(num_samples, 0.0);
 
-  for (int s = 0; s < config.num_samples; ++s) {
-    const GlobalSample die = sample_global(var, rng);
-    for (std::size_t id = 0; id < n; ++id) {
-      samples[id] = sample_gate(var, die, rng, widths[id]);
-    }
-    result.delay_ps.push_back(
-        sta.critical_delay_sample_ps(samples, config.exact_delay, scratch));
-    result.leakage_na.push_back(leakage.total_sample_na(samples));
-  }
+  // Sample i draws exclusively from its counter-derived stream and writes
+  // slots i of the result vectors, so shard boundaries (and hence the
+  // thread count) cannot change a single bit of the output.
+  parallel_for(
+      config.num_threads, num_samples,
+      [&](std::size_t begin, std::size_t end, int /*worker*/) {
+        std::vector<ParamSample> samples(n);
+        std::vector<double> scratch;
+        for (std::size_t s = begin; s < end; ++s) {
+          Rng rng = Rng::stream(config.seed, s);
+          const GlobalSample die = sample_global(var, rng);
+          for (std::size_t id = 0; id < n; ++id) {
+            samples[id] = sample_gate(var, die, rng, widths[id]);
+          }
+          result.delay_ps[s] = sta.critical_delay_sample_ps(
+              samples, config.exact_delay, scratch);
+          result.leakage_na[s] = leakage.total_sample_na(samples);
+        }
+      });
   return result;
 }
 

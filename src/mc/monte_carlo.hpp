@@ -7,6 +7,11 @@
 /// sample leakage is the exact sum of per-gate exponential leakages. This is
 /// the reference the SSTA and Wilkinson approximations are validated against
 /// (experiment F4) and the source of the distribution histograms (F1).
+///
+/// Samples are embarrassingly parallel: each draws from a counter-derived
+/// RNG stream (seed x sample index) and the loop is sharded over a thread
+/// pool, with results written by sample index — bit-identical output for
+/// any `num_threads`.
 
 #pragma once
 
@@ -26,6 +31,10 @@ struct McConfig {
   std::uint64_t seed = 42;
   /// Exact alpha-power delay per gate instead of the first-order multiplier.
   bool exact_delay = false;
+  /// Worker threads for the sample loop; 0 = hardware_concurrency. Sample i
+  /// draws from its own counter-derived RNG stream (see util/rng.hpp), so
+  /// the result is bit-identical for every thread count.
+  int num_threads = 0;
 };
 
 struct McResult {

@@ -37,6 +37,12 @@ struct OptConfig {
   /// Rounds of the assignment phase; locked moves are retried once per
   /// round because downsizing can free up timing room elsewhere.
   int assignment_rounds = 3;
+
+  /// Worker threads for the statistical optimizer's candidate-scoring
+  /// loops; 0 = hardware_concurrency. Scoring is read-only per candidate
+  /// and sharded by gate index with an in-order reduction, so the chosen
+  /// moves — and thus the OptResult — are identical for every thread count.
+  int num_threads = 0;
 };
 
 /// What an optimizer run did.

@@ -8,6 +8,7 @@
 #include "opt/metrics.hpp"
 #include "ssta/ssta.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace statleak {
 
@@ -53,6 +54,42 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
     return lib_.delay_ps(g.kind, vth, size, ssta.loads().load_ff(id));
   };
 
+  // ------------------------------------------ parallel candidate scoring ----
+  // Move pricing in phases 1 and 2 is read-only per candidate (const queries
+  // on the SSTA snapshot, load cache and leakage analyzer), so it is sharded
+  // by gate index over a pool that lives for the whole run. Each shard keeps
+  // the serial rule "first strictly-greater score wins, ids ascending"; the
+  // shards are then reduced in index order, which reproduces the serial
+  // winner exactly — commits stay serial, so the optimization trajectory is
+  // identical for every thread count.
+  ThreadPool pool(config_.num_threads);
+
+  struct Candidate {
+    double score = 0.0;
+    GateId gate = kInvalidGate;
+    std::size_t step = 0;   // phase-1 payload: target size step
+    bool to_hvt = false;    // phase-2 payload: Vth swap vs downsize
+    double new_size = 0.0;  // phase-2 payload: downsize target
+  };
+  const auto best_candidate =
+      [&](const std::function<void(GateId, Candidate&)>& score_gate) {
+        std::vector<Candidate> shard_best(static_cast<std::size_t>(pool.size()));
+        pool.parallel_for(
+            circuit.num_gates(),
+            [&](std::size_t lo, std::size_t hi, int worker) {
+              Candidate local;
+              for (std::size_t i = lo; i < hi; ++i) {
+                score_gate(static_cast<GateId>(i), local);
+              }
+              shard_best[static_cast<std::size_t>(worker)] = local;
+            });
+        Candidate best;
+        for (const Candidate& c : shard_best) {
+          if (c.score > best.score) best = c;
+        }
+        return best;
+      };
+
   // ------------------------------------------------ snapshot machinery ----
   struct Snapshot {
     std::vector<double> sizes;
@@ -91,45 +128,42 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
       yield = timing.yield(t_max);
       if (yield >= target) break;
 
-      GateId best = kInvalidGate;
-      std::size_t best_step = 0;
-      double best_score = 0.0;
-      for (GateId id = 0; id < circuit.num_gates(); ++id) {
-        const Gate& g = circuit.gate(id);
-        if (g.kind == CellKind::kInput) continue;
-        if (timing.criticality[id] < kCritFloor) continue;
-        const std::size_t step = lib_.nearest_step(g.size);
-        if (step + 1 >= steps.size()) continue;
-        if (locked.count({id, step + 1}) != 0) continue;
-        const double next_size = steps[step + 1];
+      // Invariant for the whole scan; hoisted out of the per-gate pricing.
+      const double q_now = leak.quantile_na(pct);
+      const Candidate best =
+          best_candidate([&](GateId id, Candidate& local) {
+            const Gate& g = circuit.gate(id);
+            if (g.kind == CellKind::kInput) return;
+            if (timing.criticality[id] < kCritFloor) return;
+            const std::size_t step = lib_.nearest_step(g.size);
+            if (step + 1 >= steps.size()) return;
+            if (locked.count({id, step + 1}) != 0) return;
+            const double next_size = steps[step + 1];
 
-        const double gain =
-            own_delay(id, g.vth, g.size) - own_delay(id, g.vth, next_size);
-        if (gain <= kEps) continue;
-        const double dleak_pct =
-            leak.quantile_if_na(id, g.vth, next_size, pct) -
-            leak.quantile_na(pct);
-        const double score =
-            timing.criticality[id] * gain / std::max(dleak_pct, 1e-6);
-        if (score > best_score) {
-          best_score = score;
-          best = id;
-          best_step = step + 1;
-        }
-      }
-      if (best == kInvalidGate) break;  // no upsizing can help further
+            const double gain =
+                own_delay(id, g.vth, g.size) - own_delay(id, g.vth, next_size);
+            if (gain <= kEps) return;
+            const double dleak_pct =
+                leak.quantile_if_na(id, g.vth, next_size, pct) - q_now;
+            const double score =
+                timing.criticality[id] * gain / std::max(dleak_pct, 1e-6);
+            if (score > local.score) {
+              local = Candidate{score, id, step + 1, false, 0.0};
+            }
+          });
+      if (best.gate == kInvalidGate) break;  // no upsizing can help further
 
-      circuit.set_size(best, steps[best_step]);
-      ssta.on_resize(best);
+      circuit.set_size(best.gate, steps[best.step]);
+      ssta.on_resize(best.gate);
       const double new_yield = ssta.circuit_delay().cdf(t_max);
       if (new_yield <= yield + 1e-12) {
         // Fanin load coupling ate the gain: undo and lock this step.
-        circuit.set_size(best, steps[best_step - 1]);
-        ssta.on_resize(best);
-        locked.insert({best, best_step});
+        circuit.set_size(best.gate, steps[best.step - 1]);
+        ssta.on_resize(best.gate);
+        locked.insert({best.gate, best.step});
         ++result.rejected_moves;
       } else {
-        leak.on_gate_changed(best);
+        leak.on_gate_changed(best.gate);
         yield = new_yield;
         ++result.sizing_commits;
       }
@@ -141,11 +175,6 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
   // `best_effort` permits moves that do not erode the current yield even if
   // eta itself is unreachable.
   const auto phase_assign = [&](bool best_effort) {
-    struct Move {
-      GateId gate = kInvalidGate;
-      bool to_hvt = false;
-      double new_size = 0.0;
-    };
     std::set<std::pair<GateId, int>> locked;  // (gate, 0 = hvt, 1 = down)
 
     for (int round = 0; round < config_.assignment_rounds; ++round) {
@@ -158,43 +187,40 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
         const double cur_yield = timing.yield(t_max);
         const double q_now = leak.quantile_na(pct);
 
-        Move best;
-        double best_score = 0.0;
-        for (GateId id = 0; id < circuit.num_gates(); ++id) {
-          const Gate& g = circuit.gate(id);
-          if (g.kind == CellKind::kInput) continue;
-          const double crit = std::max(timing.criticality[id], kCritFloor);
-          const double d_now = own_delay(id, g.vth, g.size);
+        const Candidate best =
+            best_candidate([&](GateId id, Candidate& local) {
+              const Gate& g = circuit.gate(id);
+              if (g.kind == CellKind::kInput) return;
+              const double crit = std::max(timing.criticality[id], kCritFloor);
+              const double d_now = own_delay(id, g.vth, g.size);
 
-          if (g.vth == Vth::kLow && locked.count({id, 0}) == 0) {
-            const double dd = own_delay(id, Vth::kHigh, g.size) - d_now;
-            const double benefit =
-                q_now - leak.quantile_if_na(id, Vth::kHigh, g.size, pct);
-            if (benefit > 0.0) {
-              const double score =
-                  benefit / (crit * std::max(dd, kEps) + kEps);
-              if (score > best_score) {
-                best_score = score;
-                best = Move{id, true, 0.0};
+              if (g.vth == Vth::kLow && locked.count({id, 0}) == 0) {
+                const double dd = own_delay(id, Vth::kHigh, g.size) - d_now;
+                const double benefit =
+                    q_now - leak.quantile_if_na(id, Vth::kHigh, g.size, pct);
+                if (benefit > 0.0) {
+                  const double score =
+                      benefit / (crit * std::max(dd, kEps) + kEps);
+                  if (score > local.score) {
+                    local = Candidate{score, id, 0, true, 0.0};
+                  }
+                }
               }
-            }
-          }
-          const std::size_t step = lib_.nearest_step(g.size);
-          if (step > 0 && locked.count({id, 1}) == 0) {
-            const double smaller = steps[step - 1];
-            const double dd = own_delay(id, g.vth, smaller) - d_now;
-            const double benefit =
-                q_now - leak.quantile_if_na(id, g.vth, smaller, pct);
-            if (benefit > 0.0) {
-              const double score =
-                  benefit / (crit * std::max(dd, kEps) + kEps);
-              if (score > best_score) {
-                best_score = score;
-                best = Move{id, false, smaller};
+              const std::size_t step = lib_.nearest_step(g.size);
+              if (step > 0 && locked.count({id, 1}) == 0) {
+                const double smaller = steps[step - 1];
+                const double dd = own_delay(id, g.vth, smaller) - d_now;
+                const double benefit =
+                    q_now - leak.quantile_if_na(id, g.vth, smaller, pct);
+                if (benefit > 0.0) {
+                  const double score =
+                      benefit / (crit * std::max(dd, kEps) + kEps);
+                  if (score > local.score) {
+                    local = Candidate{score, id, 0, false, smaller};
+                  }
+                }
               }
-            }
-          }
-        }
+            });
         if (best.gate == kInvalidGate) break;
 
         // Tentative apply + full SSTA validation.

@@ -54,7 +54,9 @@ double min_achievable_delay_ps(const Circuit& circuit,
   Circuit scratch = circuit;
   OptConfig cfg;
   cfg.t_max_ps = 1e-3;  // unreachable: forces full upsizing
-  DeterministicOptimizer sizer(lib, VariationModel::none(), cfg);
+  // Named: the optimizer keeps a reference, so a temporary would dangle.
+  const VariationModel no_var = VariationModel::none();
+  DeterministicOptimizer sizer(lib, no_var, cfg);
   (void)sizer.run(scratch);
   return StaEngine(scratch, lib).critical_delay_ps();
 }

@@ -4,6 +4,7 @@
 
 #include "sta/sta.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace statleak {
@@ -73,7 +74,6 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
 
   StaEngine sta(circuit, lib);
   LeakageAnalyzer leakage(circuit, lib, model.base);
-  Rng rng(config.seed);
 
   const std::size_t n = circuit.num_gates();
   std::vector<int> regions(n);
@@ -81,21 +81,29 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
     regions[id] = model.region_of(placement[id]);
   }
 
-  std::vector<ParamSample> samples(n);
-  std::vector<double> scratch;
+  const auto num_samples = static_cast<std::size_t>(config.num_samples);
   McResult result;
-  result.delay_ps.reserve(static_cast<std::size_t>(config.num_samples));
-  result.leakage_na.reserve(static_cast<std::size_t>(config.num_samples));
+  result.delay_ps.assign(num_samples, 0.0);
+  result.leakage_na.assign(num_samples, 0.0);
 
-  for (int s = 0; s < config.num_samples; ++s) {
-    const SpatialDieSample die = sample_spatial_die(model, rng);
-    for (std::size_t id = 0; id < n; ++id) {
-      samples[id] = sample_spatial_gate(model, die, regions[id], rng);
-    }
-    result.delay_ps.push_back(
-        sta.critical_delay_sample_ps(samples, config.exact_delay, scratch));
-    result.leakage_na.push_back(leakage.total_sample_na(samples));
-  }
+  // Same counter-based sharding as the flat run_monte_carlo: sample i owns
+  // stream i and slot i, so output is bit-identical for any thread count.
+  parallel_for(
+      config.num_threads, num_samples,
+      [&](std::size_t begin, std::size_t end, int /*worker*/) {
+        std::vector<ParamSample> samples(n);
+        std::vector<double> scratch;
+        for (std::size_t s = begin; s < end; ++s) {
+          Rng rng = Rng::stream(config.seed, s);
+          const SpatialDieSample die = sample_spatial_die(model, rng);
+          for (std::size_t id = 0; id < n; ++id) {
+            samples[id] = sample_spatial_gate(model, die, regions[id], rng);
+          }
+          result.delay_ps[s] = sta.critical_delay_sample_ps(
+              samples, config.exact_delay, scratch);
+          result.leakage_na[s] = leakage.total_sample_na(samples);
+        }
+      });
   return result;
 }
 

@@ -10,10 +10,7 @@ namespace {
 
 std::uint64_t splitmix64(std::uint64_t& x) {
   x += 0x9E3779B97F4A7C15ull;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return mix64(x);
 }
 
 std::uint64_t rotl(std::uint64_t x, int k) {
@@ -21,6 +18,21 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }
 
 }  // namespace
+
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t counter) {
+  // Weyl-step both inputs with distinct odd constants before mixing so that
+  // (seed, counter) and (seed + 1, counter - 1)-style collisions cannot
+  // alias, then finalize; mix64 is bijective, so distinct counters under one
+  // seed always yield distinct stream seeds.
+  return mix64(mix64(seed + 0x9E3779B97F4A7C15ull) ^
+               (counter + 1) * 0xD1B54A32D192ED03ull);
+}
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;

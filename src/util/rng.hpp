@@ -14,6 +14,18 @@
 
 namespace statleak {
 
+/// Stateless splitmix64 finalizer: a high-quality 64-bit bijective mixer.
+/// Building block of the counter-based stream derivation below.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Counter-based stream derivation: the seed of logical stream `counter`
+/// under master seed `seed`. Two mix64 rounds decorrelate streams even for
+/// adjacent counters, and the result depends only on (seed, counter) — not
+/// on how many draws any other stream consumed. This is what lets the
+/// Monte-Carlo engine give sample i its own generator, making the output
+/// independent of sample evaluation order and hence of the thread count.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t counter);
+
 /// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
@@ -48,6 +60,13 @@ class Rng {
   /// Splits off an independently seeded child generator. Used to give each
   /// Monte-Carlo worker / sample block its own stream.
   Rng split();
+
+  /// Counter-derived generator for logical stream `counter` of `seed`:
+  /// Rng(stream_seed(seed, counter)). Unlike split(), this does not consume
+  /// state from any parent, so stream i is reproducible in isolation.
+  static Rng stream(std::uint64_t seed, std::uint64_t counter) {
+    return Rng(stream_seed(seed, counter));
+  }
 
  private:
   std::array<std::uint64_t, 4> state_{};

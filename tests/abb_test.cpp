@@ -26,7 +26,9 @@ TEST(BodyBias, LadderContainsZeroAndIsAscending) {
   bool has_zero = false;
   for (std::size_t i = 0; i < ladder.size(); ++i) {
     if (ladder[i] == 0.0) has_zero = true;
-    if (i > 0) EXPECT_GT(ladder[i], ladder[i - 1]);
+    if (i > 0) {
+      EXPECT_GT(ladder[i], ladder[i - 1]);
+    }
   }
   EXPECT_TRUE(has_zero);
   EXPECT_NEAR(ladder.front(), abb.vbb_min_v, 1e-12);

@@ -25,17 +25,6 @@ void pack(std::vector<char>& in, std::size_t offset, std::uint64_t value,
   }
 }
 
-/// Reads a bit vector of gate ids back into an integer.
-std::uint64_t unpack(const std::vector<char>& values, const Circuit& c,
-                     const std::string& base, int bits) {
-  std::uint64_t out = 0;
-  for (int i = 0; i < bits; ++i) {
-    const GateId id = c.find(base + std::to_string(i));
-    if (id != kInvalidGate && values[id]) out |= 1ull << i;
-  }
-  return out;
-}
-
 /// Sums output bits of an adder circuit (sum0..sumN-1 are the first N
 /// outputs in order; carry is the last output).
 std::uint64_t read_adder(const std::vector<char>& values, const Circuit& c,

@@ -33,6 +33,45 @@ TEST_F(McTest, DeterministicForSeed) {
   }
 }
 
+TEST_F(McTest, BitIdenticalAcrossThreadCounts) {
+  // The tentpole property: sharding over any worker count must not change a
+  // single bit of the result, because sample i owns counter-derived stream i
+  // and writes slot i.
+  McConfig cfg;
+  cfg.num_samples = 500;
+  cfg.seed = 5;
+  cfg.num_threads = 1;
+  const McResult ref = run_monte_carlo(circuit_, lib_, var_, cfg);
+  for (int threads : {2, 8}) {
+    cfg.num_threads = threads;
+    const McResult res = run_monte_carlo(circuit_, lib_, var_, cfg);
+    ASSERT_EQ(ref.delay_ps.size(), res.delay_ps.size());
+    for (std::size_t i = 0; i < ref.delay_ps.size(); ++i) {
+      ASSERT_EQ(ref.delay_ps[i], res.delay_ps[i])
+          << "threads = " << threads << ", sample " << i;
+      ASSERT_EQ(ref.leakage_na[i], res.leakage_na[i])
+          << "threads = " << threads << ", sample " << i;
+    }
+  }
+}
+
+TEST_F(McTest, SampleStreamsIndependentOfSampleCount) {
+  // Counter-based streams: sample i's draws depend only on (seed, i), never
+  // on how many samples ran before it. A shorter run is a strict prefix of
+  // a longer one.
+  McConfig small;
+  small.num_samples = 50;
+  small.seed = 11;
+  McConfig large = small;
+  large.num_samples = 200;
+  const McResult a = run_monte_carlo(circuit_, lib_, var_, small);
+  const McResult b = run_monte_carlo(circuit_, lib_, var_, large);
+  for (std::size_t i = 0; i < a.delay_ps.size(); ++i) {
+    ASSERT_EQ(a.delay_ps[i], b.delay_ps[i]) << "sample " << i;
+    ASSERT_EQ(a.leakage_na[i], b.leakage_na[i]) << "sample " << i;
+  }
+}
+
 TEST_F(McTest, DifferentSeedsDiffer) {
   McConfig cfg;
   cfg.num_samples = 100;

@@ -227,6 +227,36 @@ TEST_F(OptTest, StatRejectsBadConfig) {
   EXPECT_THROW(StatisticalOptimizer(lib_, var_, cfg), Error);
 }
 
+TEST_F(OptTest, StatThreadCountInvariance) {
+  // Candidate scoring is sharded by gate index and reduced in order, so the
+  // greedy trajectory — every commit, and thus the whole OptResult and the
+  // final implementation — must be identical single- vs multi-threaded.
+  const Circuit base = make_carry_lookahead_adder(10);
+  OptConfig cfg;
+  cfg.t_max_ps = 1.25 * StaEngine(base, lib_).critical_delay_ps();
+  cfg.num_threads = 1;
+  Circuit serial = base;
+  const OptResult r1 = StatisticalOptimizer(lib_, var_, cfg).run(serial);
+  for (int threads : {2, 8}) {
+    cfg.num_threads = threads;
+    Circuit parallel = base;
+    const OptResult rn = StatisticalOptimizer(lib_, var_, cfg).run(parallel);
+    EXPECT_EQ(r1.feasible, rn.feasible) << threads;
+    EXPECT_EQ(r1.sizing_commits, rn.sizing_commits) << threads;
+    EXPECT_EQ(r1.hvt_commits, rn.hvt_commits) << threads;
+    EXPECT_EQ(r1.downsize_commits, rn.downsize_commits) << threads;
+    EXPECT_EQ(r1.rejected_moves, rn.rejected_moves) << threads;
+    EXPECT_EQ(r1.iterations, rn.iterations) << threads;
+    EXPECT_DOUBLE_EQ(r1.final_objective, rn.final_objective) << threads;
+    for (GateId id = 0; id < base.num_gates(); ++id) {
+      ASSERT_EQ(serial.gate(id).vth, parallel.gate(id).vth)
+          << "threads " << threads << ", gate " << id;
+      ASSERT_DOUBLE_EQ(serial.gate(id).size, parallel.gate(id).size)
+          << "threads " << threads << ", gate " << id;
+    }
+  }
+}
+
 TEST_F(OptTest, StatSizesStayOnGridAndVthBinary) {
   Circuit c = make_carry_lookahead_adder(8);
   OptConfig cfg;

@@ -257,8 +257,11 @@ TEST_F(SstaTest, CriticalityInUnitInterval) {
 
 TEST_F(SstaTest, MoreVariationMeansWiderDistribution) {
   const Circuit c = make_carry_lookahead_adder(8);
-  const SstaEngine tight(c, lib_, var_.scaled(0.5));
-  const SstaEngine wide(c, lib_, var_.scaled(2.0));
+  // Named: the engine keeps a reference, so a temporary would dangle.
+  const VariationModel tight_var = var_.scaled(0.5);
+  const VariationModel wide_var = var_.scaled(2.0);
+  const SstaEngine tight(c, lib_, tight_var);
+  const SstaEngine wide(c, lib_, wide_var);
   EXPECT_LT(tight.circuit_delay().sigma(), wide.circuit_delay().sigma());
 }
 

@@ -58,9 +58,9 @@ usage:
   statleak analyze <netlist.bench> [--impl f.impl] [--tmax ps] [--node 100|70]
   statleak optimize <netlist.bench> [--flow stat|det] [--tmax ps |
            --tmax-factor f] [--eta y] [--corner k] [--node 100|70]
-           [-o out.impl] [--write-bench out.bench]
+           [--threads n] [-o out.impl] [--write-bench out.bench]
   statleak mc <netlist.bench> [--impl f.impl] [--tmax ps] [--samples n]
-           [--seed s] [--node 100|70]
+           [--seed s] [--threads n] [--node 100|70]
   statleak mlv <netlist.bench> [--impl f.impl] [--trials n] [--node 100|70]
 
 circuits for gen: c432 c499 c880 c1355 c1908 c2670 c3540 c5315 c6288 c7552
@@ -227,6 +227,8 @@ int cmd_optimize(const Args& args) {
   }
   cfg.yield_target = args.get_double("--eta", 0.99);
   cfg.corner_k_sigma = args.get_double("--corner", 3.0);
+  // 0 = all hardware threads; results are thread-count invariant.
+  cfg.num_threads = static_cast<int>(args.get_long("--threads", 0));
 
   const std::string flow = args.get("--flow").value_or("stat");
   OptResult result;
@@ -263,6 +265,9 @@ int cmd_mc(const Args& args) {
   McConfig mc;
   mc.num_samples = static_cast<int>(args.get_long("--samples", 5000));
   mc.seed = static_cast<std::uint64_t>(args.get_long("--seed", 42));
+  // 0 = all hardware threads; the sample streams are counter-based, so the
+  // report is bit-identical whatever the thread count.
+  mc.num_threads = static_cast<int>(args.get_long("--threads", 0));
   const double t_max = args.get_double(
       "--tmax", 1.1 * StaEngine(c, lib).critical_delay_ps());
 
