@@ -1,0 +1,152 @@
+/// \file bench_obs_overhead.cpp
+/// \brief Pins the cost of the observability layer.
+///
+/// Two claims are measured:
+///
+///   1. Null-sink fast path: with no registry attached every
+///      instrumentation site is a pointer test — the optimizer and
+///      Monte-Carlo hot loops must stay within noise (<2 %) of the
+///      pre-instrumentation build. Compare the *_Null and *_Attached
+///      series: the Null numbers are the shipping default.
+///   2. Attached cost stays proportional to iterations, not samples: the
+///      registry mutex is touched once per optimizer iteration / shard
+///      scope, never inside per-sample inner loops.
+///
+/// Run: ./bench_obs_overhead [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include "statleak.hpp"
+
+namespace {
+
+using namespace statleak;
+
+const CellLibrary& lib() {
+  static const CellLibrary instance(generic_100nm());
+  return instance;
+}
+
+const VariationModel& var() {
+  static const VariationModel instance = VariationModel::typical_100nm();
+  return instance;
+}
+
+Circuit bench_circuit() {
+  RandomDagSpec spec;
+  spec.num_inputs = 32;
+  spec.num_gates = 500;
+  spec.num_outputs = 16;
+  spec.seed = 4242;
+  return make_random_dag(spec);
+}
+
+OptConfig opt_config(const Circuit& circuit) {
+  OptConfig cfg;
+  cfg.t_max_ps = 1.2 * StaEngine(circuit, lib()).critical_delay_ps();
+  cfg.yield_target = 0.95;
+  return cfg;
+}
+
+// --------------------------------------------------- statistical opt ------
+
+void BM_StatOptimizer_Null(benchmark::State& state) {
+  const Circuit base = bench_circuit();
+  const OptConfig cfg = opt_config(base);
+  for (auto _ : state) {
+    Circuit c = base;
+    benchmark::DoNotOptimize(
+        StatisticalOptimizer(lib(), var(), cfg).run(c, nullptr));
+  }
+}
+BENCHMARK(BM_StatOptimizer_Null)->Unit(benchmark::kMillisecond);
+
+void BM_StatOptimizer_Attached(benchmark::State& state) {
+  const Circuit base = bench_circuit();
+  const OptConfig cfg = opt_config(base);
+  for (auto _ : state) {
+    obs::Registry reg;
+    Circuit c = base;
+    benchmark::DoNotOptimize(
+        StatisticalOptimizer(lib(), var(), cfg).run(c, &reg));
+  }
+}
+BENCHMARK(BM_StatOptimizer_Attached)->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------- monte carlo -----
+
+void BM_MonteCarlo_Null(benchmark::State& state) {
+  const Circuit circuit = bench_circuit();
+  McConfig mc;
+  mc.num_samples = 2000;
+  mc.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_monte_carlo(circuit, lib(), var(), mc, nullptr));
+  }
+}
+BENCHMARK(BM_MonteCarlo_Null)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarlo_Attached(benchmark::State& state) {
+  const Circuit circuit = bench_circuit();
+  McConfig mc;
+  mc.num_samples = 2000;
+  mc.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    obs::Registry reg;
+    benchmark::DoNotOptimize(run_monte_carlo(circuit, lib(), var(), mc, &reg));
+  }
+}
+BENCHMARK(BM_MonteCarlo_Attached)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------- micro series -----
+// The per-call cost of each primitive on the disabled path, to show the
+// "pointer test only" claim at instruction granularity.
+
+void BM_NullScopedTimer(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedTimer timer(nullptr, "phase");
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_NullScopedTimer);
+
+void BM_NullLocalCounterAdd(benchmark::State& state) {
+  obs::LocalCounter counter(nullptr, "count");
+  for (auto _ : state) {
+    counter.add();
+    benchmark::DoNotOptimize(counter.pending());
+  }
+}
+BENCHMARK(BM_NullLocalCounterAdd);
+
+void BM_AttachedScopedTimer(benchmark::State& state) {
+  obs::Registry reg;
+  for (auto _ : state) {
+    obs::ScopedTimer timer(&reg, "phase");
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_AttachedScopedTimer);
+
+void BM_RunReportSerialization(benchmark::State& state) {
+  obs::Registry reg;
+  for (int i = 0; i < 64; ++i) {
+    reg.add("counter." + std::to_string(i), i);
+    obs::TraceEvent e;
+    e.step = i;
+    e.phase = "sizing";
+    reg.trace("stat", e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::run_report_json(reg));
+  }
+}
+BENCHMARK(BM_RunReportSerialization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -13,11 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "gen/arithmetic.hpp"
-#include "opt/metrics.hpp"
-#include "opt/statistical.hpp"
-#include "report/flow.hpp"
-#include "util/table.hpp"
+#include "statleak.hpp"
 
 int main(int argc, char** argv) {
   using namespace statleak;

@@ -15,14 +15,7 @@
 #include <iostream>
 #include <string>
 
-#include "mc/monte_carlo.hpp"
-#include "netlist/bench_io.hpp"
-#include "opt/metrics.hpp"
-#include "opt/statistical.hpp"
-#include "report/flow.hpp"
-#include "tech/process.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "statleak.hpp"
 
 namespace {
 

@@ -11,12 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "cells/library.hpp"
-#include "gen/arithmetic.hpp"
-#include "report/flow.hpp"
-#include "tech/process.hpp"
-#include "tech/variation.hpp"
-#include "util/table.hpp"
+#include "statleak.hpp"
 
 int main(int argc, char** argv) {
   using namespace statleak;

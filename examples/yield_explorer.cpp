@@ -13,12 +13,7 @@
 #include <iostream>
 #include <string>
 
-#include "gen/proxy.hpp"
-#include "opt/deterministic.hpp"
-#include "opt/metrics.hpp"
-#include "opt/statistical.hpp"
-#include "report/flow.hpp"
-#include "util/table.hpp"
+#include "statleak.hpp"
 
 int main(int argc, char** argv) {
   using namespace statleak;

@@ -50,11 +50,12 @@ double AbbResult::forward_fraction() const {
 AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
                              const VariationModel& var,
                              const BodyBiasConfig& abb, const McConfig& mc,
-                             double t_max_ps) {
+                             double t_max_ps, obs::Registry* obs) {
   abb.validate();
   var.validate();
   STATLEAK_CHECK(mc.num_samples > 0, "need at least one sample");
   STATLEAK_CHECK(t_max_ps > 0.0, "delay target must be positive");
+  obs::ScopedTimer timer(obs, "abb.sweep");
 
   StaEngine sta(circuit, lib);
   LeakageAnalyzer leakage(circuit, lib, var);
@@ -81,10 +82,12 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
   parallel_for(
       mc.num_threads, num_samples,
       [&](std::size_t begin, std::size_t end, int /*worker*/) {
+        obs::LocalCounter evals(obs, "abb.sta_evals");
         std::vector<ParamSample> samples(n);
         std::vector<ParamSample> biased(n);
         std::vector<double> scratch;
         for (std::size_t s = begin; s < end; ++s) {
+          evals.add(1.0 + static_cast<double>(ladder.size()));
           Rng rng = Rng::stream(mc.seed, s);
           const GlobalSample die = sample_global(var, rng);
           for (std::size_t id = 0; id < n; ++id) {
@@ -134,6 +137,7 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
           result.bias_v[s] = best_bias;
         }
       });
+  if (obs != nullptr) obs->add("abb.dies", static_cast<double>(num_samples));
   return result;
 }
 

@@ -23,6 +23,7 @@
 #include "cells/library.hpp"
 #include "mc/monte_carlo.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/registry.hpp"
 #include "tech/variation.hpp"
 
 namespace statleak {
@@ -54,9 +55,11 @@ struct AbbResult {
 
 /// Runs the paired experiment (baseline and compensated populations share
 /// the same per-die parameter draws, so the comparison is sample-exact).
+/// With a registry attached, records the "abb.sweep" phase time and the
+/// "abb.dies" / "abb.sta_evals" counters; results are unaffected.
 AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
                              const VariationModel& var,
                              const BodyBiasConfig& abb, const McConfig& mc,
-                             double t_max_ps);
+                             double t_max_ps, obs::Registry* obs = nullptr);
 
 }  // namespace statleak

@@ -1,5 +1,6 @@
 #include "mc/monte_carlo.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "leakage/leakage.hpp"
@@ -37,9 +38,11 @@ double McResult::yield_stderr(double t_max_ps) const {
 }
 
 McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
-                         const VariationModel& var, const McConfig& config) {
+                         const VariationModel& var, const McConfig& config,
+                         obs::Registry* obs) {
   STATLEAK_CHECK(config.num_samples > 0, "need at least one sample");
   var.validate();
+  obs::ScopedTimer timer(obs, "mc.samples");
 
   // Shared, read-only during the sample loop: the engines' per-sample entry
   // points are const and take caller-owned scratch, so one instance serves
@@ -68,6 +71,9 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
   parallel_for(
       config.num_threads, num_samples,
       [&](std::size_t begin, std::size_t end, int /*worker*/) {
+        // Per-thread accumulation: one registry merge per shard, so the
+        // workers never contend on the registry mutex inside the loop.
+        obs::LocalCounter evals(obs, "mc.sta_evals");
         std::vector<ParamSample> samples(n);
         std::vector<double> scratch;
         for (std::size_t s = begin; s < end; ++s) {
@@ -79,8 +85,30 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
           result.delay_ps[s] = sta.critical_delay_sample_ps(
               samples, config.exact_delay, scratch);
           result.leakage_na[s] = leakage.total_sample_na(samples);
+          evals.add();
         }
       });
+
+  if (obs != nullptr) {
+    obs->add("mc.samples", static_cast<double>(num_samples));
+    // Progress milestones, reconstructed serially from the (already
+    // deterministic) per-sample results: identical for any thread count.
+    const std::size_t stride = std::max<std::size_t>(1, num_samples / 16);
+    double delay_sum = 0.0;
+    double leak_sum = 0.0;
+    for (std::size_t s = 0; s < num_samples; ++s) {
+      delay_sum += result.delay_ps[s];
+      leak_sum += result.leakage_na[s];
+      if ((s + 1) % stride == 0 || s + 1 == num_samples) {
+        obs::TraceEvent e;
+        e.step = static_cast<std::int64_t>(s + 1);
+        e.phase = "samples";
+        e.objective = leak_sum / static_cast<double>(s + 1);
+        e.delay_ps = delay_sum / static_cast<double>(s + 1);
+        obs->trace("mc", std::move(e));
+      }
+    }
+  }
   return result;
 }
 

@@ -21,20 +21,20 @@
 
 #include "cells/library.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/registry.hpp"
 #include "tech/variation.hpp"
+#include "util/exec.hpp"
 #include "util/stats.hpp"
 
 namespace statleak {
 
-struct McConfig {
+/// Execution knobs (`seed`, `num_threads`) come from ExecConfig. Sample i
+/// draws from its own counter-derived RNG stream (see util/rng.hpp), so
+/// the result is bit-identical for every thread count.
+struct McConfig : ExecConfig {
   int num_samples = 10000;
-  std::uint64_t seed = 42;
   /// Exact alpha-power delay per gate instead of the first-order multiplier.
   bool exact_delay = false;
-  /// Worker threads for the sample loop; 0 = hardware_concurrency. Sample i
-  /// draws from its own counter-derived RNG stream (see util/rng.hpp), so
-  /// the result is bit-identical for every thread count.
-  int num_threads = 0;
 };
 
 struct McResult {
@@ -56,7 +56,14 @@ struct McResult {
 };
 
 /// Runs the Monte-Carlo analysis. Deterministic for a given config.
+///
+/// With an observability registry attached, records the "mc.samples" phase
+/// wall time, counters ("mc.samples", "mc.sta_evals" — merged per shard,
+/// not per sample), and an "mc" trace stream of up to 16 progress
+/// milestones (cumulative sample count, running mean delay/leakage).
+/// Sample values are bit-identical with and without a registry.
 McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
-                         const VariationModel& var, const McConfig& config);
+                         const VariationModel& var, const McConfig& config,
+                         obs::Registry* obs = nullptr);
 
 }  // namespace statleak

@@ -18,6 +18,7 @@
 
 #include "cells/library.hpp"
 #include "netlist/circuit.hpp"
+#include "util/exec.hpp"
 
 namespace statleak {
 
@@ -26,10 +27,13 @@ namespace statleak {
 double vector_leakage_na(const Circuit& circuit, const CellLibrary& lib,
                          std::span<const char> inputs);
 
-struct MlvConfig {
+/// Execution knobs come from ExecConfig (`seed` default 1, the historical
+/// MLV seed; the search itself is serial, so `num_threads` is unused).
+struct MlvConfig : ExecConfig {
+  MlvConfig() { seed = 1; }
+
   int random_trials = 128;  ///< initial random probes
   int greedy_passes = 4;    ///< bit-flip descent sweeps over all inputs
-  std::uint64_t seed = 1;
 };
 
 struct MlvResult {

@@ -1,0 +1,343 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace statleak::obs {
+
+std::string format_json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == 0.0) return "0";  // normalizes -0.0 as well
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+std::string escape_json(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+bool Json::as_bool() const {
+  STATLEAK_CHECK(is_bool(), "JSON value is not a boolean");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  STATLEAK_CHECK(is_number(), "JSON value is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  STATLEAK_CHECK(is_string(), "JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  STATLEAK_CHECK(is_array(), "JSON value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonMembers& Json::as_object() const {
+  STATLEAK_CHECK(is_object(), "JSON value is not an object");
+  return std::get<JsonMembers>(value_);
+}
+
+void Json::set(std::string_view key, Json value) {
+  STATLEAK_CHECK(is_object(), "JSON set() on a non-object");
+  auto& members = std::get<JsonMembers>(value_);
+  for (auto& [k, v] : members) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members.emplace_back(std::string(key), std::move(value));
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<JsonMembers>(value_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  STATLEAK_CHECK(found != nullptr,
+                 "JSON object has no key '" + std::string(key) + "'");
+  return *found;
+}
+
+void Json::push_back(Json value) {
+  STATLEAK_CHECK(is_array(), "JSON push_back() on a non-array");
+  std::get<JsonArray>(value_).push_back(std::move(value));
+}
+
+// ------------------------------------------------------------- writer ----
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int levels) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * levels), ' ');
+  };
+
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (is_number()) {
+    out += format_json_number(std::get<double>(value_));
+  } else if (is_string()) {
+    out += '"';
+    out += escape_json(std::get<std::string>(value_));
+    out += '"';
+  } else if (is_array()) {
+    const auto& items = std::get<JsonArray>(value_);
+    if (items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += indent > 0 ? "," : ", ";
+      newline_pad(depth + 1);
+      items[i].dump_to(out, indent, depth + 1);
+    }
+    newline_pad(depth);
+    out += ']';
+  } else {
+    const auto& members = std::get<JsonMembers>(value_);
+    if (members.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) out += indent > 0 ? "," : ", ";
+      newline_pad(depth + 1);
+      out += '"';
+      out += escape_json(members[i].first);
+      out += "\": ";
+      members[i].second.dump_to(out, indent, depth + 1);
+    }
+    newline_pad(depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+// ------------------------------------------------------------- parser ----
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    check(pos_ == text_.size(), "trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("JSON parse error at byte " + std::to_string(pos_) + ": " +
+                what);
+  }
+  void check(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+  char peek() const {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  void expect_literal(std::string_view word) {
+    check(text_.substr(pos_, word.size()) == word, "invalid literal");
+    pos_ += word.size();
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (eat('}')) return obj;
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (eat('}')) return obj;
+      expect(',');
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (eat(']')) return arr;
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (eat(']')) return arr;
+      expect(',');
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        check(static_cast<unsigned char>(c) >= 0x20,
+              "unescaped control character in string");
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    // UTF-8 encode the BMP code point (surrogate pairs are not combined —
+    // the emitter never produces them for this schema).
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    (void)eat('-');
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    check(res.ec == std::errc() && res.ptr == text_.data() + pos_ &&
+              pos_ > start,
+          "invalid number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace statleak::obs

@@ -1,0 +1,96 @@
+/// \file json.hpp
+/// \brief Minimal JSON value, writer and parser for the run-report schema.
+///
+/// Deliberately small: just what the observability layer needs to emit a
+/// deterministic, machine-readable report and to round-trip it in tests.
+///
+///   * Objects preserve *insertion* order — the emitter, not the consumer,
+///     owns key order, which is what makes golden-file tests stable.
+///   * Numbers are rendered with std::to_chars (shortest form that
+///     round-trips), so output is identical across platforms and locales.
+///   * The parser accepts exactly RFC 8259 JSON and throws statleak::Error
+///     with a byte offset on malformed input.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace statleak::obs {
+
+/// Renders a double as a bare JSON number token: shortest representation
+/// that round-trips, "0" for zeros, never locale-dependent. Non-finite
+/// values (which JSON cannot express) are rendered as null.
+std::string format_json_number(double value);
+
+/// Escapes a string for embedding between JSON quotes.
+std::string escape_json(std::string_view text);
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Order-preserving object representation.
+using JsonMembers = std::vector<std::pair<std::string, Json>>;
+
+/// A JSON document node.
+class Json {
+ public:
+  Json() : value_(nullptr) {}                      // null
+  Json(std::nullptr_t) : value_(nullptr) {}        // NOLINT(runtime/explicit)
+  Json(bool b) : value_(b) {}                      // NOLINT(runtime/explicit)
+  Json(double d) : value_(d) {}                    // NOLINT(runtime/explicit)
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(int i) : value_(static_cast<double>(i)) {}  // NOLINT(runtime/explicit)
+  Json(std::string s) : value_(std::move(s)) {}    // NOLINT(runtime/explicit)
+  Json(const char* s) : value_(std::string(s)) {}  // NOLINT(runtime/explicit)
+  Json(JsonArray a) : value_(std::move(a)) {}      // NOLINT(runtime/explicit)
+  Json(JsonMembers m) : value_(std::move(m)) {}    // NOLINT(runtime/explicit)
+
+  static Json object() { return Json(JsonMembers{}); }
+  static Json array() { return Json(JsonArray{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonMembers>(value_); }
+
+  /// Typed accessors; throw statleak::Error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonMembers& as_object() const;
+
+  /// Object helpers. set() appends or overwrites in place (keeps order);
+  /// at() throws when the key is missing; find() returns nullptr instead.
+  void set(std::string_view key, Json value);
+  const Json* find(std::string_view key) const;
+  const Json& at(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Array helper.
+  void push_back(Json value);
+
+  /// Serializes the document. indent = 0 emits compact one-line JSON;
+  /// indent > 0 pretty-prints with that many spaces per level (and a
+  /// trailing newline at top level, suitable for writing to a file).
+  std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing whitespace allowed,
+  /// anything else is an error).
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonMembers>
+      value_;
+};
+
+}  // namespace statleak::obs

@@ -1,0 +1,136 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace statleak::obs {
+
+namespace {
+
+template <typename Map>
+std::vector<std::pair<std::string, double>> sorted_copy(std::mutex& mutex,
+                                                        const Map& map) {
+  std::lock_guard<std::mutex> lock(mutex);
+  return {map.begin(), map.end()};  // std::map iterates in key order
+}
+
+}  // namespace
+
+void Registry::add(std::string_view counter, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::set_gauge(std::string_view gauge, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(gauge);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(gauge), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Registry::add_phase_s(std::string_view phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (PhaseTime& p : phases_) {
+    if (p.name == phase) {
+      p.seconds += seconds;
+      ++p.calls;
+      return;
+    }
+  }
+  phases_.push_back(PhaseTime{std::string(phase), seconds, 1});
+}
+
+void Registry::trace(std::string_view stream, TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = traces_.find(stream);
+  if (it == traces_.end()) {
+    traces_.emplace(std::string(stream),
+                    std::vector<TraceEvent>{std::move(event)});
+  } else {
+    it->second.push_back(std::move(event));
+  }
+}
+
+void Registry::note_config(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_.insert_or_assign(std::string(key),
+                           std::pair<std::string, bool>{std::string(value),
+                                                        /*bare=*/false});
+}
+
+void Registry::note_config_num(std::string_view key, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_.insert_or_assign(
+      std::string(key),
+      std::pair<std::string, bool>{format_json_number(value), /*bare=*/true});
+}
+
+void Registry::note_config_num(std::string_view key, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_.insert_or_assign(
+      std::string(key),
+      std::pair<std::string, bool>{std::to_string(value), /*bare=*/true});
+}
+
+void Registry::note_config_num(std::string_view key, bool value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_.insert_or_assign(
+      std::string(key),
+      std::pair<std::string, bool>{value ? "true" : "false", /*bare=*/true});
+}
+
+std::vector<std::pair<std::string, double>> Registry::counters() const {
+  return sorted_copy(mutex_, counters_);
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  return sorted_copy(mutex_, gauges_);
+}
+
+std::vector<PhaseTime> Registry::phases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+std::vector<std::string> Registry::trace_streams() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(traces_.size());
+  for (const auto& [name, events] : traces_) names.push_back(name);
+  return names;
+}
+
+std::vector<TraceEvent> Registry::trace_events(std::string_view stream) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = traces_.find(stream);
+  return it == traces_.end() ? std::vector<TraceEvent>{} : it->second;
+}
+
+std::vector<std::pair<std::string, std::pair<std::string, bool>>>
+Registry::config() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {config_.begin(), config_.end()};
+}
+
+double Registry::counter_value(std::string_view name, double fallback) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? fallback : it->second;
+}
+
+double Registry::gauge_value(std::string_view name, double fallback) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? fallback : it->second;
+}
+
+}  // namespace statleak::obs

@@ -1,0 +1,93 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace statleak::obs {
+
+namespace {
+
+// Kept in sync with the CMake project() version by inspection; it only
+// annotates reports, nothing parses it.
+constexpr const char* kToolVersion = "1.0.0";
+
+Json trace_event_json(const TraceEvent& e) {
+  Json obj = Json::object();
+  obj.set("step", static_cast<double>(e.step));
+  obj.set("phase", e.phase);
+  obj.set("objective", e.objective);
+  obj.set("yield", e.yield);
+  obj.set("delay_ps", e.delay_ps);
+  obj.set("commits", static_cast<double>(e.commits));
+  obj.set("rejected", static_cast<double>(e.rejected));
+  return obj;
+}
+
+}  // namespace
+
+Json build_run_report(const Registry& registry) {
+  Json report = Json::object();
+  report.set("schema_version", kReportSchemaVersion);
+  report.set("tool", "statleak");
+  report.set("tool_version", kToolVersion);
+
+  Json config = Json::object();
+  for (const auto& [key, value] : registry.config()) {
+    const auto& [text, bare] = value;
+    if (bare) {
+      // Pre-rendered bare token (number / bool): parse back to a typed
+      // node so the emitter prints it unquoted.
+      config.set(key, Json::parse(text));
+    } else {
+      config.set(key, text);
+    }
+  }
+  report.set("config", std::move(config));
+
+  Json phases = Json::array();
+  for (const PhaseTime& p : registry.phases()) {
+    Json entry = Json::object();
+    entry.set("name", p.name);
+    entry.set("seconds", p.seconds);
+    entry.set("calls", static_cast<double>(p.calls));
+    phases.push_back(std::move(entry));
+  }
+  report.set("phases", std::move(phases));
+
+  Json counters = Json::object();
+  for (const auto& [name, value] : registry.counters()) {
+    counters.set(name, value);
+  }
+  report.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (const auto& [name, value] : registry.gauges()) {
+    gauges.set(name, value);
+  }
+  report.set("gauges", std::move(gauges));
+
+  Json traces = Json::object();
+  for (const std::string& stream : registry.trace_streams()) {
+    Json events = Json::array();
+    for (const TraceEvent& e : registry.trace_events(stream)) {
+      events.push_back(trace_event_json(e));
+    }
+    traces.set(stream, std::move(events));
+  }
+  report.set("traces", std::move(traces));
+  return report;
+}
+
+std::string run_report_json(const Registry& registry) {
+  return build_run_report(registry).dump(/*indent=*/2);
+}
+
+void write_run_report(const std::string& path, const Registry& registry) {
+  std::ofstream file(path);
+  STATLEAK_CHECK(file.good(), "cannot write run report to " + path);
+  file << run_report_json(registry);
+  STATLEAK_CHECK(file.good(), "write failed for run report " + path);
+}
+
+}  // namespace statleak::obs

@@ -1,0 +1,48 @@
+/// \file report.hpp
+/// \brief Versioned JSON run reports assembled from an obs::Registry.
+///
+/// Schema (version 1) — top-level keys in this fixed order:
+///
+///   {
+///     "schema_version": 1,
+///     "tool": "statleak",
+///     "tool_version": "<project version>",
+///     "config":   { ... },   // config echo, keys sorted
+///     "phases":   [ {"name", "seconds", "calls"}, ... ],  // run order
+///     "counters": { ... },   // keys sorted
+///     "gauges":   { ... },   // keys sorted
+///     "traces":   { "<stream>": [ {"step", "phase", "objective",
+///                                  "yield", "delay_ps", "commits",
+///                                  "rejected"}, ... ] }   // streams sorted
+///   }
+///
+/// Versioning rule: adding a key is backward compatible and does NOT bump
+/// `schema_version`; renaming or removing a key, changing a type or a
+/// unit DOES. The golden-file test in tests/obs_test.cpp pins the layout —
+/// when it fails, either the change is a mistake or the version must be
+/// bumped and the golden text regenerated alongside it.
+
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace statleak::obs {
+
+/// Current run-report schema version (see the bump rule above).
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Assembles the report document from everything the registry collected.
+Json build_run_report(const Registry& registry);
+
+/// build_run_report() pretty-printed with 2-space indentation and a
+/// trailing newline — the exact bytes `--report-json` writes.
+std::string run_report_json(const Registry& registry);
+
+/// Writes run_report_json() to `path`; throws statleak::Error on I/O
+/// failure.
+void write_run_report(const std::string& path, const Registry& registry);
+
+}  // namespace statleak::obs

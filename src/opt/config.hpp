@@ -6,10 +6,15 @@
 #include <cstddef>
 #include <string>
 
+#include "util/exec.hpp"
+
 namespace statleak {
 
-/// Common optimizer knobs.
-struct OptConfig {
+/// Common optimizer knobs. Execution knobs (`num_threads`, `seed`) come
+/// from ExecConfig; both optimizers are deterministic greedy searches, so
+/// `seed` is currently unused and `num_threads` never changes the result
+/// (see the field's own comment below).
+struct OptConfig : ExecConfig {
   /// Circuit delay target [ps].
   double t_max_ps = 0.0;
 
@@ -38,11 +43,10 @@ struct OptConfig {
   /// round because downsizing can free up timing room elsewhere.
   int assignment_rounds = 3;
 
-  /// Worker threads for the statistical optimizer's candidate-scoring
-  /// loops; 0 = hardware_concurrency. Scoring is read-only per candidate
-  /// and sharded by gate index with an in-order reduction, so the chosen
-  /// moves — and thus the OptResult — are identical for every thread count.
-  int num_threads = 0;
+  // ExecConfig::num_threads drives the statistical optimizer's
+  // candidate-scoring loops. Scoring is read-only per candidate and
+  // sharded by gate index with an in-order reduction, so the chosen
+  // moves — and thus the OptResult — are identical for every thread count.
 };
 
 /// What an optimizer run did.

@@ -27,9 +27,11 @@ DeterministicOptimizer::DeterministicOptimizer(const CellLibrary& lib,
                  "corner k-sigma must be non-negative");
 }
 
-OptResult DeterministicOptimizer::run(Circuit& circuit) const {
+OptResult DeterministicOptimizer::run(Circuit& circuit,
+                                      obs::Registry* obs) const {
   STATLEAK_CHECK(circuit.finalized(), "optimizer needs a finalized circuit");
   reset_implementation(circuit, lib_);
+  obs::ScopedTimer total_timer(obs, "det.total");
 
   StaEngine sta(circuit, lib_);
   const auto steps = lib_.size_steps();
@@ -62,6 +64,22 @@ OptResult DeterministicOptimizer::run(Circuit& circuit) const {
       config_.max_iterations_factor * static_cast<double>(circuit.num_cells()) +
       64.0);
 
+  // One "det" trace event per loop iteration (see the header contract).
+  // total_leak() is an O(n) const scan, paid only when a registry is
+  // attached; observation never feeds back into the computation.
+  const auto record = [&](const char* phase, double delay_ps) {
+    if (obs == nullptr) return;
+    obs::TraceEvent e;
+    e.step = result.iterations;
+    e.phase = phase;
+    e.objective = total_leak();
+    e.delay_ps = delay_ps;
+    e.commits =
+        result.sizing_commits + result.hvt_commits + result.downsize_commits;
+    e.rejected = result.rejected_moves;
+    obs->trace("det", std::move(e));
+  };
+
   // ------------------------------------------------ snapshot machinery ----
   struct Snapshot {
     std::vector<double> sizes;
@@ -89,11 +107,13 @@ OptResult DeterministicOptimizer::run(Circuit& circuit) const {
 
   // -------------------------- phase 1: TILOS-style upsizing to a target ----
   const auto phase_sizing = [&](double target_ps) -> bool {
+    obs::ScopedTimer timer(obs, "det.sizing");
     std::set<std::pair<GateId, std::size_t>> locked;
     while (result.iterations < max_iterations) {
       ++result.iterations;
       const StaResult timing =
           sta.analyze_corner(target_ps, var_, config_.corner_k_sigma);
+      record("sizing", timing.critical_delay_ps);
       if (timing.critical_delay_ps <= target_ps) return true;
 
       GateId best = kInvalidGate;
@@ -158,10 +178,12 @@ OptResult DeterministicOptimizer::run(Circuit& circuit) const {
   // speeds up its fanin drivers), so a move is safe iff its own delay
   // increase fits in the gate's corner slack.
   const auto phase_assign = [&]() {
+    obs::ScopedTimer timer(obs, "det.assign");
     while (result.iterations < max_iterations) {
       ++result.iterations;
       const StaResult timing =
           sta.analyze_corner(t_max, var_, config_.corner_k_sigma);
+      record("assign", timing.critical_delay_ps);
 
       GateId best = kInvalidGate;
       bool best_is_vth = false;
@@ -244,6 +266,16 @@ OptResult DeterministicOptimizer::run(Circuit& circuit) const {
   result.note = result.feasible
                     ? "corner delay target met"
                     : "delay target unreachable at max sizes (best effort)";
+  if (obs != nullptr) {
+    obs->add("det.iterations", result.iterations);
+    obs->add("det.commits.sizing", result.sizing_commits);
+    obs->add("det.commits.hvt", result.hvt_commits);
+    obs->add("det.commits.downsize", result.downsize_commits);
+    obs->add("det.rejected_moves", result.rejected_moves);
+    obs->set_gauge("det.final_objective_na", result.final_objective);
+    obs->set_gauge("det.feasible", result.feasible ? 1.0 : 0.0);
+    obs->set_gauge("det.final_corner_delay_ps", corner_delay());
+  }
   return result;
 }
 

@@ -20,6 +20,7 @@
 
 #include "cells/library.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/registry.hpp"
 #include "opt/config.hpp"
 #include "tech/variation.hpp"
 
@@ -33,7 +34,14 @@ class DeterministicOptimizer {
 
   /// Optimizes the implementation attributes (size, Vth) of `circuit`
   /// in place, starting from the all-LVT minimum-size point.
-  OptResult run(Circuit& circuit) const;
+  ///
+  /// With an observability registry attached the run records phase wall
+  /// times ("det.sizing" / "det.assign"), commit/rejection counters under
+  /// "det.*", and one "det" trace event per loop iteration (exactly
+  /// OptResult::iterations events; the yield field stays 0 — a corner flow
+  /// has no yield model). Results are bit-identical with and without a
+  /// registry attached.
+  OptResult run(Circuit& circuit, obs::Registry* obs = nullptr) const;
 
   const OptConfig& config() const { return config_; }
 

@@ -32,11 +32,14 @@ StatisticalOptimizer::StatisticalOptimizer(const CellLibrary& lib,
       "leakage percentile must be in (0, 1)");
 }
 
-OptResult StatisticalOptimizer::run(Circuit& circuit) const {
+OptResult StatisticalOptimizer::run(Circuit& circuit,
+                                    obs::Registry* obs) const {
   STATLEAK_CHECK(circuit.finalized(), "optimizer needs a finalized circuit");
   reset_implementation(circuit, lib_);
+  obs::ScopedTimer total_timer(obs, "stat.total");
 
   SstaEngine ssta(circuit, lib_, var_);
+  ssta.attach_observer(obs);
   LeakageAnalyzer leak(circuit, lib_, var_);
   const auto steps = lib_.size_steps();
   const double t_max = config_.t_max_ps;
@@ -47,6 +50,25 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
   const auto max_iterations = static_cast<int>(
       config_.max_iterations_factor * static_cast<double>(circuit.num_cells()) +
       64.0);
+
+  // One "stat" trace event per loop iteration — every `++result.iterations`
+  // site calls this exactly once, so the stream length always equals
+  // OptResult::iterations. All inputs are const queries on the engines;
+  // observation cannot perturb the trajectory.
+  const auto record = [&](const char* phase, double objective, double yld,
+                          double delay_mean_ps) {
+    if (obs == nullptr) return;
+    obs::TraceEvent e;
+    e.step = result.iterations;
+    e.phase = phase;
+    e.objective = objective;
+    e.yield = yld;
+    e.delay_ps = delay_mean_ps;
+    e.commits =
+        result.sizing_commits + result.hvt_commits + result.downsize_commits;
+    e.rejected = result.rejected_moves;
+    obs->trace("stat", std::move(e));
+  };
 
   // Own mean delay of a gate under a hypothetical (vth, size).
   const auto own_delay = [&](GateId id, Vth vth, double size) -> double {
@@ -120,16 +142,17 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
   // Greedy criticality-weighted upsizing until P(D <= T) >= target.
   // Returns the yield reached.
   const auto phase_sizing = [&](double target) -> double {
+    obs::ScopedTimer timer(obs, "stat.sizing");
     std::set<std::pair<GateId, std::size_t>> locked;
     double yield = ssta.circuit_delay().cdf(t_max);
     while (yield < target && result.iterations < max_iterations) {
       ++result.iterations;
       const SstaResult timing = ssta.analyze();
       yield = timing.yield(t_max);
-      if (yield >= target) break;
-
       // Invariant for the whole scan; hoisted out of the per-gate pricing.
       const double q_now = leak.quantile_na(pct);
+      record("sizing", q_now, yield, timing.circuit_delay.mean);
+      if (yield >= target) break;
       const Candidate best =
           best_candidate([&](GateId id, Candidate& local) {
             const Gate& g = circuit.gate(id);
@@ -175,6 +198,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
   // `best_effort` permits moves that do not erode the current yield even if
   // eta itself is unreachable.
   const auto phase_assign = [&](bool best_effort) {
+    obs::ScopedTimer timer(obs, "stat.assign");
     std::set<std::pair<GateId, int>> locked;  // (gate, 0 = hvt, 1 = down)
 
     for (int round = 0; round < config_.assignment_rounds; ++round) {
@@ -186,6 +210,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
         const SstaResult timing = ssta.analyze();
         const double cur_yield = timing.yield(t_max);
         const double q_now = leak.quantile_na(pct);
+        record("assign", q_now, cur_yield, timing.circuit_delay.mean);
 
         const Candidate best =
             best_candidate([&](GateId id, Candidate& local) {
@@ -257,11 +282,14 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
 
   // ---------------------------------------------- phase 3: yield recovery ----
   const auto phase_recover = [&]() {
+    obs::ScopedTimer timer(obs, "stat.recover");
     double yield = ssta.circuit_delay().cdf(t_max);
     std::set<std::pair<GateId, int>> tried;
     while (yield < eta && result.iterations < max_iterations) {
       ++result.iterations;
       const SstaResult timing = ssta.analyze();
+      record("recover", leak.quantile_na(pct), yield,
+             timing.circuit_delay.mean);
 
       GateId best = kInvalidGate;
       bool to_lvt = false;
@@ -330,6 +358,16 @@ OptResult StatisticalOptimizer::run(Circuit& circuit) const {
   result.final_objective = leak.quantile_na(pct);
   result.note = result.feasible ? "timing-yield target met"
                                 : "yield target unreachable (best effort)";
+  if (obs != nullptr) {
+    obs->add("stat.iterations", result.iterations);
+    obs->add("stat.commits.sizing", result.sizing_commits);
+    obs->add("stat.commits.hvt", result.hvt_commits);
+    obs->add("stat.commits.downsize", result.downsize_commits);
+    obs->add("stat.rejected_moves", result.rejected_moves);
+    obs->set_gauge("stat.final_objective_na", result.final_objective);
+    obs->set_gauge("stat.feasible", result.feasible ? 1.0 : 0.0);
+    obs->set_gauge("stat.final_yield", ssta.circuit_delay().cdf(t_max));
+  }
   return result;
 }
 

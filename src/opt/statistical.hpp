@@ -31,6 +31,7 @@
 
 #include "cells/library.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/registry.hpp"
 #include "opt/config.hpp"
 #include "tech/variation.hpp"
 
@@ -43,7 +44,14 @@ class StatisticalOptimizer {
 
   /// Optimizes the implementation attributes (size, Vth) of `circuit` in
   /// place, starting from the all-LVT minimum-size point.
-  OptResult run(Circuit& circuit) const;
+  ///
+  /// With an observability registry attached the run records phase wall
+  /// times ("stat.sizing" / "stat.assign" / "stat.recover" / "stat.boost"),
+  /// commit/rejection counters under "stat.*", and one "stat" trace event
+  /// per loop iteration (exactly OptResult::iterations events). The
+  /// optimization trajectory — and therefore the result — is bit-identical
+  /// with and without a registry.
+  OptResult run(Circuit& circuit, obs::Registry* obs = nullptr) const;
 
   const OptConfig& config() const { return config_; }
 

@@ -20,11 +20,14 @@ double seconds_since(
 
 McCheck run_mc_check(const Circuit& circuit, const CellLibrary& lib,
                      const VariationModel& var, double t_max_ps,
-                     int samples, std::uint64_t seed) {
+                     const FlowConfig& config, std::uint64_t seed,
+                     obs::Registry* obs) {
+  obs::ScopedTimer timer(obs, "flow.mc_check");
   McConfig mc;
-  mc.num_samples = samples;
+  mc.num_samples = config.mc_samples;
   mc.seed = seed;
-  const McResult res = run_monte_carlo(circuit, lib, var, mc);
+  mc.num_threads = config.num_threads;
+  const McResult res = run_monte_carlo(circuit, lib, var, mc, obs);
   McCheck check;
   check.timing_yield = res.timing_yield(t_max_ps);
   check.leakage_mean_na = res.leakage_summary().mean;
@@ -62,21 +65,27 @@ double min_achievable_delay_ps(const Circuit& circuit,
 }
 
 FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
-                     const VariationModel& var, const FlowConfig& config) {
+                     const VariationModel& var, const FlowConfig& config,
+                     obs::Registry* obs) {
   STATLEAK_CHECK(config.t_max_factor > 1.0,
                  "t_max factor must exceed 1 (D_min is the floor)");
   FlowOutcome out;
   out.circuit_name = circuit.name();
-  out.d_min_ps = min_achievable_delay_ps(circuit, lib);
+  {
+    obs::ScopedTimer timer(obs, "flow.d_min");
+    out.d_min_ps = min_achievable_delay_ps(circuit, lib);
+  }
   out.t_max_ps = config.t_max_factor * out.d_min_ps;
 
   OptConfig base;
   base.t_max_ps = out.t_max_ps;
   base.yield_target = config.yield_target;
   base.leakage_percentile = config.leakage_percentile;
+  base.num_threads = config.num_threads;
 
   // --- deterministic baseline -------------------------------------------
   {
+    obs::ScopedTimer timer(obs, "flow.det");
     const auto start = std::chrono::steady_clock::now();
     Circuit det = circuit;
     if (config.det_auto_corner) {
@@ -84,7 +93,7 @@ FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
         OptConfig cfg = base;
         cfg.corner_k_sigma = k;
         det = circuit;
-        out.det_result = DeterministicOptimizer(lib, var, cfg).run(det);
+        out.det_result = DeterministicOptimizer(lib, var, cfg).run(det, obs);
         out.det_corner_k = k;
         out.det_metrics = measure_metrics(det, lib, var, out.t_max_ps);
         if (out.det_metrics.timing_yield >= config.yield_target) break;
@@ -92,29 +101,47 @@ FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
     } else {
       OptConfig cfg = base;
       cfg.corner_k_sigma = config.det_corner_k;
-      out.det_result = DeterministicOptimizer(lib, var, cfg).run(det);
+      out.det_result = DeterministicOptimizer(lib, var, cfg).run(det, obs);
       out.det_corner_k = config.det_corner_k;
       out.det_metrics = measure_metrics(det, lib, var, out.t_max_ps);
     }
     out.det_runtime_s = seconds_since(start);
+    timer.stop();
     if (config.mc_samples > 0) {
       out.has_mc = true;
-      out.det_mc = run_mc_check(det, lib, var, out.t_max_ps,
-                                config.mc_samples, config.mc_seed);
+      out.det_mc =
+          run_mc_check(det, lib, var, out.t_max_ps, config, config.seed, obs);
     }
   }
 
   // --- statistical optimizer ---------------------------------------------
   {
+    obs::ScopedTimer timer(obs, "flow.stat");
     const auto start = std::chrono::steady_clock::now();
-    out.stat_result = StatisticalOptimizer(lib, var, base).run(circuit);
+    out.stat_result = StatisticalOptimizer(lib, var, base).run(circuit, obs);
     out.stat_runtime_s = seconds_since(start);
     out.stat_metrics = measure_metrics(circuit, lib, var, out.t_max_ps);
+    timer.stop();
     if (config.mc_samples > 0) {
       out.has_mc = true;
-      out.stat_mc = run_mc_check(circuit, lib, var, out.t_max_ps,
-                                 config.mc_samples, config.mc_seed + 1);
+      out.stat_mc = run_mc_check(circuit, lib, var, out.t_max_ps, config,
+                                 config.seed + 1, obs);
     }
+  }
+
+  if (obs != nullptr) {
+    obs->set_gauge("flow.d_min_ps", out.d_min_ps);
+    obs->set_gauge("flow.t_max_ps", out.t_max_ps);
+    obs->set_gauge("flow.det_corner_k", out.det_corner_k);
+    obs->set_gauge("flow.det_runtime_s", out.det_runtime_s);
+    obs->set_gauge("flow.stat_runtime_s", out.stat_runtime_s);
+    obs->set_gauge("flow.det_leakage_p99_na", out.det_metrics.leakage_p99_na);
+    obs->set_gauge("flow.stat_leakage_p99_na",
+                   out.stat_metrics.leakage_p99_na);
+    obs->set_gauge("flow.det_timing_yield", out.det_metrics.timing_yield);
+    obs->set_gauge("flow.stat_timing_yield", out.stat_metrics.timing_yield);
+    obs->set_gauge("flow.p99_saving", out.p99_saving());
+    obs->set_gauge("flow.mean_saving", out.mean_saving());
   }
   return out;
 }

@@ -22,13 +22,20 @@
 
 #include "cells/library.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/registry.hpp"
 #include "opt/config.hpp"
 #include "opt/metrics.hpp"
 #include "tech/variation.hpp"
+#include "util/exec.hpp"
 
 namespace statleak {
 
-struct FlowConfig {
+/// Execution knobs come from ExecConfig: `seed` drives the Monte-Carlo
+/// cross-check draws (default 7, the historical flow seed) and
+/// `num_threads` is plumbed into both optimizers and the MC loops.
+struct FlowConfig : ExecConfig {
+  FlowConfig() { seed = 7; }
+
   double t_max_factor = 1.15;       ///< T = factor * D_min
   double yield_target = 0.99;       ///< eta
   double leakage_percentile = 0.99; ///< optimizer objective percentile
@@ -38,7 +45,11 @@ struct FlowConfig {
   /// solution meets eta (measured by SSTA).
   bool det_auto_corner = false;
   int mc_samples = 0;  ///< 0 = skip Monte-Carlo cross-check
-  std::uint64_t mc_seed = 7;
+
+  /// Deprecated pre-ExecConfig spelling of `seed`; gone next release.
+  [[deprecated("use FlowConfig::seed")]] std::uint64_t& mc_seed() {
+    return seed;
+  }
 };
 
 struct McCheck {
@@ -77,7 +88,15 @@ double min_achievable_delay_ps(const Circuit& circuit, const CellLibrary& lib);
 /// Runs the full det-vs-stat flow on one circuit. The circuit's
 /// implementation attributes are scratch space; on return it holds the
 /// statistical solution.
+///
+/// With an observability registry attached, the flow records its own phase
+/// wall times ("flow.d_min" / "flow.det" / "flow.stat" / "flow.mc_check"),
+/// headline gauges ("flow.*"), and passes the registry down into both
+/// optimizers and the MC cross-checks (their "det.*" / "stat.*" / "mc.*"
+/// entries accumulate into the same report). Results are bit-identical
+/// with and without a registry.
 FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
-                     const VariationModel& var, const FlowConfig& config);
+                     const VariationModel& var, const FlowConfig& config,
+                     obs::Registry* obs = nullptr);
 
 }  // namespace statleak

@@ -66,11 +66,13 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
                                  const CellLibrary& lib,
                                  const SpatialVariationModel& model,
                                  const std::vector<Point>& placement,
-                                 const McConfig& config) {
+                                 const McConfig& config,
+                                 obs::Registry* obs) {
   model.validate();
   STATLEAK_CHECK(config.num_samples > 0, "need at least one sample");
   STATLEAK_CHECK(placement.size() == circuit.num_gates(),
                  "one placement point per gate");
+  obs::ScopedTimer timer(obs, "mc.spatial_samples");
 
   StaEngine sta(circuit, lib);
   LeakageAnalyzer leakage(circuit, lib, model.base);
@@ -104,6 +106,9 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
           result.leakage_na[s] = leakage.total_sample_na(samples);
         }
       });
+  if (obs != nullptr) {
+    obs->add("mc.spatial_samples", static_cast<double>(num_samples));
+  }
   return result;
 }
 

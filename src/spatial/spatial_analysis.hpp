@@ -23,6 +23,7 @@
 #include "leakage/leakage.hpp"
 #include "mc/monte_carlo.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/registry.hpp"
 #include "spatial/spatial_model.hpp"
 
 namespace statleak {
@@ -33,11 +34,14 @@ LeakageDistribution spatial_leakage_distribution(
     const SpatialVariationModel& model, const std::vector<Point>& placement);
 
 /// Monte-Carlo reference under the spatial model (same result shape as
-/// run_monte_carlo; sampling draws per-region shared components).
+/// run_monte_carlo; sampling draws per-region shared components). With a
+/// registry attached, records the "mc.spatial_samples" phase time and the
+/// "mc.spatial_samples" counter; sample values are unaffected.
 McResult run_monte_carlo_spatial(const Circuit& circuit,
                                  const CellLibrary& lib,
                                  const SpatialVariationModel& model,
                                  const std::vector<Point>& placement,
-                                 const McConfig& config);
+                                 const McConfig& config,
+                                 obs::Registry* obs = nullptr);
 
 }  // namespace statleak

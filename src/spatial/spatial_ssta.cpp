@@ -126,6 +126,7 @@ VectorCanonical SpatialSstaEngine::gate_delay(GateId id) const {
 }
 
 VectorCanonical SpatialSstaEngine::circuit_delay() const {
+  if (obs_ != nullptr) obs_->add("ssta.spatial_passes", 1.0);
   std::vector<VectorCanonical> arrival(circuit_.num_gates());
   for (GateId id : circuit_.topo_order()) {
     const Gate& g = circuit_.gate(id);

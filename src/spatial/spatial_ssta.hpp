@@ -19,6 +19,7 @@
 
 #include "cells/library.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/registry.hpp"
 #include "spatial/spatial_model.hpp"
 
 namespace statleak {
@@ -65,12 +66,17 @@ class SpatialSstaEngine {
   /// Region of a gate (from the placement).
   int region_of(GateId id) const;
 
+  /// Attaches an observability registry (nullptr detaches); the engine
+  /// counts forward passes ("ssta.spatial_passes"). Read-only observation.
+  void attach_observer(obs::Registry* registry) { obs_ = registry; }
+
  private:
   const Circuit& circuit_;
   const CellLibrary& lib_;
   const SpatialVariationModel& model_;
   std::vector<int> regions_;     ///< per gate
   std::vector<double> loads_ff_; ///< per gate output load
+  obs::Registry* obs_ = nullptr;
 };
 
 }  // namespace statleak

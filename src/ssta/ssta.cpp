@@ -51,6 +51,7 @@ Canonical max_with_weights(std::span<const Canonical> operands,
 }  // namespace
 
 SstaResult SstaEngine::analyze() const {
+  if (obs_ != nullptr) obs_->add("ssta.analyze_passes", 1.0);
   const std::size_t n = circuit_.num_gates();
   SstaResult r;
   r.arrival.assign(n, Canonical{});
@@ -94,6 +95,7 @@ SstaResult SstaEngine::analyze() const {
 }
 
 Canonical SstaEngine::circuit_delay() const {
+  if (obs_ != nullptr) obs_->add("ssta.forward_passes", 1.0);
   const std::size_t n = circuit_.num_gates();
   std::vector<Canonical> arrival(n);
   for (GateId id : circuit_.topo_order()) {

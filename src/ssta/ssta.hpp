@@ -16,6 +16,7 @@
 
 #include "cells/library.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/registry.hpp"
 #include "ssta/canonical.hpp"
 #include "sta/loads.hpp"
 #include "tech/variation.hpp"
@@ -48,6 +49,11 @@ class SstaEngine {
   void rebuild_loads() { loads_.rebuild(); }
   const LoadCache& loads() const { return loads_; }
 
+  /// Attaches an observability registry (nullptr detaches). The engine
+  /// counts its passes ("ssta.analyze_passes", "ssta.forward_passes");
+  /// observation never changes any computed value.
+  void attach_observer(obs::Registry* registry) { obs_ = registry; }
+
   /// Canonical delay of one gate under the variation model.
   Canonical gate_delay(GateId id) const;
 
@@ -63,6 +69,7 @@ class SstaEngine {
   const CellLibrary& lib_;
   const VariationModel& var_;
   LoadCache loads_;
+  obs::Registry* obs_ = nullptr;
 };
 
 }  // namespace statleak

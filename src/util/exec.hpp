@@ -1,0 +1,39 @@
+/// \file exec.hpp
+/// \brief ExecConfig — the execution knobs shared by every runnable config.
+///
+/// Before this type existed, `num_threads` and `seed` were duplicated
+/// independently across McConfig, OptConfig, FlowConfig and MlvConfig,
+/// each with its own doc comment and defaults. They now inherit
+/// ExecConfig, so:
+///
+///   * the fields keep their exact spelling at every call site
+///     (`cfg.num_threads = 4; cfg.seed = 7;` compiles unchanged — the
+///     source-compatible accessor guarantee for this release), and
+///   * engine entry points can slice `const ExecConfig&` off any config
+///     to plumb execution knobs without knowing the concrete type.
+///
+/// FlowConfig's former `mc_seed` field is the one spelling change: it is
+/// now plain `seed` (a deprecated `mc_seed()` accessor remains for one
+/// release).
+
+#pragma once
+
+#include <cstdint>
+
+namespace statleak {
+
+/// Execution environment knobs: how to run, never what to compute.
+/// Determinism contract: every engine that consumes ExecConfig must
+/// produce bit-identical results for any `num_threads` (see
+/// util/parallel.hpp), so `seed` alone pins the output.
+struct ExecConfig {
+  /// Worker threads, counting the calling thread; 0 (and any negative
+  /// value) = std::thread::hardware_concurrency().
+  int num_threads = 0;
+
+  /// Base seed for counter-derived RNG streams (util/rng.hpp). Engines
+  /// without a random component ignore it.
+  std::uint64_t seed = 42;
+};
+
+}  // namespace statleak

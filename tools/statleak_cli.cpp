@@ -1,16 +1,25 @@
 /// \file statleak_cli.cpp
 /// \brief The statleak command-line driver.
 ///
-/// Subcommands (run with no arguments for usage):
+/// Subcommands (run with no arguments for the list, `<cmd> --help` for the
+/// per-command flags):
 ///
 ///   gen <circuit> -o out.bench            generate a circuit
 ///   stats <netlist.bench>                 structural statistics
 ///   analyze <netlist.bench> [options]     STA + SSTA + leakage report
-///   optimize <netlist.bench> [options]    run a flow, write .impl sidecar
+///   optimize <netlist.bench> [options]    run an optimizer, write .impl
 ///   mc <netlist.bench> [options]          Monte-Carlo report
+///   mlv <netlist.bench> [options]         minimum-leakage input vector
+///   flow <netlist.bench> [options]        full det-vs-stat comparison
 ///
 /// Circuits for `gen`: any ISCAS85 proxy name (c432 .. c7552), or
-/// rca<N> / cla<N> / csel<N> / mult<N> / alu<N> / parity<N> / rand<N>.
+/// rca<N> / cla<N> / csel<N> / ks<N> / mult<N> / wal<N> / alu<N> /
+/// parity<N> / rand<N>.
+///
+/// Every subcommand accepts `--report-json <path>` (write a versioned JSON
+/// run report: config echo, phase wall times, counters, convergence traces)
+/// and `--trace` (dump the trace streams as JSON to stdout). Execution
+/// knobs are spelled the same everywhere: `--seed s`, `--threads n`.
 ///
 /// The optimize/analyze/mc commands compose through .impl sidecars:
 ///
@@ -26,65 +35,187 @@
 #include <string>
 #include <vector>
 
-#include "gen/arithmetic.hpp"
-#include "gen/prefix.hpp"
-#include "gen/proxy.hpp"
-#include "gen/random_dag.hpp"
-#include "gen/structures.hpp"
-#include "mc/monte_carlo.hpp"
-#include "mlv/mlv.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/impl_io.hpp"
-#include "opt/deterministic.hpp"
-#include "opt/metrics.hpp"
-#include "opt/statistical.hpp"
-#include "report/flow.hpp"
-#include "sta/sta.hpp"
-#include "tech/process.hpp"
-#include "util/error.hpp"
-#include "util/table.hpp"
+#include "statleak.hpp"
 
 namespace {
 
 using namespace statleak;
 
+/// One `--flag` a command understands.
+struct FlagSpec {
+  const char* name;        ///< "--tmax" (the "-o" alias maps to "--out")
+  bool takes_value;        ///< false = boolean switch
+  const char* value_name;  ///< shown in help, e.g. "ps"
+  const char* help;
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* positional;  ///< e.g. "<netlist.bench>", "" for none
+  const char* blurb;
+  std::vector<FlagSpec> flags;
+};
+
+/// Flags every subcommand accepts, appended to each spec at lookup time.
+const std::vector<FlagSpec>& common_flags() {
+  static const std::vector<FlagSpec> kCommon = {
+      {"--report-json", true, "path",
+       "write a schema-versioned JSON run report"},
+      {"--trace", false, "", "dump convergence trace streams to stdout"},
+  };
+  return kCommon;
+}
+
+std::vector<CommandSpec> command_specs() {
+  const FlagSpec impl = {"--impl", true, "f.impl",
+                         "apply an implementation sidecar before running"};
+  const FlagSpec node = {"--node", true, "100|70",
+                         "technology node (default 100)"};
+  const FlagSpec seed = {"--seed", true, "s", "RNG seed"};
+  const FlagSpec threads = {"--threads", true, "n",
+                            "worker threads, 0 = all cores (default 0); "
+                            "results are thread-count invariant"};
+  return {
+      {"gen", "<circuit>", "generate a benchmark circuit",
+       {{"--out", true, "out.bench", "output netlist (-o works too)"},
+        {"--seed", true, "s", "seed for rand<N> circuits (default 1)"}}},
+      {"stats", "<netlist.bench>", "structural statistics", {impl}},
+      {"analyze", "<netlist.bench>", "STA + SSTA + leakage report",
+       {impl,
+        {"--tmax", true, "ps", "delay target (default 1.1 * nominal)"},
+        node}},
+      {"optimize", "<netlist.bench>", "optimize and write an .impl sidecar",
+       {impl,
+        {"--flow", true, "stat|det", "optimizer to run (default stat)"},
+        {"--tmax", true, "ps", "absolute delay target"},
+        {"--tmax-factor", true, "f",
+         "delay target as a multiple of D_min (default 1.15)"},
+        {"--eta", true, "y", "timing-yield target (default 0.99)"},
+        {"--corner", true, "k",
+         "deterministic guard-band in sigmas (default 3)"},
+        node,
+        seed,
+        threads,
+        {"--out", true, "out.impl", "implementation sidecar (-o works too)"},
+        {"--write-bench", true, "out.bench", "also write the netlist"}}},
+      {"mc", "<netlist.bench>", "Monte-Carlo delay/leakage report",
+       {impl,
+        {"--tmax", true, "ps", "delay target (default 1.1 * nominal)"},
+        {"--samples", true, "n", "number of dies (default 5000)"},
+        seed,
+        threads,
+        node}},
+      {"mlv", "<netlist.bench>", "minimum-leakage standby vector search",
+       {impl,
+        {"--trials", true, "n", "random probes (default 128)"},
+        seed,
+        node}},
+      {"flow", "<netlist.bench>", "full deterministic-vs-statistical flow",
+       {impl,
+        {"--tmax-factor", true, "f",
+         "delay target as a multiple of D_min (default 1.15)"},
+        {"--eta", true, "y", "timing-yield target (default 0.99)"},
+        {"--corner", true, "k",
+         "fixed deterministic guard-band (default 0)"},
+        {"--auto-corner", false, "",
+         "search for the smallest corner meeting eta"},
+        {"--mc-samples", true, "n",
+         "Monte-Carlo cross-check dies, 0 = skip (default 0)"},
+        seed,
+        threads,
+        node}},
+  };
+}
+
 int usage() {
   std::cerr <<
       R"(statleak — statistical leakage optimization under process variation
 
-usage:
-  statleak gen <circuit> [-o out.bench]
-  statleak stats <netlist.bench>
-  statleak analyze <netlist.bench> [--impl f.impl] [--tmax ps] [--node 100|70]
-  statleak optimize <netlist.bench> [--flow stat|det] [--tmax ps |
-           --tmax-factor f] [--eta y] [--corner k] [--node 100|70]
-           [--threads n] [-o out.impl] [--write-bench out.bench]
-  statleak mc <netlist.bench> [--impl f.impl] [--tmax ps] [--samples n]
-           [--seed s] [--threads n] [--node 100|70]
-  statleak mlv <netlist.bench> [--impl f.impl] [--trials n] [--node 100|70]
+usage: statleak <command> [options]   (statleak <command> --help for flags)
 
+commands:
+)";
+  for (const CommandSpec& c : command_specs()) {
+    std::cerr << "  " << c.name << std::string(10 - std::string(c.name).size(), ' ')
+              << c.positional << (*c.positional != '\0' ? "  " : "")
+              << c.blurb << "\n";
+  }
+  std::cerr <<
+      R"(
 circuits for gen: c432 c499 c880 c1355 c1908 c2670 c3540 c5315 c6288 c7552
                   rca<N> cla<N> csel<N> ks<N> mult<N> wal<N> alu<N> parity<N> rand<N>
 )";
   return 2;
 }
 
-/// Minimal flag parser: positionals plus --key value / -o value pairs.
+void print_command_help(const CommandSpec& spec, std::ostream& os) {
+  os << "usage: statleak " << spec.name;
+  if (*spec.positional != '\0') os << " " << spec.positional;
+  os << " [options]\n\n" << spec.blurb << "\n\noptions:\n";
+  const auto print_flag = [&](const FlagSpec& f) {
+    std::string left = std::string("  ") + f.name;
+    if (f.takes_value) left += std::string(" <") + f.value_name + ">";
+    if (left.size() < 26) left.resize(26, ' ');
+    os << left << " " << f.help << "\n";
+  };
+  for (const FlagSpec& f : spec.flags) print_flag(f);
+  for (const FlagSpec& f : common_flags()) print_flag(f);
+}
+
+/// A flag error: unknown flag, missing value, stray positional. Reported
+/// with the per-command usage and exit code 2 (vs 1 for runtime errors).
+struct UsageError : Error {
+  using Error::Error;
+};
+
+/// Command-line parser validated against one command's FlagSpec list:
+/// positionals plus --key [value] pairs, `-o` as an alias for `--out`,
+/// unknown flags rejected with the offending spelling.
 class Args {
  public:
-  Args(int argc, char** argv) {
+  Args(const CommandSpec& spec, int argc, char** argv) {
+    const auto find_spec = [&](const std::string& key) -> const FlagSpec* {
+      for (const FlagSpec& f : spec.flags) {
+        if (key == f.name) return &f;
+      }
+      for (const FlagSpec& f : common_flags()) {
+        if (key == f.name) return &f;
+      }
+      return nullptr;
+    };
     for (int i = 2; i < argc; ++i) {
       std::string tok = argv[i];
-      if (tok.rfind("--", 0) == 0 || tok == "-o") {
-        const std::string key = tok == "-o" ? "--out" : tok;
-        STATLEAK_CHECK(i + 1 < argc, "flag " + tok + " needs a value");
+      if (tok == "-h" || tok == "--help") {
+        help_ = true;
+        continue;
+      }
+      if (tok.rfind("-", 0) != 0) {
+        positional_.push_back(tok);
+        continue;
+      }
+      const std::string key = tok == "-o" ? "--out" : tok;
+      const FlagSpec* f = find_spec(key);
+      if (f == nullptr) {
+        throw UsageError("unknown flag '" + tok + "' for 'statleak " +
+                         spec.name + "'");
+      }
+      if (f->takes_value) {
+        if (i + 1 >= argc) throw UsageError("flag " + tok + " needs a value");
         flags_.emplace_back(key, argv[++i]);
       } else {
-        positional_.push_back(tok);
+        flags_.emplace_back(key, "");
       }
     }
   }
 
+  bool help_requested() const { return help_; }
+
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : flags_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
   std::optional<std::string> get(const std::string& key) const {
     for (const auto& [k, v] : flags_) {
       if (k == key) return v;
@@ -101,12 +232,81 @@ class Args {
   }
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Echoes every flag the user actually passed into the report's config
+  /// section, plus the command and positional arguments.
+  void echo_config(const char* command, obs::Registry* obs) const {
+    if (obs == nullptr) return;
+    obs->note_config("command", command);
+    for (std::size_t i = 0; i < positional_.size(); ++i) {
+      obs->note_config(i == 0 ? "arg" : "arg" + std::to_string(i),
+                       positional_[i]);
+    }
+    for (const auto& [k, v] : flags_) {
+      const std::string key = k.substr(2);  // strip the leading "--"
+      if (v.empty()) {
+        obs->note_config_num(key, true);
+      } else {
+        obs->note_config(key, v);
+      }
+    }
+  }
+
  private:
   std::vector<std::pair<std::string, std::string>> flags_;
   std::vector<std::string> positional_;
+  bool help_ = false;
 };
 
-Circuit generate(const std::string& spec) {
+/// The per-invocation observability session: a registry that exists only
+/// when --report-json or --trace asked for one (so the default path stays
+/// on the engines' null-sink fast path), finalized after the command runs.
+class ObsSession {
+ public:
+  ObsSession(const char* command, const Args& args)
+      : report_path_(args.get("--report-json")),
+        trace_(args.has("--trace")) {
+    args.echo_config(command, reg());
+  }
+
+  /// nullptr when no report was requested — engines skip all bookkeeping.
+  obs::Registry* reg() {
+    return report_path_ || trace_ ? &registry_ : nullptr;
+  }
+
+  /// Writes the report file and/or dumps traces, after the command body.
+  void finish() {
+    if (trace_) {
+      obs::Json traces = obs::Json::object();
+      for (const std::string& stream : registry_.trace_streams()) {
+        obs::Json events = obs::Json::array();
+        for (const obs::TraceEvent& e : registry_.trace_events(stream)) {
+          obs::Json ev = obs::Json::object();
+          ev.set("step", static_cast<double>(e.step));
+          ev.set("phase", e.phase);
+          ev.set("objective", e.objective);
+          ev.set("yield", e.yield);
+          ev.set("delay_ps", e.delay_ps);
+          ev.set("commits", static_cast<double>(e.commits));
+          ev.set("rejected", static_cast<double>(e.rejected));
+          events.push_back(std::move(ev));
+        }
+        traces.set(stream, std::move(events));
+      }
+      std::cout << traces.dump(2);
+    }
+    if (report_path_) {
+      obs::write_run_report(*report_path_, registry_);
+      std::cout << "wrote report " << *report_path_ << "\n";
+    }
+  }
+
+ private:
+  obs::Registry registry_;
+  std::optional<std::string> report_path_;
+  bool trace_ = false;
+};
+
+Circuit generate(const std::string& spec, std::uint64_t seed) {
   const auto numeric_suffix = [&](const std::string& prefix) -> int {
     return std::atoi(spec.substr(prefix.size()).c_str());
   };
@@ -135,6 +335,7 @@ Circuit generate(const std::string& spec) {
   if (spec.rfind("rand", 0) == 0) {
     RandomDagSpec r;
     r.num_gates = numeric_suffix("rand");
+    r.seed = seed;
     return make_random_dag(r);
   }
   return iscas85_proxy(spec);  // throws with a clear message if unknown
@@ -172,7 +373,9 @@ void print_metrics(const CircuitMetrics& m, double t_max) {
 }
 
 Circuit load_circuit(const Args& args) {
-  STATLEAK_CHECK(!args.positional().empty(), "missing netlist argument");
+  if (args.positional().empty()) {
+    throw UsageError("missing netlist argument");
+  }
   Circuit c = read_bench_file(args.positional()[0]);
   if (const auto impl = args.get("--impl")) {
     const std::size_t updated = read_impl_file(*impl, c);
@@ -182,38 +385,63 @@ Circuit load_circuit(const Args& args) {
   return c;
 }
 
-int cmd_gen(const Args& args) {
-  STATLEAK_CHECK(!args.positional().empty(), "gen needs a circuit spec");
-  const Circuit c = generate(args.positional()[0]);
+int cmd_gen(const Args& args, ObsSession& session) {
+  if (args.positional().empty()) {
+    throw UsageError("gen needs a circuit spec");
+  }
+  obs::ScopedTimer timer(session.reg(), "gen.build");
+  const Circuit c = generate(args.positional()[0],
+                             static_cast<std::uint64_t>(
+                                 args.get_long("--seed", 1)));
+  timer.stop();
   const std::string out =
       args.get("--out").value_or(c.name() + ".bench");
   std::ofstream file(out);
   STATLEAK_CHECK(file.good(), "cannot write " + out);
   write_bench(file, c);
   std::cout << "wrote " << out << " (" << c.num_cells() << " cells)\n";
+  if (obs::Registry* obs = session.reg()) {
+    obs->set_gauge("gen.cells", static_cast<double>(c.num_cells()));
+  }
   return 0;
 }
 
-int cmd_stats(const Args& args) {
+int cmd_stats(const Args& args, ObsSession& session) {
   const Circuit c = load_circuit(args);
+  obs::ScopedTimer timer(session.reg(), "stats.measure");
   const CircuitStats s = circuit_stats(c);
+  timer.stop();
   std::cout << c.name() << ": " << s.num_cells << " cells, " << s.num_inputs
             << " PIs, " << s.num_outputs << " POs, depth " << s.depth
             << ", avg fanout " << format_fixed(s.avg_fanout, 2) << "\n";
+  if (obs::Registry* obs = session.reg()) {
+    obs->set_gauge("stats.cells", static_cast<double>(s.num_cells));
+    obs->set_gauge("stats.depth", static_cast<double>(s.depth));
+    obs->set_gauge("stats.avg_fanout", s.avg_fanout);
+  }
   return 0;
 }
 
-int cmd_analyze(const Args& args) {
+int cmd_analyze(const Args& args, ObsSession& session) {
   Circuit c = load_circuit(args);
   const CellLibrary lib = make_library(args);
   const VariationModel var = VariationModel::typical_100nm();
   const double t_max = args.get_double(
       "--tmax", 1.1 * StaEngine(c, lib).critical_delay_ps());
-  print_metrics(measure_metrics(c, lib, var, t_max), t_max);
+  obs::ScopedTimer timer(session.reg(), "analyze.metrics");
+  const CircuitMetrics m = measure_metrics(c, lib, var, t_max);
+  timer.stop();
+  print_metrics(m, t_max);
+  if (obs::Registry* obs = session.reg()) {
+    obs->set_gauge("analyze.t_max_ps", t_max);
+    obs->set_gauge("analyze.timing_yield", m.timing_yield);
+    obs->set_gauge("analyze.leakage_mean_na", m.leakage_mean_na);
+    obs->set_gauge("analyze.leakage_p99_na", m.leakage_p99_na);
+  }
   return 0;
 }
 
-int cmd_optimize(const Args& args) {
+int cmd_optimize(const Args& args, ObsSession& session) {
   Circuit c = load_circuit(args);
   const CellLibrary lib = make_library(args);
   const VariationModel var = VariationModel::typical_100nm();
@@ -227,17 +455,18 @@ int cmd_optimize(const Args& args) {
   }
   cfg.yield_target = args.get_double("--eta", 0.99);
   cfg.corner_k_sigma = args.get_double("--corner", 3.0);
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("--seed", 42));
   // 0 = all hardware threads; results are thread-count invariant.
   cfg.num_threads = static_cast<int>(args.get_long("--threads", 0));
 
   const std::string flow = args.get("--flow").value_or("stat");
   OptResult result;
   if (flow == "stat") {
-    result = StatisticalOptimizer(lib, var, cfg).run(c);
+    result = StatisticalOptimizer(lib, var, cfg).run(c, session.reg());
   } else if (flow == "det") {
-    result = DeterministicOptimizer(lib, var, cfg).run(c);
+    result = DeterministicOptimizer(lib, var, cfg).run(c, session.reg());
   } else {
-    throw Error("--flow must be 'stat' or 'det'");
+    throw UsageError("--flow must be 'stat' or 'det'");
   }
 
   std::cout << flow << " flow on " << c.name() << ": " << result.note
@@ -258,7 +487,7 @@ int cmd_optimize(const Args& args) {
   return 0;
 }
 
-int cmd_mc(const Args& args) {
+int cmd_mc(const Args& args, ObsSession& session) {
   Circuit c = load_circuit(args);
   const CellLibrary lib = make_library(args);
   const VariationModel var = VariationModel::typical_100nm();
@@ -271,7 +500,7 @@ int cmd_mc(const Args& args) {
   const double t_max = args.get_double(
       "--tmax", 1.1 * StaEngine(c, lib).critical_delay_ps());
 
-  const McResult res = run_monte_carlo(c, lib, var, mc);
+  const McResult res = run_monte_carlo(c, lib, var, mc, session.reg());
   const SampleSummary d = res.delay_summary();
   const SampleSummary l = res.leakage_summary();
   std::cout << mc.num_samples << " dies of " << c.name() << ":\n"
@@ -283,15 +512,25 @@ int cmd_mc(const Args& args) {
             << "  timing yield at " << format_fixed(t_max, 1) << " ps: "
             << format_fixed(res.timing_yield(t_max), 4) << " +/- "
             << format_fixed(res.yield_stderr(t_max), 4) << "\n";
+  if (obs::Registry* obs = session.reg()) {
+    obs->set_gauge("mc.delay_mean_ps", d.mean);
+    obs->set_gauge("mc.delay_p99_ps", d.p99);
+    obs->set_gauge("mc.leakage_mean_na", l.mean);
+    obs->set_gauge("mc.leakage_p99_na", l.p99);
+    obs->set_gauge("mc.timing_yield", res.timing_yield(t_max));
+  }
   return 0;
 }
 
-int cmd_mlv(const Args& args) {
+int cmd_mlv(const Args& args, ObsSession& session) {
   Circuit c = load_circuit(args);
   const CellLibrary lib = make_library(args);
   MlvConfig cfg;
   cfg.random_trials = static_cast<int>(args.get_long("--trials", 128));
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("--seed", 1));
+  obs::ScopedTimer timer(session.reg(), "mlv.search");
   const MlvResult res = find_min_leakage_vector(c, lib, cfg);
+  timer.stop();
   std::cout << "standby leakage of " << c.name() << ": random mean "
             << format_si(res.mean_leakage_na * 1e-9, "A") << ", worst "
             << format_si(res.worst_leakage_na * 1e-9, "A")
@@ -302,6 +541,67 @@ int cmd_mlv(const Args& args) {
             << "vector: ";
   for (char bit : res.best_vector) std::cout << (bit ? '1' : '0');
   std::cout << "\n";
+  if (obs::Registry* obs = session.reg()) {
+    obs->add("mlv.evaluations", static_cast<double>(res.evaluations));
+    obs->set_gauge("mlv.best_leakage_na", res.best_leakage_na);
+    obs->set_gauge("mlv.mean_leakage_na", res.mean_leakage_na);
+  }
+  return 0;
+}
+
+int cmd_flow(const Args& args, ObsSession& session) {
+  Circuit c = load_circuit(args);
+  const CellLibrary lib = make_library(args);
+  const VariationModel var = VariationModel::typical_100nm();
+
+  FlowConfig cfg;
+  cfg.t_max_factor = args.get_double("--tmax-factor", 1.15);
+  cfg.yield_target = args.get_double("--eta", 0.99);
+  cfg.det_corner_k = args.get_double("--corner", 0.0);
+  cfg.det_auto_corner = args.has("--auto-corner");
+  cfg.mc_samples = static_cast<int>(args.get_long("--mc-samples", 0));
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("--seed", 7));
+  cfg.num_threads = static_cast<int>(args.get_long("--threads", 0));
+
+  const FlowOutcome out = run_flow(c, lib, var, cfg, session.reg());
+
+  Table t({"", "deterministic", "statistical"});
+  const auto row = [&](const std::string& k, const std::string& det,
+                       const std::string& stat) {
+    t.begin_row();
+    t.add(k);
+    t.add(det);
+    t.add(stat);
+  };
+  const auto& dm = out.det_metrics;
+  const auto& sm = out.stat_metrics;
+  row("timing yield (SSTA)", format_fixed(dm.timing_yield, 4),
+      format_fixed(sm.timing_yield, 4));
+  row("leakage mean", format_si(dm.leakage_mean_na * 1e-9, "A"),
+      format_si(sm.leakage_mean_na * 1e-9, "A"));
+  row("leakage p99", format_si(dm.leakage_p99_na * 1e-9, "A"),
+      format_si(sm.leakage_p99_na * 1e-9, "A"));
+  row("HVT fraction", format_fixed(100.0 * dm.hvt_fraction, 1) + " %",
+      format_fixed(100.0 * sm.hvt_fraction, 1) + " %");
+  row("area", format_fixed(dm.area_um, 1) + " um",
+      format_fixed(sm.area_um, 1) + " um");
+  row("runtime", format_fixed(out.det_runtime_s, 2) + " s",
+      format_fixed(out.stat_runtime_s, 2) + " s");
+  if (out.has_mc) {
+    row("MC timing yield", format_fixed(out.det_mc.timing_yield, 4),
+        format_fixed(out.stat_mc.timing_yield, 4));
+    row("MC leakage p99", format_si(out.det_mc.leakage_p99_na * 1e-9, "A"),
+        format_si(out.stat_mc.leakage_p99_na * 1e-9, "A"));
+  }
+  std::cout << out.circuit_name << ": D_min "
+            << format_fixed(out.d_min_ps, 1) << " ps, T "
+            << format_fixed(out.t_max_ps, 1) << " ps, det corner "
+            << format_fixed(out.det_corner_k, 1) << " sigma\n\n";
+  t.print(std::cout);
+  std::cout << "\np99 leakage saving "
+            << format_fixed(100.0 * out.p99_saving(), 1)
+            << " %, mean saving "
+            << format_fixed(100.0 * out.mean_saving(), 1) << " %\n";
   return 0;
 }
 
@@ -310,16 +610,43 @@ int cmd_mlv(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  try {
-    const Args args(argc, argv);
-    if (cmd == "gen") return cmd_gen(args);
-    if (cmd == "stats") return cmd_stats(args);
-    if (cmd == "analyze") return cmd_analyze(args);
-    if (cmd == "optimize") return cmd_optimize(args);
-    if (cmd == "mc") return cmd_mc(args);
-    if (cmd == "mlv") return cmd_mlv(args);
+  if (cmd == "-h" || cmd == "--help") {
+    usage();
+    return 0;
+  }
+  static const std::vector<CommandSpec> kSpecs = command_specs();
+  const CommandSpec* spec = nullptr;
+  for (const CommandSpec& c : kSpecs) {
+    if (cmd == c.name) {
+      spec = &c;
+      break;
+    }
+  }
+  if (spec == nullptr) {
     std::cerr << "unknown command '" << cmd << "'\n";
     return usage();
+  }
+  try {
+    const Args args(*spec, argc, argv);
+    if (args.help_requested()) {
+      print_command_help(*spec, std::cout);
+      return 0;
+    }
+    ObsSession session(spec->name, args);
+    int rc = 1;
+    if (cmd == "gen") rc = cmd_gen(args, session);
+    if (cmd == "stats") rc = cmd_stats(args, session);
+    if (cmd == "analyze") rc = cmd_analyze(args, session);
+    if (cmd == "optimize") rc = cmd_optimize(args, session);
+    if (cmd == "mc") rc = cmd_mc(args, session);
+    if (cmd == "mlv") rc = cmd_mlv(args, session);
+    if (cmd == "flow") rc = cmd_flow(args, session);
+    if (rc == 0) session.finish();
+    return rc;
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    print_command_help(*spec, std::cerr);
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
