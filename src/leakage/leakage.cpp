@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/normal.hpp"
 
 namespace statleak {
 
@@ -43,6 +44,7 @@ LeakageModel::LeakageModel(const CellLibrary& lib, const VariationModel& var)
   log_sigma2_ = cl_ * cl_ * sig_l2_ + cv_ * cv_ * sig_v2;
   log_cov_global_ = cl_ * cl_ * var.sigma_l_inter_nm * var.sigma_l_inter_nm +
                     cv_ * cv_ * sig_v_inter2_;
+  cov_factor_ = std::exp(log_cov_global_) - 1.0;
 
   // First and second exponential moments of the per-gate exponent
   // Y = -cL*X_L - cV*X_V + q*X_L^2 with X_L, X_V independent Gaussians.
@@ -86,29 +88,70 @@ LeakageAnalyzer::LeakageAnalyzer(const Circuit& circuit,
 }
 
 void LeakageAnalyzer::rebuild() {
-  moments_.assign(circuit_.num_gates(), GateLeakMoments{});
-  sum_mean_ = 0.0;
-  sum_mean_sq_ = 0.0;
-  sum_var_ = 0.0;
-  for (GateId id = 0; id < circuit_.num_gates(); ++id) {
+  STATLEAK_CHECK(!trial_active_, "rebuild inside a trial");
+  const std::size_t n = circuit_.num_gates();
+  moments_.assign(n, GateLeakMoments{});
+  touched_.assign(n, 0);
+  std::vector<double> mean(n, 0.0), mean_sq(n, 0.0), var(n, 0.0);
+  for (GateId id = 0; id < n; ++id) {
     const Gate& g = circuit_.gate(id);
-    if (g.kind == CellKind::kInput) continue;
+    if (g.kind == CellKind::kInput) continue;  // slots stay zero
     moments_[id] = model_.gate_moments(g.kind, g.vth, g.size);
-    sum_mean_ += moments_[id].mean_na;
-    sum_mean_sq_ += moments_[id].mean_na * moments_[id].mean_na;
-    sum_var_ += moments_[id].var_na2;
+    mean[id] = moments_[id].mean_na;
+    mean_sq[id] = moments_[id].mean_na * moments_[id].mean_na;
+    var[id] = moments_[id].var_na2;
   }
+  sum_mean_.reset(n);
+  sum_mean_sq_.reset(n);
+  sum_var_.reset(n);
+  sum_mean_.assign(mean);
+  sum_mean_sq_.assign(mean_sq);
+  sum_var_.assign(var);
+}
+
+void LeakageAnalyzer::write_moments(GateId id, const GateLeakMoments& m) {
+  if (trial_active_ && touched_[id] == 0) {
+    touched_[id] = 1;
+    touched_list_.push_back(id);
+    undo_.push_back({id, moments_[id]});
+  }
+  moments_[id] = m;
+  sum_mean_.set(id, m.mean_na);
+  sum_mean_sq_.set(id, m.mean_na * m.mean_na);
+  sum_var_.set(id, m.var_na2);
 }
 
 void LeakageAnalyzer::on_gate_changed(GateId id) {
   const Gate& g = circuit_.gate(id);
   if (g.kind == CellKind::kInput) return;
-  const GateLeakMoments old = moments_[id];
-  const GateLeakMoments now = model_.gate_moments(g.kind, g.vth, g.size);
-  moments_[id] = now;
-  sum_mean_ += now.mean_na - old.mean_na;
-  sum_mean_sq_ += now.mean_na * now.mean_na - old.mean_na * old.mean_na;
-  sum_var_ += now.var_na2 - old.var_na2;
+  write_moments(id, model_.gate_moments(g.kind, g.vth, g.size));
+}
+
+void LeakageAnalyzer::begin_trial() {
+  STATLEAK_CHECK(!trial_active_, "trials do not nest");
+  trial_active_ = true;
+}
+
+void LeakageAnalyzer::commit_trial() {
+  STATLEAK_CHECK(trial_active_, "no trial to commit");
+  trial_active_ = false;
+  for (GateId id : touched_list_) touched_[id] = 0;
+  touched_list_.clear();
+  undo_.clear();
+}
+
+void LeakageAnalyzer::rollback_trial() {
+  STATLEAK_CHECK(trial_active_, "no trial to roll back");
+  trial_active_ = false;
+  for (const MomentUndo& u : undo_) {
+    moments_[u.id] = u.moments;
+    sum_mean_.set(u.id, u.moments.mean_na);
+    sum_mean_sq_.set(u.id, u.moments.mean_na * u.moments.mean_na);
+    sum_var_.set(u.id, u.moments.var_na2);
+  }
+  for (GateId id : touched_list_) touched_[id] = 0;
+  touched_list_.clear();
+  undo_.clear();
 }
 
 LeakageDistribution LeakageAnalyzer::assemble(double sum_mean,
@@ -116,16 +159,15 @@ LeakageDistribution LeakageAnalyzer::assemble(double sum_mean,
                                               double sum_var) const {
   LeakageDistribution d;
   d.mean_na = sum_mean;
-  const double cov_factor = std::exp(model_.log_cov_global()) - 1.0;
   const double pairwise =
-      cov_factor * std::max(0.0, sum_mean * sum_mean - sum_mean_sq);
+      model_.cov_factor() * std::max(0.0, sum_mean * sum_mean - sum_mean_sq);
   d.var_na2 = sum_var + pairwise;
   d.fitted = Lognormal::from_moments(std::max(sum_mean, 1e-12), d.var_na2);
   return d;
 }
 
 LeakageDistribution LeakageAnalyzer::distribution() const {
-  return assemble(sum_mean_, sum_mean_sq_, sum_var_);
+  return assemble(sum_mean_.total(), sum_mean_sq_.total(), sum_var_.total());
 }
 
 double LeakageAnalyzer::nominal_na() const {
@@ -144,13 +186,20 @@ double LeakageAnalyzer::quantile_if_na(GateId id, Vth vth, double size,
   const Gate& g = circuit_.gate(id);
   STATLEAK_CHECK(g.kind != CellKind::kInput,
                  "cannot re-price a primary input");
-  const GateLeakMoments old = moments_[id];
   const GateLeakMoments now = model_.gate_moments(g.kind, vth, size);
-  const double sum_mean = sum_mean_ + now.mean_na - old.mean_na;
-  const double sum_mean_sq = sum_mean_sq_ + now.mean_na * now.mean_na -
-                             old.mean_na * old.mean_na;
-  const double sum_var = sum_var_ + now.var_na2 - old.var_na2;
-  return assemble(sum_mean, sum_mean_sq, sum_var).quantile_na(p);
+  const GateLeakMoments& old = moments_[id];
+  // Scalar delta on the exact tree totals — O(1) per candidate; see the
+  // header for why pricing does not need the tree-shaped re-sum.
+  const double sum_mean = sum_mean_.total() - old.mean_na + now.mean_na;
+  const double sum_mean_sq = sum_mean_sq_.total() -
+                             old.mean_na * old.mean_na +
+                             now.mean_na * now.mean_na;
+  const double sum_var = sum_var_.total() - old.var_na2 + now.var_na2;
+  if (p != z_memo_p_) {
+    z_memo_ = normal_inverse_cdf(p);
+    z_memo_p_ = p;
+  }
+  return assemble(sum_mean, sum_mean_sq, sum_var).fitted.quantile_z(z_memo_);
 }
 
 double LeakageAnalyzer::total_sample_na(

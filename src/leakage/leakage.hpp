@@ -16,8 +16,13 @@
 /// identical for both threshold classes). All percentile queries then reduce
 /// to lognormal quantiles.
 ///
-/// The analyzer keeps per-gate moments and running totals so the optimizer
-/// can re-price a single-gate change in O(1).
+/// The analyzer keeps per-gate moments and the three Wilkinson totals in
+/// fixed-shape pairwise-summation trees (util/tree_sum.hpp), so a
+/// single-gate change re-prices in O(log n) AND every query stays
+/// bit-identical to a from-scratch rebuild — the property the incremental
+/// differential tests pin. A small trial API mirrors the SSTA engine's:
+/// begin_trial() starts an undo log of touched gate moments and
+/// rollback_trial() restores them in O(touched).
 
 #pragma once
 
@@ -28,6 +33,7 @@
 #include "netlist/circuit.hpp"
 #include "tech/variation.hpp"
 #include "util/lognormal.hpp"
+#include "util/tree_sum.hpp"
 
 namespace statleak {
 
@@ -60,6 +66,10 @@ class LeakageModel {
   /// Log-domain covariance shared by every gate pair (inter-die part).
   double log_cov_global() const { return log_cov_global_; }
 
+  /// exp(log_cov_global()) - 1, the pairwise Wilkinson covariance factor.
+  /// Cached at construction so per-candidate move pricing pays no exp().
+  double cov_factor() const { return cov_factor_; }
+
   /// Moments of one gate's leakage. Includes the exact Gaussian
   /// quadratic-exponent correction when the node's leak_quadratic term is
   /// non-zero (applied to mean and variance; the pairwise covariance keeps
@@ -80,6 +90,7 @@ class LeakageModel {
   double sig_v_inter2_ = 0.0;  ///< inter-die dVth variance [V^2]
   double log_sigma2_ = 0.0;
   double log_cov_global_ = 0.0;
+  double cov_factor_ = 0.0;  ///< exp(log_cov_global_) - 1
   double mean_factor_ = 1.0;  ///< E[exp(exponent)] for a unit-nominal gate
   double m2_factor_ = 1.0;    ///< E[exp(2*exponent)]
 };
@@ -90,17 +101,29 @@ class LeakageAnalyzer {
   LeakageAnalyzer(const Circuit& circuit, const CellLibrary& lib,
                   const VariationModel& var);
 
-  /// Recomputes all per-gate moments and totals.
+  /// Recomputes all per-gate moments and totals. Totals are bit-identical
+  /// to any sequence of on_gate_changed() updates reaching the same
+  /// implementation (fixed-shape summation trees).
   void rebuild();
 
-  /// Call after gate `id` changed size or Vth.
+  /// Call after gate `id` changed size or Vth. O(log n).
   void on_gate_changed(GateId id);
+
+  // ------------------------------------------------------------- trials --
+  /// Starts logging moment overwrites so rollback_trial() can restore them.
+  /// Trials do not nest.
+  void begin_trial();
+  /// Keeps the current state and drops the undo log.
+  void commit_trial();
+  /// Restores every gate moment the trial touched, in O(touched log n).
+  void rollback_trial();
+  bool trial_active() const { return trial_active_; }
 
   /// Current fitted distribution of total leakage.
   LeakageDistribution distribution() const;
 
   /// Mean total leakage [nA].
-  double mean_na() const { return sum_mean_; }
+  double mean_na() const { return sum_mean_.total(); }
   /// Percentile of total leakage [nA].
   double quantile_na(double p) const { return distribution().quantile_na(p); }
   /// Total leakage with all gates at nominal parameters [nA].
@@ -108,7 +131,10 @@ class LeakageAnalyzer {
 
   /// What the fitted distribution would report if gate `id` had the given
   /// (vth, size) — without mutating anything. The optimizer's O(1) move
-  /// pricing.
+  /// pricing: the hypothetical totals are the exact tree totals adjusted by
+  /// a scalar old-vs-new delta. That is deterministic (same state, same
+  /// bits) but deliberately not re-summed through the trees — pricing only
+  /// ranks candidates, and committed state always goes through the trees.
   double quantile_if_na(GateId id, Vth vth, double size, double p) const;
 
   /// Exact total leakage [nA] for one Monte-Carlo parameter sample
@@ -121,12 +147,29 @@ class LeakageAnalyzer {
   LeakageDistribution assemble(double sum_mean, double sum_mean_sq,
                                double sum_var) const;
 
+  struct MomentUndo {
+    GateId id = kInvalidGate;
+    GateLeakMoments moments;
+  };
+
+  void write_moments(GateId id, const GateLeakMoments& m);
+
   const Circuit& circuit_;
   LeakageModel model_;
   std::vector<GateLeakMoments> moments_;
-  double sum_mean_ = 0.0;
-  double sum_mean_sq_ = 0.0;
-  double sum_var_ = 0.0;
+  TreeSum sum_mean_;     ///< per-gate mean leakage [nA]
+  TreeSum sum_mean_sq_;  ///< per-gate squared mean [nA^2]
+  TreeSum sum_var_;      ///< per-gate leakage variance [nA^2]
+
+  bool trial_active_ = false;
+  std::vector<MomentUndo> undo_;
+  std::vector<char> touched_;
+  std::vector<GateId> touched_list_;
+
+  /// Memo of Phi^-1(p) for the last-seen pricing percentile (the optimizer
+  /// always asks for one fixed p, so this hits ~always).
+  mutable double z_memo_p_ = -1.0;
+  mutable double z_memo_ = 0.0;
 };
 
 }  // namespace statleak

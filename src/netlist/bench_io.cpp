@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 
@@ -30,6 +31,11 @@ std::string strip(const std::string& s) {
   throw Error("bench parse error at line " + std::to_string(line) + ": " +
               msg);
 }
+
+/// Operand-count cap per definition. Real ISCAS-era netlists stay far below
+/// this; anything above it is a corrupt or adversarial file, rejected with a
+/// clean parse error before the tree decomposition allocates gates for it.
+constexpr std::size_t kMaxBenchFanin = 1024;
 
 struct Def {
   std::string name;
@@ -203,6 +209,7 @@ Circuit read_bench_impl(std::istream& in, const std::string& circuit_name) {
   Builder builder(circuit_name);
   std::vector<Def> defs;
   std::vector<std::string> output_names;
+  std::set<std::string> seen_outputs;
 
   std::string raw;
   int line_no = 0;
@@ -227,6 +234,9 @@ Circuit read_bench_impl(std::istream& in, const std::string& circuit_name) {
       if (head == "INPUT") {
         builder.add_input(arg);
       } else if (head == "OUTPUT") {
+        if (!seen_outputs.insert(arg).second) {
+          parse_error(line_no, "duplicate OUTPUT(" + arg + ")");
+        }
         output_names.push_back(arg);
       } else {
         parse_error(line_no, "unknown directive '" + head + "'");
@@ -253,6 +263,11 @@ Circuit read_bench_impl(std::istream& in, const std::string& circuit_name) {
       def.args.push_back(arg);
     }
     if (def.args.empty()) parse_error(line_no, "operator with no operands");
+    if (def.args.size() > kMaxBenchFanin) {
+      parse_error(line_no, "operator with " + std::to_string(def.args.size()) +
+                               " operands exceeds the fan-in cap of " +
+                               std::to_string(kMaxBenchFanin));
+    }
     defs.push_back(std::move(def));
   }
 

@@ -14,6 +14,12 @@
 /// decomposed into balanced trees of library cells; the synthesized
 /// intermediate gates get "<name>__tN" names. Sequential elements (DFF) are
 /// rejected — statleak models combinational ISCAS85-class logic only.
+///
+/// The reader is hardened against malformed input: truncated files, cyclic
+/// definitions, duplicate OUTPUT declarations, redefined signals and
+/// operators with more than 1024 operands all raise a clean statleak::Error
+/// (never a crash or unbounded allocation); see the fuzz corpus in
+/// tests/bench_io_test.cpp.
 
 #pragma once
 

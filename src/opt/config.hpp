@@ -43,6 +43,12 @@ struct OptConfig : ExecConfig {
   /// round because downsizing can free up timing room elsewhere.
   int assignment_rounds = 3;
 
+  /// Dirty-cone incremental retiming in the statistical optimizer's SSTA
+  /// engine (see ssta.hpp). Results are bit-identical either way — the
+  /// toggle exists as an honest full-pass baseline for benchmarks and the
+  /// equivalence tests; leave it on.
+  bool incremental_timing = true;
+
   // ExecConfig::num_threads drives the statistical optimizer's
   // candidate-scoring loops. Scoring is read-only per candidate and
   // sharded by gate index with an in-order reduction, so the chosen

@@ -1,6 +1,7 @@
 #include "opt/statistical.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -39,6 +40,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
   obs::ScopedTimer total_timer(obs, "stat.total");
 
   SstaEngine ssta(circuit, lib_, var_);
+  ssta.set_incremental(config_.incremental_timing);
   ssta.attach_observer(obs);
   LeakageAnalyzer leak(circuit, lib_, var_);
   const auto steps = lib_.size_steps();
@@ -76,6 +78,19 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
     return lib_.delay_ps(g.kind, vth, size, ssta.loads().load_ff(id));
   };
 
+  // Every implementation mutation goes through these two, so the circuit and
+  // the SSTA caches can never disagree. Leakage is priced hypothetically
+  // during scoring (quantile_if_na) and repriced only on commit, so it is
+  // updated at the commit sites, not here.
+  const auto apply_size = [&](GateId id, double size) {
+    circuit.set_size(id, size);
+    ssta.on_resize(id);
+  };
+  const auto apply_vth = [&](GateId id, Vth vth) {
+    circuit.set_vth(id, vth);
+    ssta.on_vth_change(id);
+  };
+
   // ------------------------------------------ parallel candidate scoring ----
   // Move pricing in phases 1 and 2 is read-only per candidate (const queries
   // on the SSTA snapshot, load cache and leakage analyzer), so it is sharded
@@ -93,24 +108,27 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
     bool to_hvt = false;    // phase-2 payload: Vth swap vs downsize
     double new_size = 0.0;  // phase-2 payload: downsize target
   };
-  const auto best_candidate =
-      [&](const std::function<void(GateId, Candidate&)>& score_gate) {
-        std::vector<Candidate> shard_best(static_cast<std::size_t>(pool.size()));
-        pool.parallel_for(
-            circuit.num_gates(),
-            [&](std::size_t lo, std::size_t hi, int worker) {
-              Candidate local;
-              for (std::size_t i = lo; i < hi; ++i) {
-                score_gate(static_cast<GateId>(i), local);
-              }
-              shard_best[static_cast<std::size_t>(worker)] = local;
-            });
-        Candidate best;
-        for (const Candidate& c : shard_best) {
-          if (c.score > best.score) best = c;
-        }
-        return best;
-      };
+  // Generic lambda so each call site's scoring closure is a concrete type
+  // the compiler can inline — the per-gate indirect call through a
+  // std::function showed up in profiles at ~7 ns * n * iterations.
+  const auto best_candidate = [&](const auto& score_gate) {
+    obs::ScopedTimer timer(obs, "stat.score");
+    std::vector<Candidate> shard_best(static_cast<std::size_t>(pool.size()));
+    pool.parallel_for(
+        circuit.num_gates(),
+        [&](std::size_t lo, std::size_t hi, int worker) {
+          Candidate local;
+          for (std::size_t i = lo; i < hi; ++i) {
+            score_gate(static_cast<GateId>(i), local);
+          }
+          shard_best[static_cast<std::size_t>(worker)] = local;
+        });
+    Candidate best;
+    for (const Candidate& c : shard_best) {
+      if (c.score > best.score) best = c;
+    }
+    return best;
+  };
 
   // ------------------------------------------------ snapshot machinery ----
   struct Snapshot {
@@ -130,12 +148,22 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
     return s;
   };
   const auto restore_snapshot = [&](const Snapshot& s) {
+    // Per-gate diff through the engine-aware setters: only the gates that
+    // actually differ get dirtied and repriced, so restoring a snapshot that
+    // is close to the current implementation stays cheap. Ascending id order
+    // makes every load's last recompute see final receiver sizes.
     for (GateId id = 0; id < circuit.num_gates(); ++id) {
-      circuit.gate(id).size = s.sizes[id];
-      circuit.gate(id).vth = s.vths[id];
+      bool changed = false;
+      if (circuit.gate(id).size != s.sizes[id]) {
+        apply_size(id, s.sizes[id]);
+        changed = true;
+      }
+      if (circuit.gate(id).vth != s.vths[id]) {
+        apply_vth(id, s.vths[id]);
+        changed = true;
+      }
+      if (changed) leak.on_gate_changed(id);
     }
-    ssta.rebuild_loads();
-    leak.rebuild();
   };
 
   // ------------------------------------------- phase 1: sizing for yield ----
@@ -143,11 +171,14 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
   // Returns the yield reached.
   const auto phase_sizing = [&](double target) -> double {
     obs::ScopedTimer timer(obs, "stat.sizing");
-    std::set<std::pair<GateId, std::size_t>> locked;
+    // Per-gate bitmask of locked size steps (flat array: the per-candidate
+    // lock test is on the scoring hot path).
+    STATLEAK_CHECK(steps.size() <= 64, "size grid too fine for lock mask");
+    std::vector<std::uint64_t> locked(circuit.num_gates(), 0);
     double yield = ssta.circuit_delay().cdf(t_max);
     while (yield < target && result.iterations < max_iterations) {
       ++result.iterations;
-      const SstaResult timing = ssta.analyze();
+      const SstaResult& timing = ssta.analyze_ref();
       yield = timing.yield(t_max);
       // Invariant for the whole scan; hoisted out of the per-gate pricing.
       const double q_now = leak.quantile_na(pct);
@@ -160,7 +191,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
             if (timing.criticality[id] < kCritFloor) return;
             const std::size_t step = lib_.nearest_step(g.size);
             if (step + 1 >= steps.size()) return;
-            if (locked.count({id, step + 1}) != 0) return;
+            if ((locked[id] >> (step + 1)) & 1u) return;
             const double next_size = steps[step + 1];
 
             const double gain =
@@ -176,16 +207,17 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
           });
       if (best.gate == kInvalidGate) break;  // no upsizing can help further
 
-      circuit.set_size(best.gate, steps[best.step]);
-      ssta.on_resize(best.gate);
+      ssta.begin_trial();
+      apply_size(best.gate, steps[best.step]);
       const double new_yield = ssta.circuit_delay().cdf(t_max);
       if (new_yield <= yield + 1e-12) {
-        // Fanin load coupling ate the gain: undo and lock this step.
+        // Fanin load coupling ate the gain: roll back and lock this step.
+        ssta.rollback_trial();
         circuit.set_size(best.gate, steps[best.step - 1]);
-        ssta.on_resize(best.gate);
-        locked.insert({best.gate, best.step});
+        locked[best.gate] |= std::uint64_t{1} << best.step;
         ++result.rejected_moves;
       } else {
+        ssta.commit_trial();
         leak.on_gate_changed(best.gate);
         yield = new_yield;
         ++result.sizing_commits;
@@ -199,15 +231,16 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
   // eta itself is unreachable.
   const auto phase_assign = [&](bool best_effort) {
     obs::ScopedTimer timer(obs, "stat.assign");
-    std::set<std::pair<GateId, int>> locked;  // (gate, 0 = hvt, 1 = down)
+    // Per-gate lock bits: 1 = hvt swap locked, 2 = downsize locked.
+    std::vector<unsigned char> locked(circuit.num_gates(), 0);
 
     for (int round = 0; round < config_.assignment_rounds; ++round) {
-      locked.clear();
+      std::fill(locked.begin(), locked.end(), 0);
       int committed_this_round = 0;
 
       while (result.iterations < max_iterations) {
         ++result.iterations;
-        const SstaResult timing = ssta.analyze();
+        const SstaResult& timing = ssta.analyze_ref();
         const double cur_yield = timing.yield(t_max);
         const double q_now = leak.quantile_na(pct);
         record("assign", q_now, cur_yield, timing.circuit_delay.mean);
@@ -216,10 +249,14 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
             best_candidate([&](GateId id, Candidate& local) {
               const Gate& g = circuit.gate(id);
               if (g.kind == CellKind::kInput) return;
+              const bool can_hvt = g.vth == Vth::kLow && (locked[id] & 1) == 0;
+              const std::size_t step = lib_.nearest_step(g.size);
+              const bool can_down = step > 0 && (locked[id] & 2) == 0;
+              if (!can_hvt && !can_down) return;
               const double crit = std::max(timing.criticality[id], kCritFloor);
               const double d_now = own_delay(id, g.vth, g.size);
 
-              if (g.vth == Vth::kLow && locked.count({id, 0}) == 0) {
+              if (can_hvt) {
                 const double dd = own_delay(id, Vth::kHigh, g.size) - d_now;
                 const double benefit =
                     q_now - leak.quantile_if_na(id, Vth::kHigh, g.size, pct);
@@ -231,8 +268,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
                   }
                 }
               }
-              const std::size_t step = lib_.nearest_step(g.size);
-              if (step > 0 && locked.count({id, 1}) == 0) {
+              if (can_down) {
                 const double smaller = steps[step - 1];
                 const double dd = own_delay(id, g.vth, smaller) - d_now;
                 const double benefit =
@@ -248,19 +284,20 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
             });
         if (best.gate == kInvalidGate) break;
 
-        // Tentative apply + full SSTA validation.
+        // Tentative apply inside an engine trial + forward SSTA validation.
         const Gate saved = circuit.gate(best.gate);
+        ssta.begin_trial();
         if (best.to_hvt) {
-          circuit.set_vth(best.gate, Vth::kHigh);
+          apply_vth(best.gate, Vth::kHigh);
         } else {
-          circuit.set_size(best.gate, best.new_size);
-          ssta.on_resize(best.gate);
+          apply_size(best.gate, best.new_size);
         }
         const double new_yield = ssta.circuit_delay().cdf(t_max);
         const bool acceptable =
             new_yield + 1e-12 >= eta ||
             (best_effort && new_yield + 1e-12 >= cur_yield);
         if (acceptable) {
+          ssta.commit_trial();
           leak.on_gate_changed(best.gate);
           if (best.to_hvt) {
             ++result.hvt_commits;
@@ -269,10 +306,13 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
           }
           ++committed_this_round;
         } else {
-          circuit.gate(best.gate).vth = saved.vth;
-          circuit.gate(best.gate).size = saved.size;
-          if (!best.to_hvt) ssta.on_resize(best.gate);
-          locked.insert({best.gate, best.to_hvt ? 0 : 1});
+          // O(touched) cache restore; the circuit's own fields go back
+          // through the setters, never by poking Gate members directly.
+          ssta.rollback_trial();
+          circuit.set_vth(best.gate, saved.vth);
+          circuit.set_size(best.gate, saved.size);
+          locked[best.gate] |=
+              static_cast<unsigned char>(best.to_hvt ? 1 : 2);
           ++result.rejected_moves;
         }
       }
@@ -287,7 +327,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
     std::set<std::pair<GateId, int>> tried;
     while (yield < eta && result.iterations < max_iterations) {
       ++result.iterations;
-      const SstaResult timing = ssta.analyze();
+      const SstaResult& timing = ssta.analyze_ref();
       record("recover", leak.quantile_na(pct), yield,
              timing.circuit_delay.mean);
 
@@ -312,12 +352,11 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
       if (best == kInvalidGate) break;
 
       if (to_lvt) {
-        circuit.set_vth(best, Vth::kLow);
+        apply_vth(best, Vth::kLow);
         tried.insert({best, 0});
       } else {
-        circuit.set_size(best,
-                         steps[lib_.nearest_step(circuit.gate(best).size) + 1]);
-        ssta.on_resize(best);
+        apply_size(best,
+                   steps[lib_.nearest_step(circuit.gate(best).size) + 1]);
         tried.insert({best, 1});
       }
       leak.on_gate_changed(best);

@@ -37,4 +37,9 @@ void LoadCache::on_resize(GateId resized) {
   }
 }
 
+void LoadCache::restore_load(GateId id, double load_ff) {
+  STATLEAK_CHECK(id < loads_.size(), "gate id out of range");
+  loads_[id] = load_ff;
+}
+
 }  // namespace statleak

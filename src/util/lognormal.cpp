@@ -18,7 +18,11 @@ double Lognormal::stddev() const { return std::sqrt(variance()); }
 double Lognormal::median() const { return std::exp(mu); }
 
 double Lognormal::quantile(double p) const {
-  return std::exp(mu + std::sqrt(sigma2) * normal_inverse_cdf(p));
+  return quantile_z(normal_inverse_cdf(p));
+}
+
+double Lognormal::quantile_z(double z) const {
+  return std::exp(mu + std::sqrt(sigma2) * z);
 }
 
 double Lognormal::cdf(double x) const {

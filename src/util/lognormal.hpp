@@ -26,6 +26,10 @@ struct Lognormal {
   double median() const;
   /// p-quantile: exp(mu + sigma * Phi^-1(p)).
   double quantile(double p) const;
+  /// Quantile with the normal deviate z = Phi^-1(p) precomputed by the
+  /// caller: exp(mu + sigma * z). Bit-identical to quantile(p) for the
+  /// same z; hoists the inverse-CDF out of hot pricing loops.
+  double quantile_z(double z) const;
   /// P(X <= x) for x > 0; 0 for x <= 0.
   double cdf(double x) const;
 

@@ -1,0 +1,53 @@
+#include "util/tree_sum.hpp"
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+TreeSum::TreeSum(std::size_t slots) { reset(slots); }
+
+void TreeSum::reset(std::size_t slots) {
+  slots_ = slots;
+  leaves_ = 1;
+  while (leaves_ < slots_) leaves_ *= 2;
+  nodes_.assign(2 * leaves_, 0.0);
+}
+
+double TreeSum::get(std::size_t i) const {
+  STATLEAK_CHECK(i < slots_, "TreeSum slot out of range");
+  return nodes_[leaves_ + i];
+}
+
+void TreeSum::set(std::size_t i, double value) {
+  STATLEAK_CHECK(i < slots_, "TreeSum slot out of range");
+  std::size_t k = leaves_ + i;
+  nodes_[k] = value;
+  for (k /= 2; k >= 1; k /= 2) {
+    nodes_[k] = nodes_[2 * k] + nodes_[2 * k + 1];
+  }
+}
+
+void TreeSum::assign(std::span<const double> values) {
+  STATLEAK_CHECK(values.size() == slots_, "TreeSum bulk size mismatch");
+  for (std::size_t i = 0; i < slots_; ++i) nodes_[leaves_ + i] = values[i];
+  for (std::size_t i = slots_; i < leaves_; ++i) nodes_[leaves_ + i] = 0.0;
+  for (std::size_t k = leaves_ - 1; k >= 1; --k) {
+    nodes_[k] = nodes_[2 * k] + nodes_[2 * k + 1];
+  }
+}
+
+double TreeSum::total() const { return slots_ == 0 ? 0.0 : nodes_[1]; }
+
+double TreeSum::total_with(std::size_t i, double value) const {
+  STATLEAK_CHECK(i < slots_, "TreeSum slot out of range");
+  std::size_t k = leaves_ + i;
+  double sum = value;
+  for (; k > 1; k /= 2) {
+    // Combine with the sibling in left-to-right order so the result is the
+    // same double set() + total() would produce.
+    sum = (k % 2 == 0) ? sum + nodes_[k + 1] : nodes_[k - 1] + sum;
+  }
+  return sum;
+}
+
+}  // namespace statleak

@@ -1,0 +1,64 @@
+/// \file tree_sum.hpp
+/// \brief Fixed-shape pairwise summation with O(log n) single-slot updates.
+///
+/// A TreeSum holds n slots in the leaves of a perfect binary tree (padded
+/// with zeros to the next power of two) and keeps every internal node equal
+/// to left + right. Because the reduction shape is a function of n alone,
+/// the root total is *bit-identical* however the leaves were filled: a bulk
+/// rebuild(), a sequence of set() updates, or any interleaving of the two
+/// all land on the same double. That is the property the incremental
+/// leakage analyzer needs — its running totals must match a from-scratch
+/// analyzer exactly, so a differential test can assert equality instead of
+/// tolerances. (A plain running sum updated with `total += new - old` drifts
+/// away from the scratch sum in the last ulps.)
+///
+/// Pairwise summation also carries an O(log n) error bound versus the O(n)
+/// bound of sequential accumulation — a free numerical upgrade.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace statleak {
+
+class TreeSum {
+ public:
+  TreeSum() = default;
+  /// A tree of `slots` leaves, all zero.
+  explicit TreeSum(std::size_t slots);
+
+  /// Discards all state and resizes to `slots` zeroed leaves.
+  void reset(std::size_t slots);
+
+  std::size_t size() const { return slots_; }
+
+  /// Leaf value of one slot.
+  double get(std::size_t i) const;
+
+  /// Sets one slot and recomputes the root path. O(log n).
+  void set(std::size_t i, double value);
+
+  /// Bulk-assigns all slots (values.size() == size()) and recomputes the
+  /// tree bottom-up. O(n); the resulting total is bit-identical to setting
+  /// the same values one by one.
+  void assign(std::span<const double> values);
+
+  /// The tree total. O(1).
+  double total() const;
+
+  /// What total() would return if slot `i` held `value` — without mutating
+  /// anything. O(log n), bit-identical to set(i, value) followed by
+  /// total().
+  double total_with(std::size_t i, double value) const;
+
+ private:
+  std::size_t slots_ = 0;   ///< user-visible slot count
+  std::size_t leaves_ = 0;  ///< padded power-of-two leaf count
+  /// Heap layout: nodes_[1] is the root, children of k are 2k and 2k+1,
+  /// leaves occupy [leaves_, 2 * leaves_). nodes_[0] is unused.
+  std::vector<double> nodes_;
+};
+
+}  // namespace statleak

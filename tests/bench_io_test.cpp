@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "netlist/bench_io.hpp"
@@ -236,6 +237,135 @@ TEST(BenchWriter, DecomposesInexpressibleKinds) {
     EXPECT_EQ(va[aoi], vb[reparsed.find("aoi")]) << bits;
     EXPECT_EQ(va[oai], vb[reparsed.find("oai")]) << bits;
     EXPECT_EQ(va[mux], vb[reparsed.find("mux")]) << bits;
+  }
+}
+
+// --------------------------------------------------------- fuzz corpus ----
+// Robustness contract: malformed input of any shape raises a clean
+// statleak::Error — never a crash, hang or unbounded allocation. The
+// corpus runs under the ASan/UBSan CI job, which turns latent memory
+// errors on these paths into hard failures.
+
+/// Parsing must either succeed or throw Error; anything else (segfault,
+/// std::bad_alloc from a hostile width, uncaught std exception) fails.
+void expect_clean(const std::string& text, const char* what) {
+  try {
+    const Circuit c = read_bench_string(text, "fuzz");
+    EXPECT_TRUE(c.finalized()) << what;
+  } catch (const Error&) {
+    // Clean rejection is fine.
+  }
+}
+
+void expect_rejected(const std::string& text, const char* what) {
+  EXPECT_THROW((void)read_bench_string(text, "fuzz"), Error) << what;
+}
+
+TEST(BenchFuzz, TruncationsAtEveryByte) {
+  // Every prefix of a valid netlist must parse cleanly or be rejected
+  // cleanly — truncated files are the most common corruption in the wild.
+  const std::string full(kC17);
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    expect_clean(full.substr(0, cut), "truncation");
+  }
+}
+
+TEST(BenchFuzz, CyclicDefinitionsAreRejected) {
+  expect_rejected("INPUT(a)\nOUTPUT(x)\nx = AND(a, x)\n", "self loop");
+  expect_rejected(
+      "INPUT(a)\nOUTPUT(x)\n"
+      "x = AND(a, y)\ny = AND(a, z)\nz = AND(a, x)\n",
+      "three-gate cycle");
+  expect_rejected("OUTPUT(x)\nx = BUF(x)\n", "buffer self loop");
+}
+
+TEST(BenchFuzz, DuplicateOutputIsRejected) {
+  expect_rejected("INPUT(a)\nOUTPUT(x)\nOUTPUT(x)\nx = NOT(a)\n",
+                  "duplicate OUTPUT");
+}
+
+TEST(BenchFuzz, DuplicateDefinitionsAreRejected) {
+  expect_rejected("INPUT(a)\nINPUT(a)\nOUTPUT(x)\nx = NOT(a)\n",
+                  "duplicate INPUT");
+  expect_rejected("INPUT(a)\nOUTPUT(x)\nx = NOT(a)\nx = BUF(a)\n",
+                  "redefined signal");
+  expect_rejected("INPUT(a)\nOUTPUT(a)\na = NOT(a)\n",
+                  "gate named like an input");
+}
+
+TEST(BenchFuzz, AbsurdFaninIsRejectedNotAllocated) {
+  // 100k operands would expand into ~100k tree gates; the reader must
+  // refuse at the cap instead.
+  std::string text = "INPUT(a)\nOUTPUT(x)\nx = AND(";
+  for (int i = 0; i < 100000; ++i) {
+    if (i) text += ", ";
+    text += "a";
+  }
+  text += ")\n";
+  expect_rejected(text, "100k-input AND");
+
+  // ...while a wide-but-sane operator still decomposes fine.
+  std::string ok = "INPUT(a)\nOUTPUT(x)\nx = AND(";
+  for (int i = 0; i < 1000; ++i) {
+    if (i) ok += ", ";
+    ok += "a";
+  }
+  ok += ")\n";
+  EXPECT_NO_THROW((void)read_bench_string(ok, "wide"));
+}
+
+TEST(BenchFuzz, MalformedLinesAreRejected) {
+  const char* cases[] = {
+      "garbage",
+      "INPUT",
+      "INPUT()",
+      "INPUT(a",
+      "OUTPUT)a(",
+      "= AND(a, b)",
+      "x = ",
+      "x = AND",
+      "x = AND()",
+      "x = AND(,)",
+      "x = AND(a,)",
+      "x = AND(a b)",     // missing comma -> one operand with a space
+      "x = FROB(a, b)",   // unknown operator
+      "x = DFF(a)",       // sequential element
+      "x = NOT(a, b)",    // arity violation
+      "x = NAND(a)",      // arity violation
+      "WIBBLE(a)",        // unknown directive
+      "x = AND(a, b)\nOUTPUT(y)",  // undefined output
+      "x = AND(a, b)",    // undefined operand, no outputs
+  };
+  for (const char* bad : cases) {
+    const std::string text =
+        std::string("INPUT(a)\nINPUT(b)\nOUTPUT(x)\n") + bad + "\n";
+    expect_clean(text, bad);  // many are outright invalid -> Error
+  }
+  // And the strict subset that must definitely throw:
+  expect_rejected("INPUT(a)\nOUTPUT(x)\nx = FROB(a)\n", "unknown op");
+  expect_rejected("INPUT(a)\nOUTPUT(x)\nx = DFF(a)\n", "DFF");
+  expect_rejected("INPUT(a)\nOUTPUT(x)\nx = NOT(a, a)\n", "arity");
+  expect_rejected("", "empty file");
+  expect_rejected("# only a comment\n", "comment only");
+  expect_rejected("INPUT(a)\n", "no outputs");
+  expect_rejected("OUTPUT(x)\n", "undefined output");
+}
+
+TEST(BenchFuzz, RandomByteMutationsNeverCrash) {
+  // Deterministic pseudo-random single-byte corruptions of c17.
+  const std::string full(kC17);
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto next = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = full;
+    const std::size_t pos = next() % mutated.size();
+    mutated[pos] = static_cast<char>(next() % 256);
+    expect_clean(mutated, "byte mutation");
   }
 }
 

@@ -1,0 +1,101 @@
+// Golden-trajectory regression tests: the statistical optimizer's full move
+// trajectory on the c432p/c880p proxies is pinned — iteration count, every
+// commit/reject counter, feasibility and the final objective. The greedy
+// search is deterministic (thread count and observation provably do not
+// change it; incremental retiming is bit-identical to full passes), so any
+// drift in these numbers means a real behavioral change, which must be
+// reviewed and re-pinned deliberately.
+//
+// Counters are read back through the obs trace streams, which also pins the
+// one-trace-event-per-iteration invariant end to end.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/proxy.hpp"
+#include "obs/registry.hpp"
+#include "opt/statistical.hpp"
+#include "report/flow.hpp"
+#include "tech/process.hpp"
+
+namespace statleak {
+namespace {
+
+struct Golden {
+  const char* circuit;
+  int iterations;
+  int sizing_commits;
+  int hvt_commits;
+  int downsize_commits;
+  int rejected_moves;
+  double final_objective_na;
+};
+
+// Measured with the seed library/variation model at t_max = 1.15 * d_min.
+// Re-pin deliberately when the optimizer or the models change.
+constexpr Golden kGoldens[] = {
+    {"c432p", 747, 80, 158, 46, 452, 1107.4484348948747},
+    {"c880p", 1029, 105, 378, 43, 493, 2371.4626754129431},
+};
+
+class TrajectoryTest : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(TrajectoryTest, MatchesGolden) {
+  const Golden& golden = GetParam();
+  Circuit c = iscas85_proxy(golden.circuit);
+  const CellLibrary lib(generic_100nm());
+  const VariationModel var = VariationModel::typical_100nm();
+
+  OptConfig cfg;
+  cfg.t_max_ps = 1.15 * min_achievable_delay_ps(c, lib);
+
+  obs::Registry reg;
+  const OptResult result = StatisticalOptimizer(lib, var, cfg).run(c, &reg);
+
+  EXPECT_EQ(result.iterations, golden.iterations);
+  EXPECT_EQ(result.sizing_commits, golden.sizing_commits);
+  EXPECT_EQ(result.hvt_commits, golden.hvt_commits);
+  EXPECT_EQ(result.downsize_commits, golden.downsize_commits);
+  EXPECT_EQ(result.rejected_moves, golden.rejected_moves);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.final_objective, golden.final_objective_na,
+              1e-9 * golden.final_objective_na);
+
+  // The registry mirrors the result...
+  EXPECT_EQ(reg.counter_value("stat.iterations"), golden.iterations);
+  EXPECT_EQ(reg.counter_value("stat.commits.sizing"), golden.sizing_commits);
+  EXPECT_EQ(reg.counter_value("stat.commits.hvt"), golden.hvt_commits);
+  EXPECT_EQ(reg.counter_value("stat.commits.downsize"),
+            golden.downsize_commits);
+  EXPECT_EQ(reg.counter_value("stat.rejected_moves"), golden.rejected_moves);
+  EXPECT_EQ(reg.gauge_value("stat.feasible"), 1.0);
+
+  // ...and the trace stream carries exactly one event per iteration, with
+  // monotonic cumulative commit counts ending at the totals.
+  const auto events = reg.trace_events("stat");
+  ASSERT_EQ(static_cast<int>(events.size()), golden.iterations);
+  std::int64_t last_commits = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.commits, last_commits);
+    last_commits = e.commits;
+  }
+  EXPECT_EQ(events.back().commits + events.back().rejected,
+            golden.sizing_commits + golden.hvt_commits +
+                golden.downsize_commits + golden.rejected_moves);
+
+  // The dirty-cone fast path must actually be engaged: without it the run
+  // would take one full pass per query instead of a handful.
+  EXPECT_GT(reg.counter_value("ssta.incremental_passes"), 0.0);
+  EXPECT_LT(reg.counter_value("ssta.full_passes"), 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Proxies, TrajectoryTest,
+                         ::testing::ValuesIn(kGoldens),
+                         [](const auto& info) {
+                           return std::string(info.param.circuit);
+                         });
+
+}  // namespace
+}  // namespace statleak

@@ -1,0 +1,377 @@
+// Differential equivalence harness for the incremental (dirty-cone) SSTA
+// engine, the TreeSum-backed leakage analyzer and the spatial engine's
+// mirrored cone machinery.
+//
+// The contract under test: after ANY sequence of reported mutations —
+// committed resizes and Vth swaps, trial moves that are rolled back, trial
+// moves that are committed — every query on the long-lived incremental
+// engine is *bit-identical* to a freshly constructed engine looking at the
+// same circuit. Equality is ==, never EXPECT_NEAR: the dirty-cone retiming
+// recomputes each changed gate with exactly the arithmetic a full pass would
+// use, and the fixed-shape summation trees make the leakage totals
+// insensitive to update order.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/random_dag.hpp"
+#include "leakage/leakage.hpp"
+#include "opt/statistical.hpp"
+#include "spatial/placement.hpp"
+#include "spatial/spatial_model.hpp"
+#include "spatial/spatial_ssta.hpp"
+#include "ssta/ssta.hpp"
+#include "sta/sta.hpp"
+#include "tech/process.hpp"
+#include "util/rng.hpp"
+
+namespace statleak {
+namespace {
+
+class SstaIncrementalTest : public ::testing::Test {
+ protected:
+  ProcessNode node_ = generic_100nm();
+  CellLibrary lib_{node_};
+  VariationModel var_ = VariationModel::typical_100nm();
+
+  Circuit random_circuit(std::uint64_t seed, int gates = 250) const {
+    RandomDagSpec spec;
+    spec.num_inputs = 24;
+    spec.num_gates = gates;
+    spec.num_outputs = 12;
+    spec.seed = seed;
+    return make_random_dag(spec);
+  }
+
+  std::vector<GateId> cells_of(const Circuit& c) const {
+    std::vector<GateId> cells;
+    for (GateId id = 0; id < c.num_gates(); ++id) {
+      if (c.gate(id).kind != CellKind::kInput) cells.push_back(id);
+    }
+    return cells;
+  }
+};
+
+testing::AssertionResult same(const Canonical& a, const Canonical& b,
+                              const char* what) {
+  if (a.mean == b.mean && a.gl == b.gl && a.gv == b.gv && a.loc == b.loc) {
+    return testing::AssertionSuccess();
+  }
+  return testing::AssertionFailure()
+         << what << " diverged: (" << a.mean << ", " << a.gl << ", " << a.gv
+         << ", " << a.loc << ") vs (" << b.mean << ", " << b.gl << ", "
+         << b.gv << ", " << b.loc << ")";
+}
+
+/// Incremental engine + analyzer vs freshly constructed ones: arrivals,
+/// criticality, circuit delay and leakage stats must match bitwise.
+testing::AssertionResult states_match(const Circuit& c, const CellLibrary& lib,
+                                      const VariationModel& var,
+                                      const SstaEngine& inc,
+                                      const LeakageAnalyzer& leak) {
+  const SstaEngine fresh(c, lib, var);
+  const SstaResult& got = inc.analyze_ref();
+  const SstaResult want = fresh.analyze();
+
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    if (inc.loads().load_ff(id) != fresh.loads().load_ff(id)) {
+      return testing::AssertionFailure()
+             << "load of gate " << id << " diverged: "
+             << inc.loads().load_ff(id) << " vs " << fresh.loads().load_ff(id);
+    }
+    auto r = same(got.arrival[id], want.arrival[id],
+                  ("arrival of gate " + std::to_string(id)).c_str());
+    if (!r) return r;
+    if (got.criticality[id] != want.criticality[id]) {
+      return testing::AssertionFailure()
+             << "criticality of gate " << id << " diverged: "
+             << got.criticality[id] << " vs " << want.criticality[id];
+    }
+  }
+  auto r = same(got.circuit_delay, want.circuit_delay, "circuit delay");
+  if (!r) return r;
+
+  const LeakageAnalyzer fresh_leak(c, lib, var);
+  if (leak.mean_na() != fresh_leak.mean_na()) {
+    return testing::AssertionFailure()
+           << "leakage mean diverged: " << leak.mean_na() << " vs "
+           << fresh_leak.mean_na();
+  }
+  if (leak.quantile_na(0.99) != fresh_leak.quantile_na(0.99)) {
+    return testing::AssertionFailure()
+           << "leakage p99 diverged: " << leak.quantile_na(0.99) << " vs "
+           << fresh_leak.quantile_na(0.99);
+  }
+  if (leak.distribution().var_na2 != fresh_leak.distribution().var_na2) {
+    return testing::AssertionFailure() << "leakage variance diverged";
+  }
+  return testing::AssertionSuccess();
+}
+
+// ------------------------------------------------- randomized move walks ----
+
+/// 1000-step random walk of committed moves, rolled-back trials and
+/// committed trials; bit-identity asserted against fresh engines after
+/// every step.
+TEST_F(SstaIncrementalTest, RandomWalkMatchesFromScratchEverySeed) {
+  const auto steps = lib_.size_steps();
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    Circuit c = random_circuit(seed);
+    const auto cells = cells_of(c);
+    SstaEngine inc(c, lib_, var_);
+    LeakageAnalyzer leak(c, lib_, var_);
+    Rng rng(seed * 1000003ull);
+
+    // A saved (gate, size, vth) triple for restoring after a rollback.
+    struct Saved {
+      GateId id;
+      double size;
+      Vth vth;
+    };
+
+    const auto random_move = [&](GateId id) {
+      if (rng.uniform() < 0.5) {
+        c.set_size(id, steps[rng.uniform_index(steps.size())]);
+        inc.on_resize(id);
+      } else {
+        const Vth flipped =
+            c.gate(id).vth == Vth::kLow ? Vth::kHigh : Vth::kLow;
+        c.set_vth(id, flipped);
+        inc.on_vth_change(id);
+      }
+      leak.on_gate_changed(id);
+    };
+
+    for (int step = 0; step < 1000; ++step) {
+      const double roll = rng.uniform();
+      if (roll < 0.55) {
+        // Committed single move.
+        random_move(cells[rng.uniform_index(cells.size())]);
+      } else {
+        // Trial of 1-3 moves; half are rolled back, half committed.
+        const bool rollback = roll < 0.80;
+        const int moves = 1 + static_cast<int>(rng.uniform_index(3));
+        std::vector<Saved> saved;
+        inc.begin_trial();
+        leak.begin_trial();
+        for (int m = 0; m < moves; ++m) {
+          const GateId id = cells[rng.uniform_index(cells.size())];
+          saved.push_back({id, c.gate(id).size, c.gate(id).vth});
+          random_move(id);
+          // Sometimes query mid-trial so the cone actually retimes inside
+          // the trial (exercises the undo log, not just the dirty list).
+          if (rng.uniform() < 0.7) (void)inc.circuit_delay();
+        }
+        if (rollback) {
+          inc.rollback_trial();
+          leak.rollback_trial();
+          for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+            c.set_size(it->id, it->size);
+            c.set_vth(it->id, it->vth);
+          }
+        } else {
+          inc.commit_trial();
+          leak.commit_trial();
+        }
+      }
+      ASSERT_TRUE(states_match(c, lib_, var_, inc, leak))
+          << "seed " << seed << ", step " << step;
+    }
+  }
+}
+
+/// The same contract with incremental retiming disabled: the toggle must
+/// not change a single bit either (it is the benchmark baseline).
+TEST_F(SstaIncrementalTest, FullPassModeMatchesToo) {
+  Circuit c = random_circuit(7);
+  const auto cells = cells_of(c);
+  const auto steps = lib_.size_steps();
+  SstaEngine eng(c, lib_, var_);
+  eng.set_incremental(false);
+  LeakageAnalyzer leak(c, lib_, var_);
+  Rng rng(99);
+  for (int step = 0; step < 100; ++step) {
+    const GateId id = cells[rng.uniform_index(cells.size())];
+    if (rng.uniform() < 0.5) {
+      c.set_size(id, steps[rng.uniform_index(steps.size())]);
+      eng.on_resize(id);
+    } else {
+      c.set_vth(id, c.gate(id).vth == Vth::kLow ? Vth::kHigh : Vth::kLow);
+      eng.on_vth_change(id);
+    }
+    leak.on_gate_changed(id);
+    ASSERT_TRUE(states_match(c, lib_, var_, eng, leak)) << "step " << step;
+  }
+}
+
+// ------------------------------------------------------ trial edge cases ----
+
+TEST_F(SstaIncrementalTest, RejectedTrialLeavesCachesCoherent) {
+  Circuit c = random_circuit(3);
+  SstaEngine inc(c, lib_, var_);
+  LeakageAnalyzer leak(c, lib_, var_);
+  (void)inc.analyze();  // prime the caches
+
+  const GateId victim = cells_of(c).front();
+  const Gate saved = c.gate(victim);
+
+  inc.begin_trial();
+  leak.begin_trial();
+  c.set_size(victim, 8.0);
+  inc.on_resize(victim);
+  leak.on_gate_changed(victim);
+  c.set_vth(victim, Vth::kHigh);
+  inc.on_vth_change(victim);
+  leak.on_gate_changed(victim);
+  (void)inc.circuit_delay();  // force retiming inside the trial
+  inc.rollback_trial();
+  leak.rollback_trial();
+  c.set_size(victim, saved.size);
+  c.set_vth(victim, saved.vth);
+
+  EXPECT_FALSE(inc.trial_active());
+  EXPECT_FALSE(leak.trial_active());
+  ASSERT_TRUE(states_match(c, lib_, var_, inc, leak));
+}
+
+TEST_F(SstaIncrementalTest, RollbackOnUnprimedEngineStaysExact) {
+  Circuit c = random_circuit(5);
+  SstaEngine inc(c, lib_, var_);  // never queried: trial starts unprimed
+  LeakageAnalyzer leak(c, lib_, var_);
+  const GateId victim = cells_of(c).back();
+  const Gate saved = c.gate(victim);
+
+  inc.begin_trial();
+  c.set_size(victim, 4.0);
+  inc.on_resize(victim);
+  // The first query inside the trial runs a full pass, which invalidates
+  // the undo log; rollback must fall back to dropping the cache.
+  (void)inc.circuit_delay();
+  inc.rollback_trial();
+  c.set_size(victim, saved.size);
+
+  ASSERT_TRUE(states_match(c, lib_, var_, inc, leak));
+}
+
+TEST_F(SstaIncrementalTest, PendingDirtFromBeforeTheTrialSurvivesRollback) {
+  Circuit c = random_circuit(6);
+  const auto cells = cells_of(c);
+  SstaEngine inc(c, lib_, var_);
+  LeakageAnalyzer leak(c, lib_, var_);
+  (void)inc.analyze();
+
+  // A committed (but not yet flushed) change...
+  c.set_size(cells[1], 6.0);
+  inc.on_resize(cells[1]);
+  leak.on_gate_changed(cells[1]);
+
+  // ...must not be forgotten when an unrelated trial rolls back.
+  const Gate saved = c.gate(cells[2]);
+  inc.begin_trial();
+  c.set_vth(cells[2], Vth::kHigh);
+  inc.on_vth_change(cells[2]);
+  inc.rollback_trial();
+  c.set_vth(cells[2], saved.vth);
+
+  ASSERT_TRUE(states_match(c, lib_, var_, inc, leak));
+}
+
+// -------------------------------------------------- optimizer equivalence ----
+
+/// The statistical optimizer must walk the exact same trajectory with
+/// dirty-cone retiming on and off — same move counts, same objective, bit
+/// for bit. This is the end-to-end proof that the trial/rollback path of
+/// the rejected moves leaves every cache coherent.
+TEST_F(SstaIncrementalTest, OptimizerTrajectoryIdenticalWithAndWithoutCones) {
+  Circuit inc_circuit = random_circuit(17, 300);
+  Circuit full_circuit = random_circuit(17, 300);
+
+  OptConfig cfg;
+  cfg.t_max_ps = 1.18 * StaEngine(inc_circuit, lib_).critical_delay_ps();
+
+  cfg.incremental_timing = true;
+  const OptResult inc_result =
+      StatisticalOptimizer(lib_, var_, cfg).run(inc_circuit);
+  cfg.incremental_timing = false;
+  const OptResult full_result =
+      StatisticalOptimizer(lib_, var_, cfg).run(full_circuit);
+
+  EXPECT_EQ(inc_result.iterations, full_result.iterations);
+  EXPECT_EQ(inc_result.sizing_commits, full_result.sizing_commits);
+  EXPECT_EQ(inc_result.hvt_commits, full_result.hvt_commits);
+  EXPECT_EQ(inc_result.downsize_commits, full_result.downsize_commits);
+  EXPECT_EQ(inc_result.rejected_moves, full_result.rejected_moves);
+  EXPECT_EQ(inc_result.feasible, full_result.feasible);
+  EXPECT_EQ(inc_result.final_objective, full_result.final_objective);
+
+  // And the implementations themselves are identical, gate by gate.
+  for (GateId id = 0; id < inc_circuit.num_gates(); ++id) {
+    EXPECT_EQ(inc_circuit.gate(id).size, full_circuit.gate(id).size);
+    EXPECT_EQ(inc_circuit.gate(id).vth, full_circuit.gate(id).vth);
+  }
+}
+
+// ------------------------------------------------------- spatial mirror ----
+
+testing::AssertionResult same_vec(const VectorCanonical& a,
+                                  const VectorCanonical& b) {
+  if (a.mean == b.mean && a.loc == b.loc && a.g == b.g) {
+    return testing::AssertionSuccess();
+  }
+  return testing::AssertionFailure()
+         << "vector canonical diverged: mean " << a.mean << " vs " << b.mean
+         << ", loc " << a.loc << " vs " << b.loc;
+}
+
+TEST_F(SstaIncrementalTest, SpatialEngineRandomWalkMatchesFromScratch) {
+  SpatialVariationModel model;
+  model.base = var_;
+  model.grid = 4;
+  model.region_fraction_l = 0.5;
+  model.region_fraction_v = 0.25;
+  const auto steps = lib_.size_steps();
+
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    Circuit c = random_circuit(seed, 150);
+    const auto placement = make_topological_placement(c, seed);
+    const auto cells = cells_of(c);
+    SpatialSstaEngine inc(c, lib_, model, placement);
+    Rng rng(seed + 777);
+
+    for (int step = 0; step < 300; ++step) {
+      const double roll = rng.uniform();
+      const GateId id = cells[rng.uniform_index(cells.size())];
+      if (roll < 0.55) {
+        if (rng.uniform() < 0.5) {
+          c.set_size(id, steps[rng.uniform_index(steps.size())]);
+          inc.on_resize(id);
+        } else {
+          c.set_vth(id,
+                    c.gate(id).vth == Vth::kLow ? Vth::kHigh : Vth::kLow);
+          inc.on_vth_change(id);
+        }
+      } else {
+        const Gate saved = c.gate(id);
+        inc.begin_trial();
+        c.set_size(id, steps[rng.uniform_index(steps.size())]);
+        inc.on_resize(id);
+        if (rng.uniform() < 0.7) (void)inc.circuit_delay();
+        if (roll < 0.8) {
+          inc.rollback_trial();
+          c.set_size(id, saved.size);
+        } else {
+          inc.commit_trial();
+        }
+      }
+      const SpatialSstaEngine fresh(c, lib_, model, placement);
+      ASSERT_TRUE(same_vec(inc.circuit_delay(), fresh.circuit_delay()))
+          << "seed " << seed << ", step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace statleak

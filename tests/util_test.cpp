@@ -18,6 +18,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/tree_sum.hpp"
 
 namespace statleak {
 namespace {
@@ -593,6 +594,99 @@ TEST(FormatSi, PicksPrefixes) {
 TEST(FormatFixed, Precision) {
   EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+// ------------------------------------------------------------ TreeSum ----
+
+TEST(TreeSum, EmptyAndSingle) {
+  TreeSum empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.total(), 0.0);
+
+  TreeSum one(1);
+  EXPECT_EQ(one.total(), 0.0);
+  one.set(0, 2.5);
+  EXPECT_EQ(one.get(0), 2.5);
+  EXPECT_EQ(one.total(), 2.5);
+  EXPECT_EQ(one.total_with(0, -1.0), -1.0);
+}
+
+TEST(TreeSum, SetMatchesAssignBitwise) {
+  // The fixed reduction shape means any fill order lands on the same total.
+  for (const std::size_t n : {2u, 3u, 7u, 8u, 100u, 1000u}) {
+    Rng rng(n);
+    std::vector<double> values(n);
+    // Values with wildly different magnitudes so sum order matters.
+    for (double& v : values) {
+      v = rng.uniform() * std::pow(10.0, rng.uniform(-8.0, 8.0));
+    }
+
+    TreeSum bulk(n);
+    bulk.assign(values);
+
+    TreeSum forward(n);
+    for (std::size_t i = 0; i < n; ++i) forward.set(i, values[i]);
+
+    TreeSum backward(n);
+    for (std::size_t i = n; i-- > 0;) backward.set(i, values[i]);
+
+    TreeSum shuffled(n);
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    // Overwrite every slot twice in random order: stale intermediate
+    // values must leave no trace.
+    for (std::size_t i : order) shuffled.set(i, values[i] + 1.0);
+    for (std::size_t i : order) shuffled.set(i, values[i]);
+
+    EXPECT_EQ(forward.total(), bulk.total()) << "n=" << n;
+    EXPECT_EQ(backward.total(), bulk.total()) << "n=" << n;
+    EXPECT_EQ(shuffled.total(), bulk.total()) << "n=" << n;
+  }
+}
+
+TEST(TreeSum, TotalWithMatchesSetBitwise) {
+  const std::size_t n = 37;
+  Rng rng(7);
+  TreeSum sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum.set(i, rng.uniform(-5.0, 5.0));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double candidate = rng.uniform(-100.0, 100.0);
+    const double predicted = sum.total_with(i, candidate);
+    const double before = sum.get(i);
+    sum.set(i, candidate);
+    EXPECT_EQ(sum.total(), predicted) << "slot " << i;
+    sum.set(i, before);  // total_with must not have mutated anything
+  }
+}
+
+TEST(TreeSum, ResetClears) {
+  TreeSum sum(4);
+  sum.set(0, 1.0);
+  sum.set(3, 2.0);
+  sum.reset(2);
+  EXPECT_EQ(sum.size(), 2u);
+  EXPECT_EQ(sum.total(), 0.0);
+  sum.set(1, 3.5);
+  EXPECT_EQ(sum.total(), 3.5);
+}
+
+TEST(TreeSum, PairwiseBeatsSequentialAccumulation) {
+  // 1 + n*eps/2 summed n times: sequential accumulation loses the tiny
+  // addends, pairwise keeps them. Documents the numerical upgrade.
+  const std::size_t n = 1u << 20;
+  const double tiny = 1.0 / static_cast<double>(n);
+  std::vector<double> values(n, tiny);
+  TreeSum sum(n);
+  sum.assign(values);
+  double sequential = 0.0;
+  for (double v : values) sequential += v;
+  const double exact = 1.0;
+  EXPECT_LE(std::abs(sum.total() - exact), std::abs(sequential - exact));
+  EXPECT_EQ(sum.total(), exact);  // powers of two sum exactly pairwise
 }
 
 }  // namespace
