@@ -6,7 +6,11 @@
 /// DAGs from 250 to 4000 cells (the greedy loops are O(n^2) in the cell
 /// count — visible as the ~4x time growth per 2x size). The micro series
 /// pins the per-pass cost of STA, SSTA, criticality, Wilkinson rebuild and
-/// one Monte-Carlo sample on c880p.
+/// one Monte-Carlo sample on c880p. The BM_MonteCarloBatched series
+/// measures single-thread MC throughput of the batched SoA engine against
+/// the scalar reference on c880p/c7552p (docs/PERFORMANCE.md); pipe its
+/// --benchmark_format=json output through tools/bench_to_json.py to
+/// regenerate BENCH_mc.json.
 
 #include <benchmark/benchmark.h>
 
@@ -208,6 +212,39 @@ void BM_MonteCarloSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_MonteCarloSample)->Unit(benchmark::kMillisecond);
+
+// --------------------- batched vs scalar MC (tentpole acceptance) ---------
+
+// Single-thread Monte-Carlo throughput, batched SoA engine vs the scalar
+// per-sample reference, on the two proxies the acceptance criteria name.
+// Second arg: 1 = batched (auto block size), 0 = scalar. Output is
+// bit-identical between the two (tests/mc_batched_test.cpp); only
+// items_per_second (samples/s) should move. Tentpole acceptance: >= 3x on
+// c7552p vs the pre-PR scalar baseline.
+void BM_MonteCarloBatched(benchmark::State& state) {
+  const char* name = state.range(0) == 0 ? "c880p" : "c7552p";
+  const Circuit c = iscas85_proxy(name);
+  McConfig cfg;
+  cfg.num_samples = state.range(0) == 0 ? 2000 : 500;
+  cfg.num_threads = 1;
+  cfg.use_batched = state.range(1) != 0;
+  for (auto _ : state) {
+    const McResult res = run_monte_carlo(c, lib(), var(), cfg);
+    benchmark::DoNotOptimize(res.delay_ps.back());
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_samples);
+  state.SetLabel(name);
+  state.counters["cells"] = static_cast<double>(c.num_cells());
+  state.counters["batched"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_MonteCarloBatched)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
 
 // ------------------------------ threads scaling (tentpole acceptance) -----
 

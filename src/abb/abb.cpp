@@ -1,9 +1,15 @@
 #include "abb/abb.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "leakage/batch_leakage.hpp"
 #include "leakage/leakage.hpp"
+#include "mc/batch.hpp"
+#include "netlist/flat_circuit.hpp"
+#include "sta/batch_delay.hpp"
 #include "sta/sta.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -76,67 +82,183 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
   result.compensated.leakage_na.assign(num_samples, 0.0);
   result.bias_v.assign(num_samples, 0.0);
 
+  const int workers = resolve_num_threads(mc.num_threads);
+
   // Die i reuses the Monte-Carlo engine's counter-derived stream i, so the
   // baseline population is bit-identical to run_monte_carlo with the same
   // config (the experiment is paired) — for any thread count of either.
-  parallel_for(
-      mc.num_threads, num_samples,
-      [&](std::size_t begin, std::size_t end, int /*worker*/) {
-        obs::LocalCounter evals(obs, "abb.sta_evals");
-        std::vector<ParamSample> samples(n);
-        std::vector<ParamSample> biased(n);
-        std::vector<double> scratch;
-        for (std::size_t s = begin; s < end; ++s) {
-          evals.add(1.0 + static_cast<double>(ladder.size()));
-          Rng rng = Rng::stream(mc.seed, s);
-          const GlobalSample die = sample_global(var, rng);
-          for (std::size_t id = 0; id < n; ++id) {
-            samples[id] = sample_gate(var, die, rng, widths[id]);
-          }
-          result.baseline.delay_ps[s] =
-              sta.critical_delay_sample_ps(samples, mc.exact_delay, scratch);
-          result.baseline.leakage_na[s] = leakage.total_sample_na(samples);
+  if (mc.use_batched) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const FlatCircuit flat = FlatCircuit::build(circuit);
+    const BatchDelayKernel delay_kernel(flat, lib, sta.loads());
+    const BatchLeakageKernel leak_kernel(flat, lib);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (obs != nullptr) {
+      obs->add("flat.build_ns",
+               static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       t1 - t0)
+                       .count()));
+    }
 
-          // Sweep the ladder: min leakage subject to delay <= T; if nothing
-          // meets T, the fastest (most forward) setting.
-          double best_bias = ladder.front();
-          double best_leak = std::numeric_limits<double>::infinity();
-          double best_delay = std::numeric_limits<double>::infinity();
-          bool any_feasible = false;
-          double fastest_delay = std::numeric_limits<double>::infinity();
-          double fastest_bias = 0.0;
-          double fastest_leak = 0.0;
-          for (double vbb : ladder) {
-            const double dvth = -abb.k_body_v_per_v * vbb;
+    const std::size_t block = resolve_batch_size(mc.batch_size, n);
+    std::vector<BatchScratch> scratch_pool(
+        static_cast<std::size_t>(workers));
+
+    parallel_for(
+        mc.num_threads, num_samples,
+        [&](std::size_t begin, std::size_t end, int worker) {
+          obs::LocalCounter evals(obs, "abb.sta_evals");
+          obs::LocalCounter batches(obs, "abb.batches");
+          BatchScratch& sc = scratch_pool[static_cast<std::size_t>(worker)];
+          sc.resize(n, block);
+          // Per-lane ladder-selection state, reused across blocks. The
+          // comparison sequence per lane is identical to the scalar sweep.
+          std::vector<double> best_bias(block), best_leak(block),
+              best_delay(block), fastest_delay(block), fastest_bias(block),
+              fastest_leak(block);
+          std::vector<char> any_feasible(block);
+          for (std::size_t s0 = begin; s0 < end; s0 += block) {
+            const std::size_t lanes = std::min(block, end - s0);
+            evals.add(static_cast<double>(lanes) *
+                      (1.0 + static_cast<double>(ladder.size())));
+            batches.add();
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              Rng rng = Rng::stream(mc.seed, s0 + lane);
+              const GlobalSample die = sample_global(var, rng);
+              for (std::size_t id = 0; id < n; ++id) {
+                const ParamSample ps = sample_gate(var, die, rng, widths[id]);
+                sc.dl[id * block + lane] = ps.dl_nm;
+                sc.dv[id * block + lane] = ps.dvth_v;
+              }
+            }
+            delay_kernel.critical_delay_block(
+                sc.dl.data(), sc.dv.data(), block, lanes, mc.exact_delay,
+                nullptr, sc.arrival.data(), sc.delay_out.data());
+            leak_kernel.total_block(sc.dl.data(), sc.dv.data(), block, lanes,
+                                    nullptr, sc.leak_out.data());
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              result.baseline.delay_ps[s0 + lane] = sc.delay_out[lane];
+              result.baseline.leakage_na[s0 + lane] = sc.leak_out[lane];
+              best_bias[lane] = ladder.front();
+              best_leak[lane] = std::numeric_limits<double>::infinity();
+              best_delay[lane] = std::numeric_limits<double>::infinity();
+              any_feasible[lane] = 0;
+              fastest_delay[lane] = std::numeric_limits<double>::infinity();
+              fastest_bias[lane] = 0.0;
+              fastest_leak[lane] = 0.0;
+            }
+            // Sweep the ladder: min leakage subject to delay <= T; if
+            // nothing meets T, the fastest (most forward) setting. The
+            // whole block shares each ladder step, applied as a uniform
+            // dVth shift inside the kernels — bitwise the same as the
+            // scalar path's `biased[id].dvth_v += dvth` precompute.
+            for (double vbb : ladder) {
+              const double dvth = -abb.k_body_v_per_v * vbb;
+              delay_kernel.critical_delay_block(
+                  sc.dl.data(), sc.dv.data(), block, lanes, mc.exact_delay,
+                  &dvth, sc.arrival.data(), sc.delay_out.data());
+              leak_kernel.total_block(sc.dl.data(), sc.dv.data(), block,
+                                      lanes, &dvth, sc.leak_out.data());
+              for (std::size_t lane = 0; lane < lanes; ++lane) {
+                const double delay = sc.delay_out[lane];
+                const double leak = sc.leak_out[lane];
+                if (delay < fastest_delay[lane]) {
+                  fastest_delay[lane] = delay;
+                  fastest_bias[lane] = vbb;
+                  fastest_leak[lane] = leak;
+                }
+                if (delay <= t_max_ps && leak < best_leak[lane]) {
+                  any_feasible[lane] = 1;
+                  best_leak[lane] = leak;
+                  best_bias[lane] = vbb;
+                  best_delay[lane] = delay;
+                }
+              }
+            }
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              if (!any_feasible[lane]) {
+                best_bias[lane] = fastest_bias[lane];
+                best_delay[lane] = fastest_delay[lane];
+                best_leak[lane] = fastest_leak[lane];
+              }
+              result.compensated.delay_ps[s0 + lane] = best_delay[lane];
+              result.compensated.leakage_na[s0 + lane] = best_leak[lane];
+              result.bias_v[s0 + lane] = best_bias[lane];
+            }
+          }
+        });
+  } else {
+    std::vector<std::vector<ParamSample>> sample_pool(
+        static_cast<std::size_t>(workers));
+    std::vector<std::vector<ParamSample>> biased_pool(
+        static_cast<std::size_t>(workers));
+    std::vector<std::vector<double>> scratch_pool(
+        static_cast<std::size_t>(workers));
+    parallel_for(
+        mc.num_threads, num_samples,
+        [&](std::size_t begin, std::size_t end, int worker) {
+          obs::LocalCounter evals(obs, "abb.sta_evals");
+          std::vector<ParamSample>& samples =
+              sample_pool[static_cast<std::size_t>(worker)];
+          samples.resize(n);
+          std::vector<ParamSample>& biased =
+              biased_pool[static_cast<std::size_t>(worker)];
+          biased.resize(n);
+          std::vector<double>& scratch =
+              scratch_pool[static_cast<std::size_t>(worker)];
+          for (std::size_t s = begin; s < end; ++s) {
+            evals.add(1.0 + static_cast<double>(ladder.size()));
+            Rng rng = Rng::stream(mc.seed, s);
+            const GlobalSample die = sample_global(var, rng);
             for (std::size_t id = 0; id < n; ++id) {
-              biased[id] = samples[id];
-              biased[id].dvth_v += dvth;
+              samples[id] = sample_gate(var, die, rng, widths[id]);
             }
-            const double delay =
-                sta.critical_delay_sample_ps(biased, mc.exact_delay, scratch);
-            const double leak = leakage.total_sample_na(biased);
-            if (delay < fastest_delay) {
-              fastest_delay = delay;
-              fastest_bias = vbb;
-              fastest_leak = leak;
+            result.baseline.delay_ps[s] = sta.critical_delay_sample_ps(
+                samples, mc.exact_delay, scratch);
+            result.baseline.leakage_na[s] = leakage.total_sample_na(samples);
+
+            // Sweep the ladder: min leakage subject to delay <= T; if
+            // nothing meets T, the fastest (most forward) setting.
+            double best_bias = ladder.front();
+            double best_leak = std::numeric_limits<double>::infinity();
+            double best_delay = std::numeric_limits<double>::infinity();
+            bool any_feasible = false;
+            double fastest_delay = std::numeric_limits<double>::infinity();
+            double fastest_bias = 0.0;
+            double fastest_leak = 0.0;
+            for (double vbb : ladder) {
+              const double dvth = -abb.k_body_v_per_v * vbb;
+              for (std::size_t id = 0; id < n; ++id) {
+                biased[id] = samples[id];
+                biased[id].dvth_v += dvth;
+              }
+              const double delay = sta.critical_delay_sample_ps(
+                  biased, mc.exact_delay, scratch);
+              const double leak = leakage.total_sample_na(biased);
+              if (delay < fastest_delay) {
+                fastest_delay = delay;
+                fastest_bias = vbb;
+                fastest_leak = leak;
+              }
+              if (delay <= t_max_ps && leak < best_leak) {
+                any_feasible = true;
+                best_leak = leak;
+                best_bias = vbb;
+                best_delay = delay;
+              }
             }
-            if (delay <= t_max_ps && leak < best_leak) {
-              any_feasible = true;
-              best_leak = leak;
-              best_bias = vbb;
-              best_delay = delay;
+            if (!any_feasible) {
+              best_bias = fastest_bias;
+              best_delay = fastest_delay;
+              best_leak = fastest_leak;
             }
+            result.compensated.delay_ps[s] = best_delay;
+            result.compensated.leakage_na[s] = best_leak;
+            result.bias_v[s] = best_bias;
           }
-          if (!any_feasible) {
-            best_bias = fastest_bias;
-            best_delay = fastest_delay;
-            best_leak = fastest_leak;
-          }
-          result.compensated.delay_ps[s] = best_delay;
-          result.compensated.leakage_na[s] = best_leak;
-          result.bias_v[s] = best_bias;
-        }
-      });
+        });
+  }
   if (obs != nullptr) obs->add("abb.dies", static_cast<double>(num_samples));
   return result;
 }

@@ -55,8 +55,12 @@ struct AbbResult {
 
 /// Runs the paired experiment (baseline and compensated populations share
 /// the same per-die parameter draws, so the comparison is sample-exact).
-/// With a registry attached, records the "abb.sweep" phase time and the
-/// "abb.dies" / "abb.sta_evals" counters; results are unaffected.
+/// Honours McConfig::use_batched/batch_size: the batched engine evaluates a
+/// block of dies per ladder step with the bias applied as a uniform dVth
+/// shift inside the kernels, bit-identical to the scalar sweep. With a
+/// registry attached, records the "abb.sweep" phase time and the
+/// "abb.dies" / "abb.sta_evals" / "abb.batches" / "flat.build_ns" counters;
+/// results are unaffected.
 AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
                              const VariationModel& var,
                              const BodyBiasConfig& abb, const McConfig& mc,

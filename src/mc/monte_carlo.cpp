@@ -1,9 +1,14 @@
 #include "mc/monte_carlo.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "leakage/batch_leakage.hpp"
 #include "leakage/leakage.hpp"
+#include "mc/batch.hpp"
+#include "netlist/flat_circuit.hpp"
+#include "sta/batch_delay.hpp"
 #include "sta/sta.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -65,34 +70,105 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
   result.delay_ps.assign(num_samples, 0.0);
   result.leakage_na.assign(num_samples, 0.0);
 
+  const int workers = resolve_num_threads(config.num_threads);
+
   // Sample i draws exclusively from its counter-derived stream and writes
   // slots i of the result vectors, so shard boundaries (and hence the
-  // thread count) cannot change a single bit of the output.
-  parallel_for(
-      config.num_threads, num_samples,
-      [&](std::size_t begin, std::size_t end, int /*worker*/) {
-        // Per-thread accumulation: one registry merge per shard, so the
-        // workers never contend on the registry mutex inside the loop.
-        obs::LocalCounter evals(obs, "mc.sta_evals");
-        std::vector<ParamSample> samples(n);
-        std::vector<double> scratch;
-        for (std::size_t s = begin; s < end; ++s) {
-          Rng rng = Rng::stream(config.seed, s);
-          const GlobalSample die = sample_global(var, rng);
-          for (std::size_t id = 0; id < n; ++id) {
-            samples[id] = sample_gate(var, die, rng, widths[id]);
+  // thread count) cannot change a single bit of the output. In the batched
+  // engine, lanes of one block are just consecutive samples evaluated
+  // together — they never interact — so the batch size cannot either.
+  if (config.use_batched) {
+    // Freeze the implementation point into SoA form and hoist every
+    // per-gate model constant out of the sample loop.
+    const auto t0 = std::chrono::steady_clock::now();
+    const FlatCircuit flat = FlatCircuit::build(circuit);
+    const BatchDelayKernel delay_kernel(flat, lib, sta.loads());
+    const BatchLeakageKernel leak_kernel(flat, lib);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (obs != nullptr) {
+      obs->add("flat.build_ns",
+               static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       t1 - t0)
+                       .count()));
+    }
+
+    const std::size_t block = resolve_batch_size(config.batch_size, n);
+    std::vector<BatchScratch> scratch_pool(
+        static_cast<std::size_t>(workers));
+
+    parallel_for(
+        config.num_threads, num_samples,
+        [&](std::size_t begin, std::size_t end, int worker) {
+          obs::LocalCounter evals(obs, "mc.sta_evals");
+          obs::LocalCounter batches(obs, "mc.batches");
+          BatchScratch& sc = scratch_pool[static_cast<std::size_t>(worker)];
+          sc.resize(n, block);
+          for (std::size_t s0 = begin; s0 < end; s0 += block) {
+            const std::size_t lanes = std::min(block, end - s0);
+            // Draws stay sample-major (lane by lane, the exact call
+            // sequence of the scalar path) and are transposed into the
+            // gate-major blocks as they land.
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              Rng rng = Rng::stream(config.seed, s0 + lane);
+              const GlobalSample die = sample_global(var, rng);
+              for (std::size_t id = 0; id < n; ++id) {
+                const ParamSample ps = sample_gate(var, die, rng, widths[id]);
+                sc.dl[id * block + lane] = ps.dl_nm;
+                sc.dv[id * block + lane] = ps.dvth_v;
+              }
+            }
+            delay_kernel.critical_delay_block(
+                sc.dl.data(), sc.dv.data(), block, lanes, config.exact_delay,
+                nullptr, sc.arrival.data(), sc.delay_out.data());
+            leak_kernel.total_block(sc.dl.data(), sc.dv.data(), block, lanes,
+                                    nullptr, sc.leak_out.data());
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              result.delay_ps[s0 + lane] = sc.delay_out[lane];
+              result.leakage_na[s0 + lane] = sc.leak_out[lane];
+            }
+            evals.add(static_cast<double>(lanes));
+            batches.add();
           }
-          result.delay_ps[s] = sta.critical_delay_sample_ps(
-              samples, config.exact_delay, scratch);
-          result.leakage_na[s] = leakage.total_sample_na(samples);
-          evals.add();
-        }
-      });
+        });
+  } else {
+    // Reference scalar path: one full AoS evaluation per sample. Buffers
+    // are per-worker and reused across the whole shard.
+    std::vector<std::vector<ParamSample>> sample_pool(
+        static_cast<std::size_t>(workers));
+    std::vector<std::vector<double>> scratch_pool(
+        static_cast<std::size_t>(workers));
+
+    parallel_for(
+        config.num_threads, num_samples,
+        [&](std::size_t begin, std::size_t end, int worker) {
+          // Per-thread accumulation: one registry merge per shard, so the
+          // workers never contend on the registry mutex inside the loop.
+          obs::LocalCounter evals(obs, "mc.sta_evals");
+          std::vector<ParamSample>& samples =
+              sample_pool[static_cast<std::size_t>(worker)];
+          samples.resize(n);
+          std::vector<double>& scratch =
+              scratch_pool[static_cast<std::size_t>(worker)];
+          for (std::size_t s = begin; s < end; ++s) {
+            Rng rng = Rng::stream(config.seed, s);
+            const GlobalSample die = sample_global(var, rng);
+            for (std::size_t id = 0; id < n; ++id) {
+              samples[id] = sample_gate(var, die, rng, widths[id]);
+            }
+            result.delay_ps[s] = sta.critical_delay_sample_ps(
+                samples, config.exact_delay, scratch);
+            result.leakage_na[s] = leakage.total_sample_na(samples);
+            evals.add();
+          }
+        });
+  }
 
   if (obs != nullptr) {
     obs->add("mc.samples", static_cast<double>(num_samples));
     // Progress milestones, reconstructed serially from the (already
-    // deterministic) per-sample results: identical for any thread count.
+    // deterministic) per-sample results with running sums: identical for
+    // any thread count, batch size, or engine.
     const std::size_t stride = std::max<std::size_t>(1, num_samples / 16);
     double delay_sum = 0.0;
     double leak_sum = 0.0;

@@ -35,6 +35,14 @@ struct McConfig : ExecConfig {
   int num_samples = 10000;
   /// Exact alpha-power delay per gate instead of the first-order multiplier.
   bool exact_delay = false;
+  /// Samples evaluated per kernel block in the batched engine. 0 picks an
+  /// automatic size from the circuit size (see mc/batch.hpp). Results are
+  /// bit-identical for every batch size; this is a performance knob only.
+  int batch_size = 0;
+  /// Gate-major batched evaluation (default). The scalar per-sample path is
+  /// kept for differential testing (tests/mc_batched_test.cpp pins bitwise
+  /// equality) and as a reference implementation.
+  bool use_batched = true;
 };
 
 struct McResult {

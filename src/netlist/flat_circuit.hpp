@@ -1,0 +1,86 @@
+/// \file flat_circuit.hpp
+/// \brief Frozen structure-of-arrays snapshot of a finalized Circuit.
+///
+/// The AoS Circuit/Gate model is convenient to build and mutate, but walking
+/// it per Monte-Carlo sample chases a std::vector<GateId> allocation per
+/// gate (the fanin list) and re-reads cold Gate fields (name strings sit
+/// between the hot ones). FlatCircuit freezes one implementation point of a
+/// circuit into contiguous arrays:
+///
+///   - CSR fanin and fanout adjacency (`fanin_offset`/`fanin`,
+///     `fanout_offset`/`fanout`), fanins pin-ordered exactly as in the Gate,
+///   - the topological order bucketed by logic level (`topo` is a
+///     permutation of all gate ids; `level_offset[l] .. level_offset[l+1]`
+///     delimits the gates of level l, and within a level the original
+///     topo_order() relative order is preserved),
+///   - per-gate implementation attributes (`kind`, `vth`, `size`) and flags
+///     (`is_input`) in index-by-GateId arrays.
+///
+/// The snapshot is immutable by convention: it does not observe later
+/// set_size/set_vth mutations of the source Circuit. The batched kernels
+/// (BatchDelayKernel, BatchLeakageKernel) precompute per-gate model
+/// constants on top of this topology, so rebuild the snapshot (cheap;
+/// `flat.build_ns` counts it) whenever the implementation point changes.
+///
+/// Because topo is a topological order, iterating it in sequence evaluates
+/// every gate after all of its fanins — level buckets additionally expose
+/// independent gate sets, which the kernels do not currently need but the
+/// invariants test pins so future wavefront schedulers can rely on them.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace statleak {
+
+struct FlatCircuit {
+  std::uint32_t num_gates = 0;
+
+  // CSR fanin adjacency: fanins of gate g are
+  // fanin[fanin_offset[g] .. fanin_offset[g + 1]), pin-ordered.
+  std::vector<std::uint32_t> fanin_offset;
+  std::vector<GateId> fanin;
+
+  // CSR fanout adjacency, same layout, order matching Circuit::fanouts().
+  std::vector<std::uint32_t> fanout_offset;
+  std::vector<GateId> fanout;
+
+  // Level-bucketed topological order: topo is a permutation of [0, num_gates);
+  // level_offset has depth + 2 entries and level l occupies
+  // topo[level_offset[l] .. level_offset[l + 1]).
+  std::vector<GateId> topo;
+  std::vector<std::uint32_t> level_offset;
+
+  // Primary outputs (order matching Circuit::outputs()).
+  std::vector<GateId> outputs;
+
+  // Indexed by GateId.
+  std::vector<char> is_input;
+  std::vector<CellKind> kind;
+  std::vector<Vth> vth;
+  std::vector<double> size;
+
+  int depth = 0;
+
+  std::span<const GateId> fanins_of(GateId g) const {
+    return {fanin.data() + fanin_offset[g], fanin.data() + fanin_offset[g + 1]};
+  }
+  std::span<const GateId> fanouts_of(GateId g) const {
+    return {fanout.data() + fanout_offset[g],
+            fanout.data() + fanout_offset[g + 1]};
+  }
+  std::span<const GateId> level_bucket(int l) const {
+    return {topo.data() + level_offset[static_cast<std::size_t>(l)],
+            topo.data() + level_offset[static_cast<std::size_t>(l) + 1]};
+  }
+
+  /// Snapshots a finalized circuit. Throws statleak::Error if the circuit
+  /// is not finalized.
+  static FlatCircuit build(const Circuit& circuit);
+};
+
+}  // namespace statleak

@@ -25,6 +25,7 @@ McCheck run_mc_check(const Circuit& circuit, const CellLibrary& lib,
   obs::ScopedTimer timer(obs, "flow.mc_check");
   McConfig mc;
   mc.num_samples = config.mc_samples;
+  mc.batch_size = config.mc_batch_size;
   mc.seed = seed;
   mc.num_threads = config.num_threads;
   const McResult res = run_monte_carlo(circuit, lib, var, mc, obs);

@@ -45,6 +45,9 @@ struct FlowConfig : ExecConfig {
   /// solution meets eta (measured by SSTA).
   bool det_auto_corner = false;
   int mc_samples = 0;  ///< 0 = skip Monte-Carlo cross-check
+  /// Kernel block size of the batched MC cross-check (0 = auto; results
+  /// are bit-identical either way — see McConfig::batch_size).
+  int mc_batch_size = 0;
 
   /// Deprecated pre-ExecConfig spelling of `seed`; gone next release.
   [[deprecated("use FlowConfig::seed")]] std::uint64_t& mc_seed() {

@@ -1,7 +1,13 @@
 #include "spatial/spatial_analysis.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "leakage/batch_leakage.hpp"
+#include "mc/batch.hpp"
+#include "netlist/flat_circuit.hpp"
+#include "sta/batch_delay.hpp"
 #include "sta/sta.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -88,24 +94,87 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
   result.delay_ps.assign(num_samples, 0.0);
   result.leakage_na.assign(num_samples, 0.0);
 
+  const int workers = resolve_num_threads(config.num_threads);
+
   // Same counter-based sharding as the flat run_monte_carlo: sample i owns
-  // stream i and slot i, so output is bit-identical for any thread count.
-  parallel_for(
-      config.num_threads, num_samples,
-      [&](std::size_t begin, std::size_t end, int /*worker*/) {
-        std::vector<ParamSample> samples(n);
-        std::vector<double> scratch;
-        for (std::size_t s = begin; s < end; ++s) {
-          Rng rng = Rng::stream(config.seed, s);
-          const SpatialDieSample die = sample_spatial_die(model, rng);
-          for (std::size_t id = 0; id < n; ++id) {
-            samples[id] = sample_spatial_gate(model, die, regions[id], rng);
+  // stream i and slot i, so output is bit-identical for any thread count
+  // (and, in the batched engine, for any batch size — lanes are just
+  // consecutive samples that never interact).
+  if (config.use_batched) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const FlatCircuit flat = FlatCircuit::build(circuit);
+    const BatchDelayKernel delay_kernel(flat, lib, sta.loads());
+    const BatchLeakageKernel leak_kernel(flat, lib);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (obs != nullptr) {
+      obs->add("flat.build_ns",
+               static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       t1 - t0)
+                       .count()));
+    }
+
+    const std::size_t block = resolve_batch_size(config.batch_size, n);
+    std::vector<BatchScratch> scratch_pool(
+        static_cast<std::size_t>(workers));
+
+    parallel_for(
+        config.num_threads, num_samples,
+        [&](std::size_t begin, std::size_t end, int worker) {
+          obs::LocalCounter batches(obs, "mc.spatial_batches");
+          BatchScratch& sc = scratch_pool[static_cast<std::size_t>(worker)];
+          sc.resize(n, block);
+          SpatialDieSample die;  // region buffers reused across lanes
+          for (std::size_t s0 = begin; s0 < end; s0 += block) {
+            const std::size_t lanes = std::min(block, end - s0);
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              Rng rng = Rng::stream(config.seed, s0 + lane);
+              sample_spatial_die(model, rng, die);
+              for (std::size_t id = 0; id < n; ++id) {
+                const ParamSample ps =
+                    sample_spatial_gate(model, die, regions[id], rng);
+                sc.dl[id * block + lane] = ps.dl_nm;
+                sc.dv[id * block + lane] = ps.dvth_v;
+              }
+            }
+            delay_kernel.critical_delay_block(
+                sc.dl.data(), sc.dv.data(), block, lanes, config.exact_delay,
+                nullptr, sc.arrival.data(), sc.delay_out.data());
+            leak_kernel.total_block(sc.dl.data(), sc.dv.data(), block, lanes,
+                                    nullptr, sc.leak_out.data());
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              result.delay_ps[s0 + lane] = sc.delay_out[lane];
+              result.leakage_na[s0 + lane] = sc.leak_out[lane];
+            }
+            batches.add();
           }
-          result.delay_ps[s] = sta.critical_delay_sample_ps(
-              samples, config.exact_delay, scratch);
-          result.leakage_na[s] = leakage.total_sample_na(samples);
-        }
-      });
+        });
+  } else {
+    std::vector<std::vector<ParamSample>> sample_pool(
+        static_cast<std::size_t>(workers));
+    std::vector<std::vector<double>> scratch_pool(
+        static_cast<std::size_t>(workers));
+    parallel_for(
+        config.num_threads, num_samples,
+        [&](std::size_t begin, std::size_t end, int worker) {
+          std::vector<ParamSample>& samples =
+              sample_pool[static_cast<std::size_t>(worker)];
+          samples.resize(n);
+          std::vector<double>& scratch =
+              scratch_pool[static_cast<std::size_t>(worker)];
+          SpatialDieSample die;  // region buffers reused across samples
+          for (std::size_t s = begin; s < end; ++s) {
+            Rng rng = Rng::stream(config.seed, s);
+            sample_spatial_die(model, rng, die);
+            for (std::size_t id = 0; id < n; ++id) {
+              samples[id] = sample_spatial_gate(model, die, regions[id], rng);
+            }
+            result.delay_ps[s] = sta.critical_delay_sample_ps(
+                samples, config.exact_delay, scratch);
+            result.leakage_na[s] = leakage.total_sample_na(samples);
+          }
+        });
+  }
   if (obs != nullptr) {
     obs->add("mc.spatial_samples", static_cast<double>(num_samples));
   }

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "util/error.hpp"
-#include "util/rng.hpp"
 
 namespace statleak {
 
@@ -22,36 +21,6 @@ int SpatialVariationModel::region_of(const Point& p) const {
     return std::clamp(cell, 0, grid - 1);
   };
   return clamp_cell(p.x) * grid + clamp_cell(p.y);
-}
-
-SpatialDieSample sample_spatial_die(const SpatialVariationModel& model,
-                                    Rng& rng) {
-  SpatialDieSample die;
-  die.global = sample_global(model.base, rng);
-  const int regions = model.num_regions();
-  die.region_dl_nm.resize(static_cast<std::size_t>(regions));
-  die.region_dvth_v.resize(static_cast<std::size_t>(regions));
-  for (int r = 0; r < regions; ++r) {
-    die.region_dl_nm[static_cast<std::size_t>(r)] =
-        rng.normal(0.0, model.sigma_l_region_nm());
-    die.region_dvth_v[static_cast<std::size_t>(r)] =
-        rng.normal(0.0, model.sigma_vth_region_v());
-  }
-  return die;
-}
-
-ParamSample sample_spatial_gate(const SpatialVariationModel& model,
-                                const SpatialDieSample& die, int region,
-                                Rng& rng) {
-  STATLEAK_CHECK(region >= 0 && region < model.num_regions(),
-                 "region index out of range");
-  const auto r = static_cast<std::size_t>(region);
-  ParamSample s;
-  s.dl_nm = die.global.dl_nm + die.region_dl_nm[r] +
-            rng.normal(0.0, model.sigma_l_local_nm());
-  s.dvth_v = die.global.dvth_v + die.region_dvth_v[r] +
-             rng.normal(0.0, model.sigma_vth_local_v());
-  return s;
 }
 
 }  // namespace statleak

@@ -27,10 +27,9 @@
 
 #include "spatial/placement.hpp"
 #include "tech/variation.hpp"
+#include "util/error.hpp"
 
 namespace statleak {
-
-class Rng;
 
 struct SpatialVariationModel {
   VariationModel base;
@@ -68,13 +67,46 @@ struct SpatialDieSample {
   std::vector<double> region_dvth_v;
 };
 
+/// Draws the shared components of one die into a reused buffer (resize is a
+/// no-op after the first call, so the Monte-Carlo loop does not allocate).
+/// Inline for the same reason as the base-model helpers: the scalar and
+/// batched engines must share one definition to issue the exact same
+/// normal() call sequence.
+inline void sample_spatial_die(const SpatialVariationModel& model, Rng& rng,
+                               SpatialDieSample& die) {
+  die.global = sample_global(model.base, rng);
+  const int regions = model.num_regions();
+  die.region_dl_nm.resize(static_cast<std::size_t>(regions));
+  die.region_dvth_v.resize(static_cast<std::size_t>(regions));
+  for (int r = 0; r < regions; ++r) {
+    die.region_dl_nm[static_cast<std::size_t>(r)] =
+        rng.normal(0.0, model.sigma_l_region_nm());
+    die.region_dvth_v[static_cast<std::size_t>(r)] =
+        rng.normal(0.0, model.sigma_vth_region_v());
+  }
+}
+
 /// Draws the shared components of one die.
-SpatialDieSample sample_spatial_die(const SpatialVariationModel& model,
-                                    Rng& rng);
+inline SpatialDieSample sample_spatial_die(const SpatialVariationModel& model,
+                                           Rng& rng) {
+  SpatialDieSample die;
+  sample_spatial_die(model, rng, die);
+  return die;
+}
 
 /// Draws one gate's total deviations given its region.
-ParamSample sample_spatial_gate(const SpatialVariationModel& model,
-                                const SpatialDieSample& die, int region,
-                                Rng& rng);
+inline ParamSample sample_spatial_gate(const SpatialVariationModel& model,
+                                       const SpatialDieSample& die, int region,
+                                       Rng& rng) {
+  STATLEAK_CHECK(region >= 0 && region < model.num_regions(),
+                 "region index out of range");
+  const auto r = static_cast<std::size_t>(region);
+  ParamSample s;
+  s.dl_nm = die.global.dl_nm + die.region_dl_nm[r] +
+            rng.normal(0.0, model.sigma_l_local_nm());
+  s.dvth_v = die.global.dvth_v + die.region_dvth_v[r] +
+             rng.normal(0.0, model.sigma_vth_local_v());
+  return s;
+}
 
 }  // namespace statleak

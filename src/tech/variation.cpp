@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "util/error.hpp"
-#include "util/rng.hpp"
 
 namespace statleak {
 
@@ -27,27 +26,6 @@ VariationModel VariationModel::scaled(double factor) const {
   out.sigma_vth_inter_v *= factor;
   out.sigma_vth_intra_v *= factor;
   return out;
-}
-
-GlobalSample sample_global(const VariationModel& model, Rng& rng) {
-  return GlobalSample{rng.normal(0.0, model.sigma_l_inter_nm),
-                      rng.normal(0.0, model.sigma_vth_inter_v)};
-}
-
-double VariationModel::sigma_vth_intra_for(double device_width_um) const {
-  if (!pelgrom_vth_scaling || device_width_um <= 0.0) {
-    return sigma_vth_intra_v;
-  }
-  return sigma_vth_intra_v *
-         std::sqrt(pelgrom_ref_width_um / device_width_um);
-}
-
-ParamSample sample_gate(const VariationModel& model, const GlobalSample& g,
-                        Rng& rng, double device_width_um) {
-  return ParamSample{
-      g.dl_nm + rng.normal(0.0, model.sigma_l_intra_nm),
-      g.dvth_v +
-          rng.normal(0.0, model.sigma_vth_intra_for(device_width_um))};
 }
 
 }  // namespace statleak

@@ -14,9 +14,9 @@
 
 #include <cmath>
 
-namespace statleak {
+#include "util/rng.hpp"
 
-class Rng;
+namespace statleak {
 
 /// Standard deviations of the four variation components.
 struct VariationModel {
@@ -37,7 +37,14 @@ struct VariationModel {
 
   /// Intra-die Vth sigma [V] of a gate whose total device width is
   /// `device_width_um` (returns sigma_vth_intra_v when scaling is off).
-  double sigma_vth_intra_for(double device_width_um) const;
+  /// Inline: called per gate per sample in the Monte-Carlo hot loop.
+  double sigma_vth_intra_for(double device_width_um) const {
+    if (!pelgrom_vth_scaling || device_width_um <= 0.0) {
+      return sigma_vth_intra_v;
+    }
+    return sigma_vth_intra_v *
+           std::sqrt(pelgrom_ref_width_um / device_width_um);
+  }
 
   /// Total channel-length sigma [nm] (inter and intra in quadrature).
   double sigma_l_total_nm() const {
@@ -77,12 +84,25 @@ struct ParamSample {
 };
 
 /// Draws the shared inter-die components for one simulated die.
-GlobalSample sample_global(const VariationModel& model, Rng& rng);
+/// Inline (with the draw helpers below): these sit inside the Monte-Carlo
+/// hot loop, and both the scalar and batched engines must issue the exact
+/// same normal() call sequence to stay bit-identical — sharing one inlined
+/// definition guarantees that by construction.
+inline GlobalSample sample_global(const VariationModel& model, Rng& rng) {
+  return GlobalSample{rng.normal(0.0, model.sigma_l_inter_nm),
+                      rng.normal(0.0, model.sigma_vth_inter_v)};
+}
 
 /// Draws one gate's total variation given the die's global components.
 /// `device_width_um` feeds the Pelgrom scaling; pass a non-positive value
 /// (default) to use the nominal intra-die Vth sigma.
-ParamSample sample_gate(const VariationModel& model, const GlobalSample& g,
-                        Rng& rng, double device_width_um = -1.0);
+inline ParamSample sample_gate(const VariationModel& model,
+                               const GlobalSample& g, Rng& rng,
+                               double device_width_um = -1.0) {
+  return ParamSample{
+      g.dl_nm + rng.normal(0.0, model.sigma_l_intra_nm),
+      g.dvth_v +
+          rng.normal(0.0, model.sigma_vth_intra_for(device_width_um))};
+}
 
 }  // namespace statleak

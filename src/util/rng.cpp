@@ -13,11 +13,43 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return mix64(x);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
+// Ziggurat layout constants for N = 256 layers over the standard normal
+// density f(x) = exp(-x^2/2) (unnormalized): kTailStart is the right edge
+// of the base strip and kStripArea the common area of every strip,
+// including the tail mass (Marsaglia & Tsang 2000).
+constexpr double kTailStart = 3.6541528853610088;
+constexpr double kStripArea = 0.00492867323399011;
+
+detail::ZigguratTables build_ziggurat() {
+  detail::ZigguratTables z;
+  const auto density = [](double x) { return std::exp(-0.5 * x * x); };
+  // edge[i] descends from the base pseudo-width edge[0] = v/f(r) through
+  // edge[1] = r to edge[256] = 0; each recursion step keeps strip areas
+  // equal: v = edge[i] * (f(edge[i+1]) - f(edge[i])).
+  z.edge[1] = kTailStart;
+  z.edge[0] = kStripArea / density(kTailStart);
+  for (int i = 1; i < 256; ++i) {
+    z.edge[i + 1] =
+        std::sqrt(-2.0 * std::log(kStripArea / z.edge[i] + density(z.edge[i])));
+  }
+  z.edge[256] = 0.0;
+  for (int i = 0; i <= 256; ++i) z.fval[i] = density(z.edge[i]);
+  for (int i = 0; i < 256; ++i) {
+    z.layer[i].scale = z.edge[i] * 0x1.0p-53;
+    // mantissa < accept  =>  mantissa * scale < edge[i+1]: the point lands
+    // in the rectangle fully under the curve (floor keeps this sound; the
+    // boundary mantissa goes to the slow path, which re-checks exactly).
+    z.layer[i].accept =
+        static_cast<std::uint64_t>(0x1.0p53 * z.edge[i + 1] / z.edge[i]);
+  }
+  return z;
 }
 
 }  // namespace
+
+namespace detail {
+const ZigguratTables kZiggurat = build_ziggurat();
+}  // namespace detail
 
 std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -39,22 +71,6 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& word : state_) word = splitmix64(s);
 }
 
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
 double Rng::uniform(double lo, double hi) {
   return lo + (hi - lo) * uniform();
 }
@@ -67,24 +83,35 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) {
   return static_cast<std::uint64_t>(product >> 64);
 }
 
-double Rng::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
+double Rng::normal_slow_(std::uint64_t u) {
+  const detail::ZigguratTables& z = detail::kZiggurat;
+  for (;;) {
+    const std::size_t i = u & 255u;
+    const double x = static_cast<double>(u >> 11) * z.layer[i].scale;
+    if (x < z.edge[i + 1]) {
+      // The integer fast-accept threshold is floored, so the exact boundary
+      // mantissa lands here; it is still inside the sub-rectangle.
+      return apply_sign_(x, u);
+    }
+    if (i == 0) {
+      // Base strip beyond r: Marsaglia's exact tail sampler. Guard the
+      // uniforms away from 0 to keep log() finite.
+      for (;;) {
+        double u1 = uniform();
+        while (u1 <= 0.0) u1 = uniform();
+        double u2 = uniform();
+        while (u2 <= 0.0) u2 = uniform();
+        const double ex = -std::log(u1) / kTailStart;
+        const double ey = -std::log(u2);
+        if (ey + ey > ex * ex) return apply_sign_(kTailStart + ex, u);
+      }
+    }
+    // Wedge: exact accept test against the density, with a fresh uniform
+    // for the ordinate (Doornik's correction — never reuse mantissa bits).
+    const double y = z.fval[i] + uniform() * (z.fval[i + 1] - z.fval[i]);
+    if (y < std::exp(-0.5 * x * x)) return apply_sign_(x, u);
+    u = (*this)();  // rejected: redraw layer, sign and mantissa together
   }
-  // Box–Muller: two uniforms -> two independent standard normals.
-  double u1 = uniform();
-  while (u1 <= 0.0) u1 = uniform();  // avoid log(0)
-  const double u2 = uniform();
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * M_PI * u2;
-  cached_normal_ = radius * std::sin(angle);
-  has_cached_normal_ = true;
-  return radius * std::cos(angle);
-}
-
-double Rng::normal(double mean, double stddev) {
-  return mean + stddev * normal();
 }
 
 Rng Rng::split() {
@@ -92,7 +119,7 @@ Rng Rng::split() {
   // the child stream differs even if outputs collide with the parent seed.
   const std::uint64_t a = (*this)();
   const std::uint64_t b = (*this)();
-  return Rng(a ^ rotl(b, 31) ^ 0xA5A5A5A5A5A5A5A5ull);
+  return Rng(a ^ rotl_(b, 31) ^ 0xA5A5A5A5A5A5A5A5ull);
 }
 
 }  // namespace statleak

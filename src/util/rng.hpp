@@ -5,12 +5,32 @@
 /// statleak does not use std::mt19937 + std::normal_distribution (whose
 /// normal_distribution output is implementation-defined). Instead we ship
 /// xoshiro256++ (Blackman & Vigna) with an explicit splitmix64 seeder and our
-/// own Box–Muller / inverse-CDF transforms.
+/// own normal transform.
+///
+/// Normal deviates use a 256-layer ziggurat (Marsaglia & Tsang 2000, with
+/// Doornik's fix of drawing the wedge test from a fresh uniform). The method
+/// is *exact*: the fast path accepts a point uniformly inside a rectangle
+/// that lies entirely under the density, the wedge path performs the exact
+/// accept test against exp(-x^2/2), and the tail path is Marsaglia's exact
+/// exponential-majorant sampler — so the output distribution is N(0, 1) to
+/// the last bit of the accept/reject arithmetic, not an approximation.
+/// ~98.5 % of draws take the fast path: one 64-bit draw, one table compare,
+/// one multiply — about 5x cheaper than the Box–Muller transform used before
+/// (which paid log + sqrt + sincos per pair). The layer index (bits 0..7),
+/// the sign (bit 8) and the 53-bit mantissa (bits 11..63) come from disjoint
+/// bits of one draw.
+///
+/// Determinism: the fast path is pure IEEE-754 arithmetic; the wedge/tail
+/// paths call std::exp/std::log, so cross-*libm* bit reproducibility has the
+/// same caveat the Box–Muller transform had. Within one toolchain the
+/// sequence is bit-stable, which is what the MC determinism tests pin.
 
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <span>
 
 namespace statleak {
 
@@ -26,7 +46,33 @@ std::uint64_t mix64(std::uint64_t x);
 /// independent of sample evaluation order and hence of the thread count.
 std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t counter);
 
-/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator.
+namespace detail {
+
+/// Ziggurat tables (256 layers). `edge[i]` is the right edge of layer i
+/// (edge[0] = v/f(r) is the pseudo-width of the base strip, edge[1] = r);
+/// `fval[i] = exp(-edge[i]^2/2)`; `accept[i]` is the integer fast-accept
+/// threshold and `scale[i] = edge[i] * 2^-53` maps a 53-bit mantissa onto
+/// layer i. accept/scale are interleaved so the fast path touches one
+/// cache line per draw.
+struct ZigguratTables {
+  struct Layer {
+    std::uint64_t accept;
+    double scale;
+  };
+  Layer layer[256];
+  double edge[257];
+  double fval[257];
+};
+/// Built once at static-initialization time (rng.cpp). Do not draw normal
+/// deviates from other translation units' static initializers — the usual
+/// cross-TU dynamic-initialization ordering caveat applies.
+extern const ZigguratTables kZiggurat;
+
+}  // namespace detail
+
+/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator. The draw methods
+/// are header-inline: the Monte-Carlo engines consume two normals per gate
+/// per sample, so call overhead is measurable there.
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -39,10 +85,23 @@ class Rng {
   static constexpr result_type max() { return ~result_type{0}; }
 
   /// Next raw 64-bit output.
-  result_type operator()();
+  result_type operator()() {
+    const std::uint64_t result =
+        rotl_(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double uniform();
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -51,11 +110,32 @@ class Rng {
   /// bounded generation (bias < 2^-64, negligible for simulation use).
   std::uint64_t uniform_index(std::uint64_t n);
 
-  /// Standard normal deviate via the Box–Muller transform (cached pair).
-  double normal();
+  /// Standard normal deviate via the 256-layer ziggurat (exact; see the
+  /// file comment). One 64-bit draw on the ~98.5 % fast path.
+  double normal() {
+    const std::uint64_t u = (*this)();
+    const std::uint64_t mantissa = u >> 11;
+    const detail::ZigguratTables::Layer layer =
+        detail::kZiggurat.layer[u & 255u];
+    if (mantissa < layer.accept) [[likely]] {
+      // The rectangle is entirely under the density: accept unconditionally.
+      // Sign comes from bit 8, applied by flipping the IEEE sign bit.
+      const double x = static_cast<double>(mantissa) * layer.scale;
+      return apply_sign_(x, u);
+    }
+    return normal_slow_(u);
+  }
 
   /// Normal deviate with the given mean and standard deviation.
-  double normal(double mean, double stddev);
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Block draw: fills `out` with consecutive standard normal deviates, as
+  /// if by repeated normal() calls. Convenience for batched consumers.
+  void fill_normal(std::span<double> out) {
+    for (double& x : out) x = normal();
+  }
 
   /// Splits off an independently seeded child generator. Used to give each
   /// Monte-Carlo worker / sample block its own stream.
@@ -69,9 +149,22 @@ class Rng {
   }
 
  private:
+  static std::uint64_t rotl_(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  /// Applies the sign encoded in bit 8 of `u` by flipping the IEEE sign
+  /// bit of `x` (branch-free; may produce -0.0, which compares equal to 0).
+  static double apply_sign_(double x, std::uint64_t u) {
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(x) ^
+                                 ((u & 256u) << 55));
+  }
+
+  /// Out-of-line ziggurat slow path: boundary re-check, wedge accept test,
+  /// and the base-strip tail sampler. `u` is the draw that fell out of the
+  /// fast path.
+  double normal_slow_(std::uint64_t u);
+
   std::array<std::uint64_t, 4> state_{};
-  double cached_normal_ = 0.0;
-  bool has_cached_normal_ = false;
 };
 
 }  // namespace statleak

@@ -447,6 +447,52 @@ TEST(Instrumentation, MonteCarloMilestonesAreThreadCountInvariant) {
   }
 }
 
+TEST(Instrumentation, MonteCarloBatchCountersAndBuildTime) {
+  OptFixture f;
+  McConfig mc;
+  mc.num_samples = 100;
+  mc.batch_size = 16;
+  mc.num_threads = 1;
+  obs::Registry reg;
+  (void)run_monte_carlo(f.circuit, f.lib, f.var, mc, &reg);
+
+  // Single thread, 100 samples in blocks of 16: ceil(100/16) = 7 batches.
+  // (Per-shard rounding makes the batch count depend on the thread count;
+  // only the sample values are thread-invariant.)
+  EXPECT_DOUBLE_EQ(reg.counter_value("mc.batches"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.counter_value("mc.sta_evals"), 100.0);
+  EXPECT_GT(reg.counter_value("flat.build_ns"), 0.0);
+}
+
+TEST(Instrumentation, MonteCarloMilestonesAreBatchAndEngineInvariant) {
+  // Milestones are reconstructed serially from the per-sample results, so
+  // they cannot depend on the batch size — or on which engine produced the
+  // samples, since batched output is bit-identical to scalar.
+  OptFixture f;
+  McConfig mc;
+  mc.num_samples = 100;
+
+  obs::Registry scalar_reg;
+  mc.use_batched = false;
+  (void)run_monte_carlo(f.circuit, f.lib, f.var, mc, &scalar_reg);
+  const auto ref = scalar_reg.trace_events("mc");
+  ASSERT_FALSE(ref.empty());
+
+  mc.use_batched = true;
+  for (const int batch : {1, 7, 64, 0}) {
+    mc.batch_size = batch;
+    obs::Registry reg;
+    (void)run_monte_carlo(f.circuit, f.lib, f.var, mc, &reg);
+    const auto got = reg.trace_events("mc");
+    ASSERT_EQ(ref.size(), got.size()) << "batch " << batch;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i].step, got[i].step) << "batch " << batch;
+      EXPECT_EQ(ref[i].objective, got[i].objective) << "batch " << batch;
+      EXPECT_EQ(ref[i].delay_ps, got[i].delay_ps) << "batch " << batch;
+    }
+  }
+}
+
 TEST(Instrumentation, FlowRecordsPhasesAndHeadlineGauges) {
   CellLibrary lib{generic_100nm()};
   const VariationModel var = VariationModel::typical_100nm();

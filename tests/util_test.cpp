@@ -96,6 +96,56 @@ TEST(Rng, NormalMoments) {
   EXPECT_NEAR(rs.stddev(), 1.0, 0.01);
 }
 
+TEST(Rng, NormalZigguratTailAndSymmetry) {
+  // The ziggurat sampler must be exact in the tails (Marsaglia exponential
+  // tail sampler beyond r ~ 3.654) and symmetric (sign comes from an
+  // independent bit). P(|X| > 3) = 0.0026998 for a standard normal.
+  Rng rng(11);
+  const int n = 2000000;
+  int beyond3 = 0;
+  int beyond_r = 0;  // exercises the exact tail path
+  int positive = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    if (std::abs(x) > 3.0) ++beyond3;
+    if (std::abs(x) > 3.6541528853610088) ++beyond_r;
+    if (x > 0.0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond3) / n, 0.0026998, 3e-4);
+  // P(|X| > r) ~ 2.57e-4: the tail path must actually produce samples.
+  EXPECT_GT(beyond_r, 200);
+  EXPECT_NEAR(static_cast<double>(beyond_r) / n, 2.57e-4, 8e-5);
+  EXPECT_NEAR(static_cast<double>(positive) / n, 0.5, 0.002);
+}
+
+TEST(Rng, NormalKurtosisMatchesGaussian) {
+  // Fourth moment: E[X^4] = 3 for N(0,1). A wedge/tail bug (the classic
+  // Monty Python / ziggurat pitfalls) shows up here before it shows in the
+  // variance.
+  Rng rng(13);
+  const int n = 1000000;
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    m2 += x * x;
+    m4 += x * x * x * x;
+  }
+  m2 /= n;
+  m4 /= n;
+  EXPECT_NEAR(m4 / (m2 * m2), 3.0, 0.03);
+}
+
+TEST(Rng, FillNormalMatchesRepeatedCalls) {
+  Rng a(99);
+  Rng b(99);
+  std::vector<double> block(257);
+  a.fill_normal(block);
+  for (double x : block) {
+    EXPECT_EQ(x, b.normal());  // bit-identical to the draw-by-draw sequence
+  }
+}
+
 TEST(Rng, NormalShiftScale) {
   Rng rng(5);
   RunningStats rs;

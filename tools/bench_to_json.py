@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Convert Google Benchmark JSON output into a compact BENCH_mc.json.
+
+Reads the JSON emitted by
+
+    bench_fig5_runtime --benchmark_filter='BM_MonteCarloBatched' \
+        --benchmark_format=json
+
+from a file (or stdin) and distills the Monte-Carlo throughput series into
+samples/sec per (circuit, engine), plus the batched/scalar speedup per
+circuit.  When the run used --benchmark_repetitions, the median aggregate is
+preferred; otherwise the median over the plain iteration entries is taken.
+
+Usage:
+    bench_to_json.py [raw_benchmark.json] [-o BENCH_mc.json]
+
+With no -o the result is printed to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def _engine_of(entry: dict) -> str:
+    # The benchmark exports a "batched" counter: 1 = batched SoA engine,
+    # 0 = scalar per-sample reference.
+    return "batched" if entry.get("batched", 0.0) > 0.5 else "scalar"
+
+
+def distill(raw: dict) -> dict:
+    """Reduce benchmark entries to {circuit: {engine: samples_per_second}}."""
+    # (circuit, engine) -> list of items_per_second; medians are stored
+    # separately and win over per-iteration samples when present.
+    samples: dict[tuple[str, str], list[float]] = {}
+    medians: dict[tuple[str, str], float] = {}
+    for entry in raw.get("benchmarks", []):
+        if not entry.get("name", "").startswith("BM_MonteCarloBatched"):
+            continue
+        if "items_per_second" not in entry:
+            continue
+        circuit = entry.get("label", "")
+        if not circuit:
+            continue
+        key = (circuit, _engine_of(entry))
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[key] = entry["items_per_second"]
+            continue
+        samples.setdefault(key, []).append(entry["items_per_second"])
+
+    circuits: dict[str, dict] = {}
+    for key in sorted(set(samples) | set(medians)):
+        circuit, engine = key
+        sps = medians.get(key)
+        if sps is None:
+            sps = statistics.median(samples[key])
+        circuits.setdefault(circuit, {})[engine] = {
+            "samples_per_second": round(sps, 1)
+        }
+    for circuit, engines in circuits.items():
+        if "scalar" in engines and "batched" in engines:
+            scalar = engines["scalar"]["samples_per_second"]
+            batched = engines["batched"]["samples_per_second"]
+            if scalar > 0:
+                engines["speedup_batched_vs_scalar"] = round(batched / scalar, 2)
+
+    context = raw.get("context", {})
+    return {
+        "schema_version": 1,
+        "generated_by": "tools/bench_to_json.py",
+        "benchmark": "bench_fig5_runtime:BM_MonteCarloBatched",
+        "unit": "monte-carlo samples per second, single thread",
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "library_build_type": context.get("library_build_type"),
+        },
+        "circuits": circuits,
+        # Historical anchor for the perf trajectory: the scalar engine's
+        # single-thread throughput on c7552p before the batched-SoA PR
+        # (Box-Muller normals, per-sample scratch allocation). See
+        # EXPERIMENTS.md F5 and docs/PERFORMANCE.md.
+        "baseline": {
+            "pre_batched_pr_scalar": {
+                "c7552p": {"samples_per_second": 3593.0}
+            }
+        },
+    }
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input", nargs="?", default="-",
+                        help="Google Benchmark JSON file (default: stdin)")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output path (default: stdout)")
+    args = parser.parse_args(argv)
+
+    if args.input == "-":
+        raw = json.load(sys.stdin)
+    else:
+        with open(args.input) as f:
+            raw = json.load(f)
+
+    result = distill(raw)
+    if not result["circuits"]:
+        print("bench_to_json: no BM_MonteCarloBatched entries in input",
+              file=sys.stderr)
+        return 1
+
+    text = json.dumps(result, indent=2) + "\n"
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as f:
+            f.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -102,6 +102,8 @@ std::vector<CommandSpec> command_specs() {
        {impl,
         {"--tmax", true, "ps", "delay target (default 1.1 * nominal)"},
         {"--samples", true, "n", "number of dies (default 5000)"},
+        {"--batch", true, "b",
+         "samples per kernel block, 0 = auto (default; results identical)"},
         seed,
         threads,
         node}},
@@ -121,6 +123,8 @@ std::vector<CommandSpec> command_specs() {
          "search for the smallest corner meeting eta"},
         {"--mc-samples", true, "n",
          "Monte-Carlo cross-check dies, 0 = skip (default 0)"},
+        {"--batch", true, "b",
+         "MC samples per kernel block, 0 = auto (default; results identical)"},
         seed,
         threads,
         node}},
@@ -493,6 +497,8 @@ int cmd_mc(const Args& args, ObsSession& session) {
   const VariationModel var = VariationModel::typical_100nm();
   McConfig mc;
   mc.num_samples = static_cast<int>(args.get_long("--samples", 5000));
+  // 0 = auto; any value yields bit-identical results (performance knob).
+  mc.batch_size = static_cast<int>(args.get_long("--batch", 0));
   mc.seed = static_cast<std::uint64_t>(args.get_long("--seed", 42));
   // 0 = all hardware threads; the sample streams are counter-based, so the
   // report is bit-identical whatever the thread count.
@@ -560,6 +566,7 @@ int cmd_flow(const Args& args, ObsSession& session) {
   cfg.det_corner_k = args.get_double("--corner", 0.0);
   cfg.det_auto_corner = args.has("--auto-corner");
   cfg.mc_samples = static_cast<int>(args.get_long("--mc-samples", 0));
+  cfg.mc_batch_size = static_cast<int>(args.get_long("--batch", 0));
   cfg.seed = static_cast<std::uint64_t>(args.get_long("--seed", 7));
   cfg.num_threads = static_cast<int>(args.get_long("--threads", 0));
 
