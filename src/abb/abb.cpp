@@ -1,9 +1,11 @@
 #include "abb/abb.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "leakage/batch_leakage.hpp"
 #include "leakage/leakage.hpp"
@@ -12,6 +14,7 @@
 #include "sta/batch_delay.hpp"
 #include "sta/sta.hpp"
 #include "util/error.hpp"
+#include "util/health.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -76,6 +79,7 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
 
   const auto num_samples = static_cast<std::size_t>(mc.num_samples);
   AbbResult result;
+  result.dies_requested = num_samples;
   result.baseline.delay_ps.assign(num_samples, 0.0);
   result.baseline.leakage_na.assign(num_samples, 0.0);
   result.compensated.delay_ps.assign(num_samples, 0.0);
@@ -83,6 +87,31 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
   result.bias_v.assign(num_samples, 0.0);
 
   const int workers = resolve_num_threads(mc.num_threads);
+
+  // Fault-tolerance plumbing (deadline at block boundaries, per-die health
+  // checks, serial compaction of partial populations) mirrors
+  // run_monte_carlo; checkpointing stays a flat-MC feature.
+  const Deadline deadline(mc.deadline_ms);
+  std::atomic<bool> stop{false};
+  const bool fail_fast = mc.health_policy == HealthPolicy::kFail;
+  using SlotRun = std::pair<std::size_t, std::size_t>;
+  std::vector<std::vector<SlotRun>> computed_runs(
+      static_cast<std::size_t>(workers));
+  const auto log_run = [&](int worker, std::size_t run_begin,
+                           std::size_t run_end) {
+    if (run_end > run_begin) {
+      computed_runs[static_cast<std::size_t>(worker)].emplace_back(run_begin,
+                                                                   run_end);
+    }
+  };
+  // A die is healthy only when all four of its paired values are finite.
+  const auto die_health = [&result](std::size_t s) -> std::uint8_t {
+    return static_cast<std::uint8_t>(
+        classify_health(result.baseline.delay_ps[s],
+                        result.baseline.leakage_na[s]) |
+        classify_health(result.compensated.delay_ps[s],
+                        result.compensated.leakage_na[s]));
+  };
 
   // Die i reuses the Monte-Carlo engine's counter-derived stream i, so the
   // baseline population is bit-identical to run_monte_carlo with the same
@@ -118,7 +147,13 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
               best_delay(block), fastest_delay(block), fastest_bias(block),
               fastest_leak(block);
           std::vector<char> any_feasible(block);
+          std::size_t covered = begin;
           for (std::size_t s0 = begin; s0 < end; s0 += block) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            if (deadline.expired()) {
+              stop.store(true, std::memory_order_relaxed);
+              break;
+            }
             const std::size_t lanes = std::min(block, end - s0);
             evals.add(static_cast<double>(lanes) *
                       (1.0 + static_cast<double>(ladder.size())));
@@ -185,8 +220,17 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
               result.compensated.delay_ps[s0 + lane] = best_delay[lane];
               result.compensated.leakage_na[s0 + lane] = best_leak[lane];
               result.bias_v[s0 + lane] = best_bias[lane];
+              if (fail_fast) {
+                const std::uint8_t cause = die_health(s0 + lane);
+                if (cause != 0) {
+                  stop.store(true, std::memory_order_relaxed);
+                  throw_sample_health(s0 + lane, cause);
+                }
+              }
             }
+            covered = s0 + lanes;
           }
+          log_run(worker, begin, covered);
         });
   } else {
     std::vector<std::vector<ParamSample>> sample_pool(
@@ -207,7 +251,13 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
           biased.resize(n);
           std::vector<double>& scratch =
               scratch_pool[static_cast<std::size_t>(worker)];
+          std::size_t covered = begin;
           for (std::size_t s = begin; s < end; ++s) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            if (deadline.expired()) {
+              stop.store(true, std::memory_order_relaxed);
+              break;
+            }
             evals.add(1.0 + static_cast<double>(ladder.size()));
             Rng rng = Rng::stream(mc.seed, s);
             const GlobalSample die = sample_global(var, rng);
@@ -256,10 +306,83 @@ AbbResult run_abb_experiment(const Circuit& circuit, const CellLibrary& lib,
             result.compensated.delay_ps[s] = best_delay;
             result.compensated.leakage_na[s] = best_leak;
             result.bias_v[s] = best_bias;
+            if (fail_fast) {
+              const std::uint8_t cause = die_health(s);
+              if (cause != 0) {
+                stop.store(true, std::memory_order_relaxed);
+                throw_sample_health(s, cause);
+              }
+            }
+            covered = s + 1;
           }
+          log_run(worker, begin, covered);
         });
   }
-  if (obs != nullptr) obs->add("abb.dies", static_cast<double>(num_samples));
+
+  // Serial finalize: paired compaction — a die survives into baseline,
+  // compensated and bias arrays together or not at all.
+  std::vector<std::uint8_t> done(num_samples, 0);
+  for (const auto& runs : computed_runs) {
+    for (const SlotRun& r : runs) {
+      std::fill(done.begin() + static_cast<std::ptrdiff_t>(r.first),
+                done.begin() + static_cast<std::ptrdiff_t>(r.second), 1);
+    }
+  }
+  std::size_t done_count = 0;
+  for (std::uint8_t d : done) done_count += d;
+  result.dies_done = done_count;
+  result.completed = done_count == num_samples;
+  result.baseline.samples_requested = num_samples;
+  result.compensated.samples_requested = num_samples;
+  std::vector<QuarantinedSample> quarantined;
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    if (done[s] == 0) continue;
+    const std::uint8_t cause = die_health(s);
+    if (cause == 0) continue;
+    if (fail_fast) throw_sample_health(s, cause);
+    quarantined.push_back(
+        {static_cast<std::uint64_t>(s), static_cast<HealthCause>(cause)});
+  }
+  if (!result.completed || !quarantined.empty()) {
+    std::size_t q = 0;
+    std::size_t out = 0;
+    for (std::size_t s = 0; s < num_samples; ++s) {
+      if (done[s] == 0) continue;
+      if (q < quarantined.size() && quarantined[q].slot == s) {
+        ++q;
+        continue;
+      }
+      result.baseline.delay_ps[out] = result.baseline.delay_ps[s];
+      result.baseline.leakage_na[out] = result.baseline.leakage_na[s];
+      result.compensated.delay_ps[out] = result.compensated.delay_ps[s];
+      result.compensated.leakage_na[out] = result.compensated.leakage_na[s];
+      result.bias_v[out] = result.bias_v[s];
+      ++out;
+    }
+    result.baseline.delay_ps.resize(out);
+    result.baseline.leakage_na.resize(out);
+    result.compensated.delay_ps.resize(out);
+    result.compensated.leakage_na.resize(out);
+    result.bias_v.resize(out);
+  }
+  result.baseline.completed = result.completed;
+  result.compensated.completed = result.completed;
+  result.baseline.samples_done = done_count;
+  result.compensated.samples_done = done_count;
+  result.baseline.quarantined = quarantined;
+  result.compensated.quarantined = std::move(quarantined);
+
+  if (obs != nullptr) {
+    obs->add("abb.dies", static_cast<double>(result.bias_v.size()));
+    if (!result.compensated.quarantined.empty()) {
+      obs->add("abb.quarantined",
+               static_cast<double>(result.compensated.quarantined.size()));
+    }
+    if (!result.completed) {
+      obs->add("abb.dies_done", static_cast<double>(result.dies_done));
+      obs->mark_incomplete("deadline");
+    }
+  }
   return result;
 }
 

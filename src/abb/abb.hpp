@@ -47,6 +47,14 @@ struct AbbResult {
   McResult compensated;         ///< per-die best-bias population
   std::vector<double> bias_v;   ///< chosen Vbb per die
 
+  /// False when ExecConfig::deadline_ms expired mid-sweep. The populations
+  /// stay paired: a die survives into all three arrays or none of them
+  /// (dies whose evaluation produced a non-finite value under the
+  /// quarantine policy are likewise dropped from all three).
+  bool completed = true;
+  std::uint64_t dies_requested = 0;
+  std::uint64_t dies_done = 0;
+
   /// Fraction of dies using any reverse bias (Vbb < 0).
   double reverse_fraction() const;
   /// Fraction of dies using any forward bias (Vbb > 0).

@@ -1,0 +1,143 @@
+/// \file checkpoint.hpp
+/// \brief Versioned, CRC-guarded checkpoint files for long Monte-Carlo runs.
+///
+/// PR 1's counter-based per-sample RNG streams make MC samples independent
+/// and order-free: sample i's value depends only on (seed, i), never on
+/// which samples ran before it. A checkpoint therefore only has to record
+/// *which slots finished and their values* — resuming skips those slots and
+/// recomputes the rest, and the merged result is bit-identical to an
+/// uninterrupted run for any thread count, batch size, or engine.
+///
+/// File layout (little-endian, the only byte order statleak targets):
+///
+///   header (36 bytes)
+///     magic            u32   "SLCK"
+///     version          u32   kCheckpointVersion
+///     config_hash      u64   mc_checkpoint_hash() of the producing run
+///     num_samples      u64   population size
+///     committed_bytes  u64   end of the valid region (two-phase commit)
+///     header_crc       u32   CRC-32 of the 32 bytes above
+///   records, back to back, from byte 36 up to committed_bytes
+///     begin            u64   first slot of the block
+///     count            u64   number of consecutive slots
+///     record_crc       u32   CRC-32 of begin+count+payload
+///     payload                count delays then count leakages (f64 bits)
+///
+/// Two-phase commit: a record is appended and flushed *before*
+/// committed_bytes is advanced, so a crash (or a short write — see
+/// util/fault.hpp) at any instant leaves either the old or the new
+/// committed state, never a half-trusted record. On load, bytes beyond
+/// committed_bytes are ignored (the dropped-tail count is reported);
+/// corruption *inside* the committed region — bad magic/version/CRC, a
+/// record overrunning the population or the region, a file shorter than
+/// committed_bytes — is rejected with CheckpointError naming the byte
+/// offset and cause. Never UB, never a partial trust.
+///
+/// See docs/ROBUSTNESS.md for the operational story.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/circuit.hpp"
+#include "tech/variation.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+
+/// Structured rejection of an unusable checkpoint: truncated, corrupt, or
+/// written by a different run configuration. Subclass of statleak::Error;
+/// the CLI maps it to exit code 5.
+class CheckpointError : public Error {
+ public:
+  using Error::Error;
+};
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4B434C53u;  // "SLCK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::size_t kCheckpointHeaderBytes = 36;
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320). Exposed for tests that
+/// hand-craft or corrupt checkpoint bytes.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Fingerprint of everything that pins Monte-Carlo sample values: the
+/// master seed, the population size, the delay mode, the implementation
+/// point (per-gate kind/vth/size), the variation model, and the per-gate
+/// device widths (which fold in the cell library's area tables via the
+/// Pelgrom path). Thread count, batch size and engine choice are
+/// deliberately excluded — results are invariant to them, so a checkpoint
+/// written by a batched 8-thread run resumes under a scalar single-thread
+/// run and vice versa.
+std::uint64_t mc_checkpoint_hash(const Circuit& circuit,
+                                 const VariationModel& var,
+                                 const McConfig& config,
+                                 std::span<const double> widths);
+
+/// Everything a resuming run restores from a checkpoint.
+struct CheckpointData {
+  std::uint64_t num_samples = 0;
+  std::size_t done_count = 0;            ///< number of set bits in `done`
+  std::uint64_t dropped_tail_bytes = 0;  ///< uncommitted bytes ignored on load
+  std::vector<std::uint8_t> done;        ///< per-slot completion mask
+  std::vector<double> delay_ps;          ///< full-size; undone slots are 0
+  std::vector<double> leakage_na;        ///< full-size; undone slots are 0
+};
+
+/// True when `path` exists and is non-empty (i.e. worth loading).
+bool checkpoint_exists(const std::string& path);
+
+/// Loads and fully validates a checkpoint. Throws CheckpointError with a
+/// precise diagnostic on any structural problem or when `config_hash` /
+/// `num_samples` do not match the file.
+CheckpointData load_checkpoint(const std::string& path,
+                               std::uint64_t config_hash,
+                               std::uint64_t num_samples);
+
+/// Appends completed sample blocks to a checkpoint file. Construction
+/// either creates a fresh file (truncating whatever was there when the
+/// existing contents do not validate against hash/num_samples — callers
+/// load first if they want to resume) or continues an existing valid one.
+/// append() is thread-safe: shard workers flush their completed ranges
+/// concurrently at the configured cadence.
+class CheckpointWriter {
+ public:
+  /// Creates `path` with a fresh header (truncates existing contents).
+  static std::unique_ptr<CheckpointWriter> create(const std::string& path,
+                                                  std::uint64_t config_hash,
+                                                  std::uint64_t num_samples);
+
+  /// Opens an existing, valid checkpoint to append more records. Throws
+  /// CheckpointError when the file does not validate.
+  static std::unique_ptr<CheckpointWriter> resume(const std::string& path,
+                                                  std::uint64_t config_hash,
+                                                  std::uint64_t num_samples);
+
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Durably appends one block: slots [begin, begin + delay.size()) with
+  /// the given values. Two-phase: payload is flushed before the header's
+  /// committed_bytes advances. After an I/O failure (or an injected short
+  /// write) the writer goes dead — further appends are silently dropped,
+  /// exactly as if the process had died — and healthy() reports false.
+  void append(std::uint64_t begin, std::span<const double> delay,
+              std::span<const double> leak);
+
+  bool healthy() const;
+  std::uint64_t records_appended() const;
+
+ private:
+  struct Impl;
+  explicit CheckpointWriter(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace statleak

@@ -1,16 +1,21 @@
 #include "mc/monte_carlo.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "leakage/batch_leakage.hpp"
 #include "leakage/leakage.hpp"
 #include "mc/batch.hpp"
+#include "mc/checkpoint.hpp"
 #include "netlist/flat_circuit.hpp"
 #include "sta/batch_delay.hpp"
 #include "sta/sta.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -42,6 +47,13 @@ double McResult::yield_stderr(double t_max_ps) const {
   return std::sqrt(std::max(0.0, y * (1.0 - y) / n));
 }
 
+namespace {
+
+/// Contiguous range of slots one worker computed, in shard order.
+using SlotRun = std::pair<std::size_t, std::size_t>;  // [begin, end)
+
+}  // namespace
+
 McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
                          const VariationModel& var, const McConfig& config,
                          obs::Registry* obs) {
@@ -67,10 +79,68 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
 
   const auto num_samples = static_cast<std::size_t>(config.num_samples);
   McResult result;
+  result.samples_requested = num_samples;
   result.delay_ps.assign(num_samples, 0.0);
   result.leakage_na.assign(num_samples, 0.0);
 
+  // --- checkpoint restore ---------------------------------------------------
+  // `restored[s] != 0` marks slots whose values came from the checkpoint;
+  // the loop skips them and the finalize pass counts them as done. Restored
+  // values are bitwise what this run would compute (the config hash pins
+  // every input to the sample), so a resumed run equals an uninterrupted
+  // one exactly.
+  std::vector<std::uint8_t> restored(num_samples, 0);
+  std::unique_ptr<CheckpointWriter> writer;
+  const bool checkpointing = !config.checkpoint_path.empty();
+  if (checkpointing) {
+    const std::uint64_t hash = mc_checkpoint_hash(circuit, var, config, widths);
+    if (checkpoint_exists(config.checkpoint_path)) {
+      CheckpointData data =
+          load_checkpoint(config.checkpoint_path, hash, num_samples);
+      restored = std::move(data.done);
+      result.delay_ps = std::move(data.delay_ps);
+      result.leakage_na = std::move(data.leakage_na);
+      result.samples_restored = data.done_count;
+      writer = CheckpointWriter::resume(config.checkpoint_path, hash,
+                                        num_samples);
+    } else {
+      writer = CheckpointWriter::create(config.checkpoint_path, hash,
+                                        num_samples);
+    }
+  }
+  const std::size_t flush_every = static_cast<std::size_t>(
+      std::max(1, config.checkpoint_every));
+
   const int workers = resolve_num_threads(config.num_threads);
+
+  // --- fault-tolerant loop plumbing ----------------------------------------
+  const Deadline deadline(config.deadline_ms);
+  std::atomic<bool> stop{false};
+  const bool fail_fast = config.health_policy == HealthPolicy::kFail;
+
+  // Each worker records the contiguous slot ranges it actually computed
+  // (restored slots break ranges); the same ranges drive checkpoint record
+  // appends. Indexed by worker — no locking.
+  std::vector<std::vector<SlotRun>> computed_runs(
+      static_cast<std::size_t>(workers));
+
+  // Appends [run_begin, run_end) to the worker's log and — when
+  // checkpointing — to the file. Spans point into the slot-indexed result
+  // vectors, which stay full-size until the finalize pass compacts them.
+  const auto flush_run = [&](int worker, std::size_t run_begin,
+                             std::size_t run_end) {
+    if (run_end <= run_begin) return;
+    computed_runs[static_cast<std::size_t>(worker)].emplace_back(run_begin,
+                                                                 run_end);
+    if (writer != nullptr) {
+      const std::size_t count = run_end - run_begin;
+      writer->append(run_begin,
+                     std::span<const double>(result.delay_ps)
+                         .subspan(run_begin, count),
+                     std::span<const double>(result.leakage_na)
+                         .subspan(run_begin, count));
+    }
+  };
 
   // Sample i draws exclusively from its counter-derived stream and writes
   // slots i of the result vectors, so shard boundaries (and hence the
@@ -104,14 +174,40 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
           obs::LocalCounter batches(obs, "mc.batches");
           BatchScratch& sc = scratch_pool[static_cast<std::size_t>(worker)];
           sc.resize(n, block);
+          std::size_t run_begin = begin;  // first unflushed computed slot
+          std::size_t covered = begin;    // end of processed region
           for (std::size_t s0 = begin; s0 < end; s0 += block) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            if (deadline.expired()) {
+              stop.store(true, std::memory_order_relaxed);
+              break;
+            }
             const std::size_t lanes = std::min(block, end - s0);
+            // A fully restored block is skipped outright. Partially
+            // restored blocks (possible when a checkpoint record ends
+            // mid-block) are recomputed whole — the recomputed values are
+            // bitwise identical, so correctness never depends on the cut.
+            bool all_restored = true;
+            for (std::size_t lane = 0; lane < lanes && all_restored; ++lane) {
+              all_restored = restored[s0 + lane] != 0;
+            }
+            if (all_restored) {
+              flush_run(worker, run_begin, s0);
+              run_begin = s0 + lanes;
+              covered = s0 + lanes;
+              continue;
+            }
+            STATLEAK_FAULT_STALL(fault::Point::kShardStall, s0);
             // Draws stay sample-major (lane by lane, the exact call
             // sequence of the scalar path) and are transposed into the
             // gate-major blocks as they land.
             for (std::size_t lane = 0; lane < lanes; ++lane) {
               Rng rng = Rng::stream(config.seed, s0 + lane);
-              const GlobalSample die = sample_global(var, rng);
+              GlobalSample die = sample_global(var, rng);
+              if (STATLEAK_FAULT_FIRES(fault::Point::kNanDeviate,
+                                       s0 + lane)) {
+                die.dvth_v = std::numeric_limits<double>::quiet_NaN();
+              }
               for (std::size_t id = 0; id < n; ++id) {
                 const ParamSample ps = sample_gate(var, die, rng, widths[id]);
                 sc.dl[id * block + lane] = ps.dl_nm;
@@ -126,10 +222,24 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
             for (std::size_t lane = 0; lane < lanes; ++lane) {
               result.delay_ps[s0 + lane] = sc.delay_out[lane];
               result.leakage_na[s0 + lane] = sc.leak_out[lane];
+              if (fail_fast) {
+                const std::uint8_t cause = classify_health(
+                    sc.delay_out[lane], sc.leak_out[lane]);
+                if (cause != 0) {
+                  stop.store(true, std::memory_order_relaxed);
+                  throw_sample_health(s0 + lane, cause);
+                }
+              }
             }
             evals.add(static_cast<double>(lanes));
             batches.add();
+            covered = s0 + lanes;
+            if (covered - run_begin >= flush_every) {
+              flush_run(worker, run_begin, covered);
+              run_begin = covered;
+            }
           }
+          flush_run(worker, run_begin, covered);
         });
   } else {
     // Reference scalar path: one full AoS evaluation per sample. Buffers
@@ -150,38 +260,146 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
           samples.resize(n);
           std::vector<double>& scratch =
               scratch_pool[static_cast<std::size_t>(worker)];
+          std::size_t run_begin = begin;
+          std::size_t covered = begin;
           for (std::size_t s = begin; s < end; ++s) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            if (deadline.expired()) {
+              stop.store(true, std::memory_order_relaxed);
+              break;
+            }
+            if (restored[s] != 0) {
+              flush_run(worker, run_begin, s);
+              run_begin = s + 1;
+              covered = s + 1;
+              continue;
+            }
+            STATLEAK_FAULT_STALL(fault::Point::kShardStall, s);
             Rng rng = Rng::stream(config.seed, s);
-            const GlobalSample die = sample_global(var, rng);
+            GlobalSample die = sample_global(var, rng);
+            if (STATLEAK_FAULT_FIRES(fault::Point::kNanDeviate, s)) {
+              die.dvth_v = std::numeric_limits<double>::quiet_NaN();
+            }
             for (std::size_t id = 0; id < n; ++id) {
               samples[id] = sample_gate(var, die, rng, widths[id]);
             }
             result.delay_ps[s] = sta.critical_delay_sample_ps(
                 samples, config.exact_delay, scratch);
             result.leakage_na[s] = leakage.total_sample_na(samples);
+            if (fail_fast) {
+              const std::uint8_t cause = classify_health(
+                  result.delay_ps[s], result.leakage_na[s]);
+              if (cause != 0) {
+                stop.store(true, std::memory_order_relaxed);
+                throw_sample_health(s, cause);
+              }
+            }
             evals.add();
+            covered = s + 1;
+            if (covered - run_begin >= flush_every) {
+              flush_run(worker, run_begin, covered);
+              run_begin = covered;
+            }
           }
+          flush_run(worker, run_begin, covered);
         });
   }
 
-  if (obs != nullptr) {
-    obs->add("mc.samples", static_cast<double>(num_samples));
-    // Progress milestones, reconstructed serially from the (already
-    // deterministic) per-sample results with running sums: identical for
-    // any thread count, batch size, or engine.
-    const std::size_t stride = std::max<std::size_t>(1, num_samples / 16);
-    double delay_sum = 0.0;
-    double leak_sum = 0.0;
+  // --- finalize (serial) ----------------------------------------------------
+  // Done mask = restored slots + everything the workers logged. Ranges may
+  // overlap restored slots (recomputed partial blocks); the mask dedups.
+  std::vector<std::uint8_t> done = std::move(restored);
+  for (const auto& runs : computed_runs) {
+    for (const SlotRun& r : runs) {
+      std::fill(done.begin() + static_cast<std::ptrdiff_t>(r.first),
+                done.begin() + static_cast<std::ptrdiff_t>(r.second), 1);
+    }
+  }
+  std::size_t done_count = 0;
+  for (std::uint8_t d : done) done_count += d;
+  result.samples_done = done_count;
+  result.completed = done_count == num_samples;
+
+  // Health scan over every done slot — covers restored values too (a
+  // checkpoint may carry poisoned samples from a quarantining producer).
+  // Under kFail the loop already threw for freshly computed samples, so
+  // this only fires for restored ones.
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    if (done[s] == 0) continue;
+    const std::uint8_t cause =
+        classify_health(result.delay_ps[s], result.leakage_na[s]);
+    if (cause == 0) continue;
+    if (fail_fast) throw_sample_health(s, cause);
+    result.quarantined.push_back(
+        {static_cast<std::uint64_t>(s), static_cast<HealthCause>(cause)});
+  }
+
+  // Compact the slot-indexed vectors down to surviving samples. The common
+  // complete-and-healthy case keeps the full vectors untouched.
+  if (!result.completed || !result.quarantined.empty()) {
+    std::size_t q = 0;  // cursor into the slot-ordered quarantine list
+    std::size_t out = 0;
     for (std::size_t s = 0; s < num_samples; ++s) {
-      delay_sum += result.delay_ps[s];
-      leak_sum += result.leakage_na[s];
-      if ((s + 1) % stride == 0 || s + 1 == num_samples) {
-        obs::TraceEvent e;
-        e.step = static_cast<std::int64_t>(s + 1);
-        e.phase = "samples";
-        e.objective = leak_sum / static_cast<double>(s + 1);
-        e.delay_ps = delay_sum / static_cast<double>(s + 1);
-        obs->trace("mc", std::move(e));
+      if (done[s] == 0) continue;
+      if (q < result.quarantined.size() && result.quarantined[q].slot == s) {
+        ++q;
+        continue;
+      }
+      result.delay_ps[out] = result.delay_ps[s];
+      result.leakage_na[out] = result.leakage_na[s];
+      ++out;
+    }
+    result.delay_ps.resize(out);
+    result.leakage_na.resize(out);
+  }
+
+  if (obs != nullptr) {
+    obs->add("mc.samples", static_cast<double>(result.delay_ps.size()));
+    if (!result.quarantined.empty()) {
+      std::size_t bad_delay = 0;
+      std::size_t bad_leak = 0;
+      for (const QuarantinedSample& qs : result.quarantined) {
+        const auto bits = static_cast<std::uint8_t>(qs.cause);
+        if ((bits &
+             static_cast<std::uint8_t>(HealthCause::kNonFiniteDelay)) != 0) {
+          ++bad_delay;
+        }
+        if ((bits &
+             static_cast<std::uint8_t>(HealthCause::kNonFiniteLeakage)) !=
+            0) {
+          ++bad_leak;
+        }
+      }
+      obs->add("mc.quarantined",
+               static_cast<double>(result.quarantined.size()));
+      obs->add("mc.quarantined.nonfinite_delay",
+               static_cast<double>(bad_delay));
+      obs->add("mc.quarantined.nonfinite_leakage",
+               static_cast<double>(bad_leak));
+    }
+    if (!result.completed) {
+      obs->add("mc.samples_done", static_cast<double>(result.samples_done));
+      obs->mark_incomplete("deadline");
+    }
+    // Progress milestones, reconstructed serially from the (already
+    // deterministic) surviving samples with running sums: identical for
+    // any thread count, batch size, or engine.
+    const std::size_t survivors = result.delay_ps.size();
+    if (survivors > 0) {
+      const std::size_t stride = std::max<std::size_t>(1, survivors / 16);
+      double delay_sum = 0.0;
+      double leak_sum = 0.0;
+      for (std::size_t s = 0; s < survivors; ++s) {
+        delay_sum += result.delay_ps[s];
+        leak_sum += result.leakage_na[s];
+        if ((s + 1) % stride == 0 || s + 1 == survivors) {
+          obs::TraceEvent e;
+          e.step = static_cast<std::int64_t>(s + 1);
+          e.phase = "samples";
+          e.objective = leak_sum / static_cast<double>(s + 1);
+          e.delay_ps = delay_sum / static_cast<double>(s + 1);
+          obs->trace("mc", std::move(e));
+        }
       }
     }
   }

@@ -12,11 +12,19 @@
 /// RNG stream (seed x sample index) and the loop is sharded over a thread
 /// pool, with results written by sample index — bit-identical output for
 /// any `num_threads`.
+///
+/// Fault tolerance (see docs/ROBUSTNESS.md): the loop honours
+/// ExecConfig::deadline_ms (clean stop at block boundaries, partial result
+/// flagged `completed = false`), classifies non-finite samples under a
+/// HealthPolicy (fail loudly or quarantine by slot), and — with
+/// `checkpoint_path` set — persists completed slots so an interrupted run
+/// resumes bit-identically (mc/checkpoint.hpp).
 
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cells/library.hpp"
@@ -24,13 +32,14 @@
 #include "obs/registry.hpp"
 #include "tech/variation.hpp"
 #include "util/exec.hpp"
+#include "util/health.hpp"
 #include "util/stats.hpp"
 
 namespace statleak {
 
-/// Execution knobs (`seed`, `num_threads`) come from ExecConfig. Sample i
-/// draws from its own counter-derived RNG stream (see util/rng.hpp), so
-/// the result is bit-identical for every thread count.
+/// Execution knobs (`seed`, `num_threads`, `deadline_ms`) come from
+/// ExecConfig. Sample i draws from its own counter-derived RNG stream (see
+/// util/rng.hpp), so the result is bit-identical for every thread count.
 struct McConfig : ExecConfig {
   int num_samples = 10000;
   /// Exact alpha-power delay per gate instead of the first-order multiplier.
@@ -43,11 +52,39 @@ struct McConfig : ExecConfig {
   /// kept for differential testing (tests/mc_batched_test.cpp pins bitwise
   /// equality) and as a reference implementation.
   bool use_batched = true;
+
+  /// What to do when a sample evaluates to a non-finite delay or leakage:
+  /// kFail (default) throws NumericalError naming the slot; kQuarantine
+  /// drops the sample, records slot + cause in McResult::quarantined, and
+  /// keeps running. Bit-invariant for all-finite populations either way.
+  HealthPolicy health_policy = HealthPolicy::kFail;
+
+  /// Checkpoint file; empty (default) disables checkpointing. When the file
+  /// exists it must validate against this run's configuration (else
+  /// CheckpointError) and the run resumes from it, recomputing only the
+  /// missing slots; otherwise it is created. See mc/checkpoint.hpp.
+  std::string checkpoint_path;
+
+  /// Completed samples a shard worker accumulates before appending one
+  /// checkpoint record. Smaller = finer resume granularity, more I/O.
+  /// Ignored without checkpoint_path. Values < 1 are clamped to 1.
+  int checkpoint_every = 4096;
 };
 
 struct McResult {
+  /// Per-sample values of the *surviving* samples, in slot order. For a
+  /// completed run with no quarantined samples — the historical common case
+  /// — these hold all num_samples slots, exactly as before. Partial
+  /// (deadline-stopped) or quarantine-hit runs compact out the missing
+  /// slots, and the statistics below operate on what survived.
   std::vector<double> delay_ps;    ///< per-sample circuit delay
   std::vector<double> leakage_na;  ///< per-sample total leakage
+
+  bool completed = true;              ///< false when the deadline expired
+  std::uint64_t samples_requested = 0;
+  std::uint64_t samples_done = 0;     ///< evaluated slots (incl. quarantined)
+  std::uint64_t samples_restored = 0; ///< slots restored from the checkpoint
+  std::vector<QuarantinedSample> quarantined;  ///< slot order
 
   /// Fraction of samples meeting the delay target, i.e. MC timing yield.
   double timing_yield(double t_max_ps) const;
@@ -69,7 +106,9 @@ struct McResult {
 /// wall time, counters ("mc.samples", "mc.sta_evals" — merged per shard,
 /// not per sample), and an "mc" trace stream of up to 16 progress
 /// milestones (cumulative sample count, running mean delay/leakage).
-/// Sample values are bit-identical with and without a registry.
+/// Quarantine adds "mc.quarantined*" counters; a deadline stop adds
+/// "mc.samples_done" and marks the registry incomplete. Sample values are
+/// bit-identical with and without a registry.
 McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
                          const VariationModel& var, const McConfig& config,
                          obs::Registry* obs = nullptr);

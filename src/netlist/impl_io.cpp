@@ -1,13 +1,51 @@
 #include "netlist/impl_io.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <limits>
-#include <sstream>
+#include <vector>
 
 #include "util/error.hpp"
 
 namespace statleak {
+
+namespace {
+
+/// Every diagnostic carries line AND column (both 1-based) so a bad token
+/// in a machine-generated implementation file is findable without counting
+/// fields by hand.
+[[noreturn]] void impl_error(int line, std::size_t col,
+                             const std::string& msg) {
+  throw Error("impl parse error at line " + std::to_string(line) +
+              ", column " + std::to_string(col) + ": " + msg);
+}
+
+struct Token {
+  std::string text;
+  std::size_t col = 0;  ///< 1-based column of the token's first character
+};
+
+std::vector<Token> tokenize(const std::string& line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    tokens.push_back(Token{line.substr(start, i - start), start + 1});
+  }
+  return tokens;
+}
+
+}  // namespace
 
 std::size_t read_impl(std::istream& in, Circuit& circuit) {
   STATLEAK_CHECK(circuit.finalized(), "read_impl needs a finalized circuit");
@@ -18,36 +56,51 @@ std::size_t read_impl(std::istream& in, Circuit& circuit) {
     ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
-    std::istringstream fields(line);
-    std::string name;
-    std::string vth_token;
-    double size = 0.0;
-    if (!(fields >> name)) continue;  // blank line
-    if (!(fields >> vth_token >> size)) {
-      throw Error("impl line " + std::to_string(line_no) +
-                  ": expected '<gate> <LVT|HVT> <size>'");
+    const std::vector<Token> tok = tokenize(line);
+    if (tok.empty()) continue;  // blank or comment-only line
+    if (tok.size() < 3) {
+      impl_error(line_no, line.size() + 1,
+                 "expected '<gate> <LVT|HVT> <size>', got " +
+                     std::to_string(tok.size()) + " field(s)");
     }
-    const GateId id = circuit.find(name);
+    if (tok.size() > 3) {
+      impl_error(line_no, tok[3].col,
+                 "unexpected trailing field '" + tok[3].text + "'");
+    }
+    const Token& name = tok[0];
+    const Token& vth_token = tok[1];
+    const Token& size_token = tok[2];
+
+    const GateId id = circuit.find(name.text);
     if (id == kInvalidGate) {
-      throw Error("impl line " + std::to_string(line_no) +
-                  ": unknown gate '" + name + "'");
+      impl_error(line_no, name.col, "unknown gate '" + name.text + "'");
     }
     if (circuit.gate(id).kind == CellKind::kInput) {
-      throw Error("impl line " + std::to_string(line_no) +
-                  ": '" + name + "' is a primary input");
+      impl_error(line_no, name.col,
+                 "'" + name.text + "' is a primary input");
     }
     Vth vth;
-    if (vth_token == "LVT") {
+    if (vth_token.text == "LVT") {
       vth = Vth::kLow;
-    } else if (vth_token == "HVT") {
+    } else if (vth_token.text == "HVT") {
       vth = Vth::kHigh;
     } else {
-      throw Error("impl line " + std::to_string(line_no) +
-                  ": bad Vth class '" + vth_token + "' (want LVT or HVT)");
+      impl_error(line_no, vth_token.col,
+                 "bad Vth class '" + vth_token.text + "' (want LVT or HVT)");
     }
-    if (size <= 0.0) {
-      throw Error("impl line " + std::to_string(line_no) +
-                  ": size must be positive");
+    double size = 0.0;
+    const auto res =
+        std::from_chars(size_token.text.data(),
+                        size_token.text.data() + size_token.text.size(), size);
+    if (res.ec != std::errc() ||
+        res.ptr != size_token.text.data() + size_token.text.size()) {
+      impl_error(line_no, size_token.col,
+                 "malformed size '" + size_token.text + "'");
+    }
+    if (!(size > 0.0) || !std::isfinite(size)) {
+      impl_error(line_no, size_token.col,
+                 "size must be positive and finite, got '" + size_token.text +
+                     "'");
     }
     circuit.set_vth(id, vth);
     circuit.set_size(id, size);

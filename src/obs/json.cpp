@@ -162,6 +162,11 @@ std::string Json::dump(int indent) const {
 
 namespace {
 
+// Containers deeper than this are rejected. The run-report schema nests
+// four levels; the bound exists so adversarial input (e.g. 1 MB of '[')
+// exhausts a counter instead of the call stack.
+constexpr int kMaxParseDepth = 256;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -215,8 +220,14 @@ class Parser {
   Json parse_value() {
     skip_ws();
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        const DepthGuard guard(this);
+        return parse_object();
+      }
+      case '[': {
+        const DepthGuard guard(this);
+        return parse_array();
+      }
       case '"': return Json(parse_string());
       case 't': expect_literal("true"); return Json(true);
       case 'f': expect_literal("false"); return Json(false);
@@ -332,8 +343,24 @@ class Parser {
     return Json(value);
   }
 
+  /// RAII nesting counter: containers recurse through parse_value, so one
+  /// guard per container level bounds the stack.
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : parser(p) {
+      if (++parser->depth_ > kMaxParseDepth) {
+        parser->fail("nesting deeper than " + std::to_string(kMaxParseDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser* parser;
+  };
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

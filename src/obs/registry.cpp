@@ -88,6 +88,23 @@ void Registry::note_config_num(std::string_view key, bool value) {
       std::pair<std::string, bool>{value ? "true" : "false", /*bare=*/true});
 }
 
+void Registry::mark_incomplete(std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!completed_) return;  // first reason wins
+  completed_ = false;
+  incomplete_reason_ = std::string(reason);
+}
+
+bool Registry::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::string Registry::incomplete_reason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return incomplete_reason_;
+}
+
 std::vector<std::pair<std::string, double>> Registry::counters() const {
   return sorted_copy(mutex_, counters_);
 }

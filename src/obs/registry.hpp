@@ -80,6 +80,12 @@ class Registry {
   void note_config_num(std::string_view key, std::int64_t value);
   void note_config_num(std::string_view key, bool value);
 
+  /// Flags the run as incomplete (deadline expiry, quarantine-triggered
+  /// abort, ...). Emitted by the run report as `"completed": false` plus
+  /// `"incomplete_reason"`. The first reason wins; later calls are ignored
+  /// so the engine that stopped the run names it.
+  void mark_incomplete(std::string_view reason);
+
   // ------------------------------------------------------------ readers --
   /// Counters, sorted by name.
   std::vector<std::pair<std::string, double>> counters() const;
@@ -101,8 +107,15 @@ class Registry {
   double counter_value(std::string_view name, double fallback = 0.0) const;
   double gauge_value(std::string_view name, double fallback = 0.0) const;
 
+  /// True unless mark_incomplete() was called.
+  bool completed() const;
+  /// The first mark_incomplete() reason; empty for completed runs.
+  std::string incomplete_reason() const;
+
  private:
   mutable std::mutex mutex_;
+  bool completed_ = true;
+  std::string incomplete_reason_;
   std::map<std::string, double, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::vector<PhaseTime> phases_;  ///< small; linear scan keyed by name

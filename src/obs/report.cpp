@@ -31,6 +31,8 @@ Json build_run_report(const Registry& registry) {
   report.set("schema_version", kReportSchemaVersion);
   report.set("tool", "statleak");
   report.set("tool_version", kToolVersion);
+  report.set("completed", registry.completed());
+  report.set("incomplete_reason", registry.incomplete_reason());
 
   Json config = Json::object();
   for (const auto& [key, value] : registry.config()) {

@@ -1,12 +1,14 @@
 /// \file report.hpp
 /// \brief Versioned JSON run reports assembled from an obs::Registry.
 ///
-/// Schema (version 1) — top-level keys in this fixed order:
+/// Schema (version 2) — top-level keys in this fixed order:
 ///
 ///   {
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "tool": "statleak",
 ///     "tool_version": "<project version>",
+///     "completed": true,          // false when the run stopped early
+///     "incomplete_reason": "",    // e.g. "deadline"; empty when completed
 ///     "config":   { ... },   // config echo, keys sorted
 ///     "phases":   [ {"name", "seconds", "calls"}, ... ],  // run order
 ///     "counters": { ... },   // keys sorted
@@ -16,11 +18,14 @@
 ///                                  "rejected"}, ... ] }   // streams sorted
 ///   }
 ///
-/// Versioning rule: adding a key is backward compatible and does NOT bump
-/// `schema_version`; renaming or removing a key, changing a type or a
-/// unit DOES. The golden-file test in tests/obs_test.cpp pins the layout —
-/// when it fails, either the change is a mistake or the version must be
-/// bumped and the golden text regenerated alongside it.
+/// Versioning rule: appending a key is backward compatible and does NOT
+/// bump `schema_version`; renaming or removing a key, changing a type or a
+/// unit, or inserting a key into the fixed top-level order DOES (the order
+/// is part of the schema — v1 -> v2 inserted "completed" and
+/// "incomplete_reason" after "tool_version"). The golden-file test in
+/// tests/obs_test.cpp pins the layout — when it fails, either the change
+/// is a mistake or the version must be bumped and the golden text
+/// regenerated alongside it.
 
 #pragma once
 
@@ -32,7 +37,7 @@
 namespace statleak::obs {
 
 /// Current run-report schema version (see the bump rule above).
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Assembles the report document from everything the registry collected.
 Json build_run_report(const Registry& registry);

@@ -57,6 +57,11 @@ struct OptConfig : ExecConfig {
 
 /// What an optimizer run did.
 struct OptResult {
+  /// False when ExecConfig::deadline_ms expired mid-run: the loops stopped
+  /// cleanly at an iteration boundary and the circuit carries the best
+  /// implementation reached so far (always a valid implementation point —
+  /// commits are atomic), but the schedule did not finish.
+  bool completed = true;
   bool feasible = false;       ///< constraint met at the optimizer's own model
   int sizing_commits = 0;      ///< phase-1 upsizing moves
   int hvt_commits = 0;         ///< gates moved to high Vth

@@ -64,6 +64,18 @@ OptResult DeterministicOptimizer::run(Circuit& circuit,
       config_.max_iterations_factor * static_cast<double>(circuit.num_cells()) +
       64.0);
 
+  // Wall-clock budget (ExecConfig::deadline_ms; 0 = none). Checked at loop
+  // boundaries, latched so the label is stable, and always tested LAST in a
+  // condition chain: a run that finishes naturally just before expiry is
+  // still "completed".
+  const Deadline deadline(config_.deadline_ms);
+  bool deadline_hit = false;
+  const auto out_of_time = [&]() {
+    if (deadline_hit) return true;
+    if (deadline.expired()) deadline_hit = true;
+    return deadline_hit;
+  };
+
   // One "det" trace event per loop iteration (see the header contract).
   // total_leak() is an O(n) const scan, paid only when a registry is
   // attached; observation never feeds back into the computation.
@@ -109,7 +121,7 @@ OptResult DeterministicOptimizer::run(Circuit& circuit,
   const auto phase_sizing = [&](double target_ps) -> bool {
     obs::ScopedTimer timer(obs, "det.sizing");
     std::set<std::pair<GateId, std::size_t>> locked;
-    while (result.iterations < max_iterations) {
+    while (result.iterations < max_iterations && !out_of_time()) {
       ++result.iterations;
       const StaResult timing =
           sta.analyze_corner(target_ps, var_, config_.corner_k_sigma);
@@ -179,7 +191,7 @@ OptResult DeterministicOptimizer::run(Circuit& circuit,
   // increase fits in the gate's corner slack.
   const auto phase_assign = [&]() {
     obs::ScopedTimer timer(obs, "det.assign");
-    while (result.iterations < max_iterations) {
+    while (result.iterations < max_iterations && !out_of_time()) {
       ++result.iterations;
       const StaResult timing =
           sta.analyze_corner(t_max, var_, config_.corner_k_sigma);
@@ -249,7 +261,7 @@ OptResult DeterministicOptimizer::run(Circuit& circuit,
   if (result.feasible) {
     Snapshot best = take_snapshot();
     double target = t_max;
-    for (int round = 0; round < kMaxBoostRounds; ++round) {
+    for (int round = 0; round < kMaxBoostRounds && !out_of_time(); ++round) {
       target *= kBoostShrink;
       (void)phase_sizing(target);
       phase_assign();
@@ -263,10 +275,13 @@ OptResult DeterministicOptimizer::run(Circuit& circuit,
   }
 
   result.final_objective = total_leak();
+  result.completed = !deadline_hit;
   result.note = result.feasible
                     ? "corner delay target met"
                     : "delay target unreachable at max sizes (best effort)";
+  if (deadline_hit) result.note += "; stopped early: deadline expired";
   if (obs != nullptr) {
+    if (deadline_hit) obs->mark_incomplete("deadline");
     obs->add("det.iterations", result.iterations);
     obs->add("det.commits.sizing", result.sizing_commits);
     obs->add("det.commits.hvt", result.hvt_commits);

@@ -53,6 +53,19 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
       config_.max_iterations_factor * static_cast<double>(circuit.num_cells()) +
       64.0);
 
+  // Deadline plumbing: every phase loop tests out_of_time() *last* in its
+  // condition, so a run that finishes naturally never observes the expiry
+  // (completed stays true even when the clock runs out a moment later).
+  // Commits are atomic — stopping between iterations always leaves a valid
+  // implementation point on the circuit.
+  const Deadline deadline(config_.deadline_ms);
+  bool deadline_hit = false;
+  const auto out_of_time = [&]() {
+    if (deadline_hit) return true;
+    if (deadline.expired()) deadline_hit = true;
+    return deadline_hit;
+  };
+
   // One "stat" trace event per loop iteration — every `++result.iterations`
   // site calls this exactly once, so the stream length always equals
   // OptResult::iterations. All inputs are const queries on the engines;
@@ -176,7 +189,8 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
     STATLEAK_CHECK(steps.size() <= 64, "size grid too fine for lock mask");
     std::vector<std::uint64_t> locked(circuit.num_gates(), 0);
     double yield = ssta.circuit_delay().cdf(t_max);
-    while (yield < target && result.iterations < max_iterations) {
+    while (yield < target && result.iterations < max_iterations &&
+           !out_of_time()) {
       ++result.iterations;
       const SstaResult& timing = ssta.analyze_ref();
       yield = timing.yield(t_max);
@@ -238,7 +252,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
       std::fill(locked.begin(), locked.end(), 0);
       int committed_this_round = 0;
 
-      while (result.iterations < max_iterations) {
+      while (result.iterations < max_iterations && !out_of_time()) {
         ++result.iterations;
         const SstaResult& timing = ssta.analyze_ref();
         const double cur_yield = timing.yield(t_max);
@@ -325,7 +339,8 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
     obs::ScopedTimer timer(obs, "stat.recover");
     double yield = ssta.circuit_delay().cdf(t_max);
     std::set<std::pair<GateId, int>> tried;
-    while (yield < eta && result.iterations < max_iterations) {
+    while (yield < eta && result.iterations < max_iterations &&
+           !out_of_time()) {
       ++result.iterations;
       const SstaResult& timing = ssta.analyze_ref();
       record("recover", leak.quantile_na(pct), yield,
@@ -381,7 +396,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
   if (result.feasible) {
     Snapshot best = take_snapshot();
     double boost_target = eta;
-    for (int round = 0; round < kMaxBoostRounds; ++round) {
+    for (int round = 0; round < kMaxBoostRounds && !out_of_time(); ++round) {
       boost_target = std::min(0.99995, 1.0 - (1.0 - boost_target) * 0.35);
       (void)phase_sizing(boost_target);
       phase_assign(/*best_effort=*/false);
@@ -395,9 +410,12 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
   }
 
   result.final_objective = leak.quantile_na(pct);
+  result.completed = !deadline_hit;
   result.note = result.feasible ? "timing-yield target met"
                                 : "yield target unreachable (best effort)";
+  if (deadline_hit) result.note += "; stopped early: deadline expired";
   if (obs != nullptr) {
+    if (deadline_hit) obs->mark_incomplete("deadline");
     obs->add("stat.iterations", result.iterations);
     obs->add("stat.commits.sizing", result.sizing_commits);
     obs->add("stat.commits.hvt", result.hvt_commits);

@@ -21,18 +21,22 @@ double seconds_since(
 McCheck run_mc_check(const Circuit& circuit, const CellLibrary& lib,
                      const VariationModel& var, double t_max_ps,
                      const FlowConfig& config, std::uint64_t seed,
-                     obs::Registry* obs) {
+                     std::int64_t deadline_ms, obs::Registry* obs) {
   obs::ScopedTimer timer(obs, "flow.mc_check");
   McConfig mc;
   mc.num_samples = config.mc_samples;
   mc.batch_size = config.mc_batch_size;
   mc.seed = seed;
   mc.num_threads = config.num_threads;
+  mc.deadline_ms = deadline_ms;
   const McResult res = run_monte_carlo(circuit, lib, var, mc, obs);
   McCheck check;
-  check.timing_yield = res.timing_yield(t_max_ps);
-  check.leakage_mean_na = res.leakage_summary().mean;
-  check.leakage_p99_na = res.leakage_quantile_na(0.99);
+  check.completed = res.completed;
+  if (!res.delay_ps.empty()) {
+    check.timing_yield = res.timing_yield(t_max_ps);
+    check.leakage_mean_na = res.leakage_summary().mean;
+    check.leakage_p99_na = res.leakage_quantile_na(0.99);
+  }
   return check;
 }
 
@@ -72,6 +76,20 @@ FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
                  "t_max factor must exceed 1 (D_min is the floor)");
   FlowOutcome out;
   out.circuit_name = circuit.name();
+
+  // One wall-clock budget for the whole flow: each phase is handed whatever
+  // remains (floored at 1 ms so an already-expired budget still produces a
+  // clean stop at the phase's first boundary instead of skipping it UB-ish).
+  const auto flow_start = std::chrono::steady_clock::now();
+  const auto remaining_ms = [&]() -> std::int64_t {
+    if (config.deadline_ms <= 0) return 0;  // unarmed
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - flow_start)
+            .count();
+    return std::max<std::int64_t>(1, config.deadline_ms - elapsed);
+  };
+
   {
     obs::ScopedTimer timer(obs, "flow.d_min");
     out.d_min_ps = min_achievable_delay_ps(circuit, lib);
@@ -93,6 +111,7 @@ FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
       for (double k : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
         OptConfig cfg = base;
         cfg.corner_k_sigma = k;
+        cfg.deadline_ms = remaining_ms();
         det = circuit;
         out.det_result = DeterministicOptimizer(lib, var, cfg).run(det, obs);
         out.det_corner_k = k;
@@ -102,6 +121,7 @@ FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
     } else {
       OptConfig cfg = base;
       cfg.corner_k_sigma = config.det_corner_k;
+      cfg.deadline_ms = remaining_ms();
       out.det_result = DeterministicOptimizer(lib, var, cfg).run(det, obs);
       out.det_corner_k = config.det_corner_k;
       out.det_metrics = measure_metrics(det, lib, var, out.t_max_ps);
@@ -110,8 +130,8 @@ FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
     timer.stop();
     if (config.mc_samples > 0) {
       out.has_mc = true;
-      out.det_mc =
-          run_mc_check(det, lib, var, out.t_max_ps, config, config.seed, obs);
+      out.det_mc = run_mc_check(det, lib, var, out.t_max_ps, config,
+                                config.seed, remaining_ms(), obs);
     }
   }
 
@@ -119,16 +139,22 @@ FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
   {
     obs::ScopedTimer timer(obs, "flow.stat");
     const auto start = std::chrono::steady_clock::now();
-    out.stat_result = StatisticalOptimizer(lib, var, base).run(circuit, obs);
+    OptConfig stat_cfg = base;
+    stat_cfg.deadline_ms = remaining_ms();
+    out.stat_result = StatisticalOptimizer(lib, var, stat_cfg).run(circuit, obs);
     out.stat_runtime_s = seconds_since(start);
     out.stat_metrics = measure_metrics(circuit, lib, var, out.t_max_ps);
     timer.stop();
     if (config.mc_samples > 0) {
       out.has_mc = true;
       out.stat_mc = run_mc_check(circuit, lib, var, out.t_max_ps, config,
-                                 config.seed + 1, obs);
+                                 config.seed + 1, remaining_ms(), obs);
     }
   }
+
+  out.completed = out.det_result.completed && out.stat_result.completed &&
+                  (!out.has_mc ||
+                   (out.det_mc.completed && out.stat_mc.completed));
 
   if (obs != nullptr) {
     obs->set_gauge("flow.d_min_ps", out.d_min_ps);

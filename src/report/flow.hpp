@@ -59,10 +59,15 @@ struct McCheck {
   double timing_yield = 0.0;
   double leakage_mean_na = 0.0;
   double leakage_p99_na = 0.0;
+  bool completed = true;  ///< false when the flow deadline cut the MC short
 };
 
 struct FlowOutcome {
   std::string circuit_name;
+  /// False when ExecConfig::deadline_ms expired somewhere in the flow: the
+  /// budget is shared across phases (each phase receives the remaining
+  /// time), every phase stops cleanly, and whatever was measured is kept.
+  bool completed = true;
   double d_min_ps = 0.0;
   double t_max_ps = 0.0;
   double det_corner_k = 0.0;  ///< corner actually used by the baseline

@@ -1,8 +1,10 @@
 #include "spatial/spatial_analysis.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "leakage/batch_leakage.hpp"
 #include "mc/batch.hpp"
@@ -10,6 +12,7 @@
 #include "sta/batch_delay.hpp"
 #include "sta/sta.hpp"
 #include "util/error.hpp"
+#include "util/health.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -91,10 +94,29 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
 
   const auto num_samples = static_cast<std::size_t>(config.num_samples);
   McResult result;
+  result.samples_requested = num_samples;
   result.delay_ps.assign(num_samples, 0.0);
   result.leakage_na.assign(num_samples, 0.0);
 
   const int workers = resolve_num_threads(config.num_threads);
+
+  // Fault-tolerance plumbing mirrors the flat run_monte_carlo: deadline
+  // checks at block boundaries, health classification per sample, and a
+  // serial finalize pass that compacts partial/quarantined populations.
+  // Checkpointing is a flat-MC feature only (see docs/ROBUSTNESS.md).
+  const Deadline deadline(config.deadline_ms);
+  std::atomic<bool> stop{false};
+  const bool fail_fast = config.health_policy == HealthPolicy::kFail;
+  using SlotRun = std::pair<std::size_t, std::size_t>;
+  std::vector<std::vector<SlotRun>> computed_runs(
+      static_cast<std::size_t>(workers));
+  const auto log_run = [&](int worker, std::size_t run_begin,
+                           std::size_t run_end) {
+    if (run_end > run_begin) {
+      computed_runs[static_cast<std::size_t>(worker)].emplace_back(run_begin,
+                                                                   run_end);
+    }
+  };
 
   // Same counter-based sharding as the flat run_monte_carlo: sample i owns
   // stream i and slot i, so output is bit-identical for any thread count
@@ -125,7 +147,13 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
           BatchScratch& sc = scratch_pool[static_cast<std::size_t>(worker)];
           sc.resize(n, block);
           SpatialDieSample die;  // region buffers reused across lanes
+          std::size_t covered = begin;
           for (std::size_t s0 = begin; s0 < end; s0 += block) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            if (deadline.expired()) {
+              stop.store(true, std::memory_order_relaxed);
+              break;
+            }
             const std::size_t lanes = std::min(block, end - s0);
             for (std::size_t lane = 0; lane < lanes; ++lane) {
               Rng rng = Rng::stream(config.seed, s0 + lane);
@@ -145,9 +173,19 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
             for (std::size_t lane = 0; lane < lanes; ++lane) {
               result.delay_ps[s0 + lane] = sc.delay_out[lane];
               result.leakage_na[s0 + lane] = sc.leak_out[lane];
+              if (fail_fast) {
+                const std::uint8_t cause = classify_health(
+                    sc.delay_out[lane], sc.leak_out[lane]);
+                if (cause != 0) {
+                  stop.store(true, std::memory_order_relaxed);
+                  throw_sample_health(s0 + lane, cause);
+                }
+              }
             }
             batches.add();
+            covered = s0 + lanes;
           }
+          log_run(worker, begin, covered);
         });
   } else {
     std::vector<std::vector<ParamSample>> sample_pool(
@@ -163,7 +201,13 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
           std::vector<double>& scratch =
               scratch_pool[static_cast<std::size_t>(worker)];
           SpatialDieSample die;  // region buffers reused across samples
+          std::size_t covered = begin;
           for (std::size_t s = begin; s < end; ++s) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            if (deadline.expired()) {
+              stop.store(true, std::memory_order_relaxed);
+              break;
+            }
             Rng rng = Rng::stream(config.seed, s);
             sample_spatial_die(model, rng, die);
             for (std::size_t id = 0; id < n; ++id) {
@@ -172,11 +216,69 @@ McResult run_monte_carlo_spatial(const Circuit& circuit,
             result.delay_ps[s] = sta.critical_delay_sample_ps(
                 samples, config.exact_delay, scratch);
             result.leakage_na[s] = leakage.total_sample_na(samples);
+            if (fail_fast) {
+              const std::uint8_t cause = classify_health(
+                  result.delay_ps[s], result.leakage_na[s]);
+              if (cause != 0) {
+                stop.store(true, std::memory_order_relaxed);
+                throw_sample_health(s, cause);
+              }
+            }
+            covered = s + 1;
           }
+          log_run(worker, begin, covered);
         });
   }
+
+  // Serial finalize: done mask, health scan (quarantine policy), and
+  // compaction of partial populations — same semantics as run_monte_carlo.
+  std::vector<std::uint8_t> done(num_samples, 0);
+  for (const auto& runs : computed_runs) {
+    for (const SlotRun& r : runs) {
+      std::fill(done.begin() + static_cast<std::ptrdiff_t>(r.first),
+                done.begin() + static_cast<std::ptrdiff_t>(r.second), 1);
+    }
+  }
+  std::size_t done_count = 0;
+  for (std::uint8_t d : done) done_count += d;
+  result.samples_done = done_count;
+  result.completed = done_count == num_samples;
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    if (done[s] == 0) continue;
+    const std::uint8_t cause =
+        classify_health(result.delay_ps[s], result.leakage_na[s]);
+    if (cause == 0) continue;
+    if (fail_fast) throw_sample_health(s, cause);
+    result.quarantined.push_back(
+        {static_cast<std::uint64_t>(s), static_cast<HealthCause>(cause)});
+  }
+  if (!result.completed || !result.quarantined.empty()) {
+    std::size_t q = 0;
+    std::size_t out = 0;
+    for (std::size_t s = 0; s < num_samples; ++s) {
+      if (done[s] == 0) continue;
+      if (q < result.quarantined.size() && result.quarantined[q].slot == s) {
+        ++q;
+        continue;
+      }
+      result.delay_ps[out] = result.delay_ps[s];
+      result.leakage_na[out] = result.leakage_na[s];
+      ++out;
+    }
+    result.delay_ps.resize(out);
+    result.leakage_na.resize(out);
+  }
+
   if (obs != nullptr) {
-    obs->add("mc.spatial_samples", static_cast<double>(num_samples));
+    obs->add("mc.spatial_samples", static_cast<double>(result.delay_ps.size()));
+    if (!result.quarantined.empty()) {
+      obs->add("mc.quarantined",
+               static_cast<double>(result.quarantined.size()));
+    }
+    if (!result.completed) {
+      obs->add("mc.samples_done", static_cast<double>(result.samples_done));
+      obs->mark_incomplete("deadline");
+    }
   }
   return result;
 }

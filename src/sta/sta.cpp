@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/health.hpp"
 
 namespace statleak {
 
@@ -67,9 +68,21 @@ StaResult StaEngine::analyze_impl(double t_max_ps, DelayFn&& delay) const {
     }
   }
   // Gates with no fanout and not marked output keep +inf required; clamp to
-  // t_max so slack stays meaningful.
+  // t_max so slack stays meaningful. That is the only legitimate non-finite
+  // value here: NaN or -inf means a poisoned delay or target flowed through
+  // the backward pass, and silently clamping it would launder a numerical
+  // fault into a plausible slack.
   for (GateId id = 0; id < n; ++id) {
-    if (!std::isfinite(r.required_ps[id])) r.required_ps[id] = t_max_ps;
+    if (!std::isfinite(r.required_ps[id])) {
+      if (r.required_ps[id] == std::numeric_limits<double>::infinity()) {
+        r.required_ps[id] = t_max_ps;
+      } else {
+        throw NumericalError(
+            "STA backward pass produced a non-finite required time at gate " +
+            std::to_string(id) +
+            " — a gate delay or the t_max target is NaN/-inf");
+      }
+    }
     r.slack_ps[id] = r.required_ps[id] - r.arrival_ps[id];
   }
   return r;

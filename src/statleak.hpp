@@ -63,6 +63,7 @@
 #include "leakage/leakage.hpp"
 
 // mc/
+#include "mc/checkpoint.hpp"
 #include "mc/monte_carlo.hpp"
 
 // spatial/
@@ -100,6 +101,8 @@
 #include "util/clark.hpp"
 #include "util/error.hpp"
 #include "util/exec.hpp"
+#include "util/fault.hpp"
+#include "util/health.hpp"
 #include "util/lognormal.hpp"
 #include "util/normal.hpp"
 #include "util/parallel.hpp"

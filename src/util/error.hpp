@@ -4,10 +4,16 @@
 /// The library reports contract violations and malformed inputs by throwing
 /// statleak::Error (a std::runtime_error). Hot inner loops use the
 /// STATLEAK_ASSERT macro, which compiles to nothing in NDEBUG builds.
+///
+/// Cost discipline: the failure path may allocate (it is about to unwind
+/// anyway), but the success path of STATLEAK_CHECK must not — the message
+/// expression is only evaluated when the condition is false, and
+/// detail::throw_error assembles the final string with one reserved
+/// append chain (no std::ostringstream, no locale machinery).
 
 #pragma once
 
-#include <sstream>
+#include <charconv>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -16,32 +22,58 @@ namespace statleak {
 
 /// Exception thrown for malformed inputs, contract violations, and
 /// unsatisfiable requests (e.g. a timing constraint below the minimum
-/// achievable delay).
+/// achievable delay). The const char* overload avoids constructing an
+/// intermediate std::string when the site's message is a literal.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const char* what) : std::runtime_error(what) {}
 };
 
 namespace detail {
 
+/// Assembles "file:line: check failed: <cond> — <msg>" with a single
+/// reserved allocation and throws. `msg` binds string literals,
+/// std::string lvalues and temporaries alike via string_view (the
+/// temporary outlives the full throw expression).
 [[noreturn]] inline void throw_error(std::string_view file, int line,
-                                     const std::string& msg) {
-  std::ostringstream os;
-  os << file << ':' << line << ": " << msg;
-  throw Error(os.str());
+                                     std::string_view cond,
+                                     std::string_view msg) {
+  char line_buf[16];
+  const auto line_end =
+      std::to_chars(line_buf, line_buf + sizeof(line_buf), line).ptr;
+  const std::string_view line_text(line_buf,
+                                   static_cast<std::size_t>(line_end -
+                                                            line_buf));
+  constexpr std::string_view kPrefix = "check failed: ";
+  constexpr std::string_view kSep = " — ";  // em dash
+  std::string out;
+  out.reserve(file.size() + 1 + line_text.size() + 2 + kPrefix.size() +
+              cond.size() + kSep.size() + msg.size());
+  out.append(file);
+  out += ':';
+  out.append(line_text);
+  out += ':';
+  out += ' ';
+  out.append(kPrefix);
+  out.append(cond);
+  out.append(kSep);
+  out.append(msg);
+  throw Error(out);
 }
 
 }  // namespace detail
 
 /// Always-on check: throws statleak::Error with file/line context when the
 /// condition is false. Use for input validation on public API boundaries.
+/// The message expression is evaluated lazily — only on failure — so call
+/// sites may concatenate context strings freely without paying on the
+/// success path (pinned by util_test).
 #define STATLEAK_CHECK(cond, msg)                                   \
   do {                                                              \
-    if (!(cond)) {                                                  \
-      ::statleak::detail::throw_error(__FILE__, __LINE__,           \
-                                      std::string("check failed: " \
-                                                  #cond " — ") +    \
-                                          (msg));                   \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::statleak::detail::throw_error(__FILE__, __LINE__, #cond,    \
+                                      (msg));                       \
     }                                                               \
   } while (false)
 

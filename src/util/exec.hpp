@@ -1,5 +1,6 @@
 /// \file exec.hpp
-/// \brief ExecConfig — the execution knobs shared by every runnable config.
+/// \brief ExecConfig — the execution knobs shared by every runnable config —
+///        and Deadline, the wall-clock budget those knobs arm.
 ///
 /// Before this type existed, `num_threads` and `seed` were duplicated
 /// independently across McConfig, OptConfig, FlowConfig and MlvConfig,
@@ -18,6 +19,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 namespace statleak {
@@ -34,6 +36,43 @@ struct ExecConfig {
   /// Base seed for counter-derived RNG streams (util/rng.hpp). Engines
   /// without a random component ignore it.
   std::uint64_t seed = 42;
+
+  /// Wall-clock budget in milliseconds; 0 (and any negative value) = no
+  /// deadline. Engines that honour it (Monte-Carlo loops, the statistical
+  /// optimizer) check at shard/iteration boundaries and stop *cleanly* on
+  /// expiry: completed work is kept (and checkpointed where enabled), the
+  /// run report is flagged `"completed": false`, and the result carries
+  /// `completed = false`. Expiry is a timing event, so *which* samples
+  /// finished is not reproducible — but every value that did finish is
+  /// bit-identical to the uninterrupted run (see docs/ROBUSTNESS.md).
+  std::int64_t deadline_ms = 0;
+};
+
+/// A monotonic wall-clock deadline armed from ExecConfig::deadline_ms at
+/// engine entry. Default-constructed (or armed with a non-positive budget)
+/// it never expires, so the unarmed fast path is a single bool test.
+/// expired() is safe to call concurrently from shard workers.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Starts the budget now; non-positive = unarmed.
+  explicit Deadline(std::int64_t budget_ms)
+      : armed_(budget_ms > 0),
+        end_(std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(budget_ms > 0 ? budget_ms : 0)) {}
+
+  bool armed() const { return armed_; }
+
+  /// True once the budget has elapsed (always false when unarmed).
+  bool expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= end_;
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point end_{};
 };
 
 }  // namespace statleak

@@ -1,0 +1,95 @@
+#include "util/fault.hpp"
+
+#ifdef STATLEAK_FAULT_INJECTION
+
+#include <array>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace statleak::fault {
+
+namespace {
+
+struct Injection {
+  std::uint64_t address = 0;
+  std::int64_t remaining = 0;  ///< negative = unlimited
+};
+
+struct State {
+  std::mutex mutex;
+  std::array<std::vector<Injection>, kNumPoints> armed;
+  std::array<std::int64_t, kNumPoints> fired{};
+  int stall_ms = 50;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+const char* build_mode() { return "on"; }
+
+void arm(Point point, std::uint64_t address, std::int64_t count) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.armed[static_cast<std::size_t>(point)].push_back({address, count});
+}
+
+bool fires(Point point, std::uint64_t address) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  auto& injections = s.armed[static_cast<std::size_t>(point)];
+  for (Injection& inj : injections) {
+    if (inj.address != address || inj.remaining == 0) continue;
+    if (inj.remaining > 0) --inj.remaining;
+    ++s.fired[static_cast<std::size_t>(point)];
+    return true;
+  }
+  return false;
+}
+
+void set_stall_ms(int ms) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.stall_ms = ms;
+}
+
+void stall() {
+  int ms = 0;
+  {
+    State& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    ms = s.stall_ms;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::int64_t fired_count(Point point) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.fired[static_cast<std::size_t>(point)];
+}
+
+void reset() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& v : s.armed) v.clear();
+  s.fired.fill(0);
+  s.stall_ms = 50;
+}
+
+}  // namespace statleak::fault
+
+#else  // !STATLEAK_FAULT_INJECTION
+
+namespace statleak::fault {
+
+const char* build_mode() { return "off"; }
+
+}  // namespace statleak::fault
+
+#endif  // STATLEAK_FAULT_INJECTION

@@ -1,0 +1,79 @@
+/// \file fault.hpp
+/// \brief Deterministic fault-injection points for robustness testing.
+///
+/// Behind the STATLEAK_FAULT_INJECTION CMake option (default OFF), the
+/// engines expose a handful of *addressed* injection points: a NaN deviate
+/// at a chosen Monte-Carlo slot, a short write during a checkpoint flush,
+/// a simulated stall at a shard boundary. tests/fault_test.cpp arms them
+/// to prove each degradation path (quarantine, tail-drop on resume,
+/// deadline expiry) end to end.
+///
+/// Determinism: an injection is addressed, not probabilistic. arm() names
+/// the point and the address (sample slot, record index, block start) at
+/// which it fires, so a faulty run is exactly reproducible — the same
+/// philosophy as the counter-based RNG streams.
+///
+/// Zero cost when off: with STATLEAK_FAULT_INJECTION undefined the
+/// STATLEAK_FAULT_FIRES / STATLEAK_FAULT_STALL macros expand to constant
+/// false / nothing, their argument expressions are never evaluated, and
+/// the enclosing branches fold away — release hot paths are byte-for-byte
+/// unaffected.
+
+#pragma once
+
+#include <cstdint>
+
+namespace statleak::fault {
+
+/// The injection points the engines expose. Present in every build so call
+/// sites compile unconditionally; only the runtime machinery is gated.
+enum class Point : int {
+  kNanDeviate = 0,  ///< poison one sample's dVth draw with NaN (address = slot)
+  kShortWrite = 1,  ///< truncate one checkpoint record flush (address = record)
+  kShardStall = 2,  ///< sleep at one shard block boundary (address = block start)
+};
+inline constexpr int kNumPoints = 3;
+
+/// "on" / "off" — whether this build compiled the injection machinery.
+const char* build_mode();
+
+#ifdef STATLEAK_FAULT_INJECTION
+
+/// Arms `point` to fire at `address`, up to `count` times (negative =
+/// every time the address matches). Thread-safe.
+void arm(Point point, std::uint64_t address, std::int64_t count = 1);
+
+/// True when `point` is armed for `address` (and decrements the remaining
+/// fire count). Called by the engines through STATLEAK_FAULT_FIRES.
+bool fires(Point point, std::uint64_t address);
+
+/// Sleep duration of the kShardStall point, default 50 ms.
+void set_stall_ms(int ms);
+
+/// Blocks for the configured stall duration (the kShardStall payload).
+void stall();
+
+/// How many times `point` has fired since the last reset().
+std::int64_t fired_count(Point point);
+
+/// Disarms every point and zeroes the fired counters.
+void reset();
+
+#define STATLEAK_FAULT_FIRES(point, address) \
+  (::statleak::fault::fires((point), (address)))
+#define STATLEAK_FAULT_STALL(point, address)                  \
+  do {                                                        \
+    if (::statleak::fault::fires((point), (address))) {       \
+      ::statleak::fault::stall();                             \
+    }                                                         \
+  } while (false)
+
+#else  // !STATLEAK_FAULT_INJECTION
+
+// Arguments are swallowed unevaluated; branches on the constant fold away.
+#define STATLEAK_FAULT_FIRES(point, address) false
+#define STATLEAK_FAULT_STALL(point, address) ((void)0)
+
+#endif  // STATLEAK_FAULT_INJECTION
+
+}  // namespace statleak::fault

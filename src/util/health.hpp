@@ -1,0 +1,83 @@
+/// \file health.hpp
+/// \brief Numerical-health vocabulary: causes, policies, and the structured
+///        error non-finite arithmetic raises.
+///
+/// A single poisoned sample — a NaN deviate from an extreme draw, an Inf
+/// from a degenerate cell table — must never silently corrupt population
+/// statistics or tree-sum totals. Every engine that evaluates samples
+/// classifies non-finite results with this vocabulary and either fails
+/// loudly (NumericalError, the default, preserving historical semantics
+/// where all-finite runs are unchanged) or quarantines the sample
+/// (recorded by slot and cause, excluded from statistics, surfaced as
+/// `mc.quarantined*` counters in the run report). See docs/ROBUSTNESS.md.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+/// What to do when a sample evaluates to a non-finite delay or leakage.
+enum class HealthPolicy {
+  kFail,        ///< throw NumericalError naming the slot and cause (default)
+  kQuarantine,  ///< drop the sample, record slot + cause, keep running
+};
+
+/// Why a sample was rejected.
+enum class HealthCause : std::uint8_t {
+  kNonFiniteDelay = 1,
+  kNonFiniteLeakage = 2,
+  kNonFiniteBoth = 3,  ///< bitwise or of the two above
+};
+
+inline const char* to_string(HealthCause cause) {
+  switch (cause) {
+    case HealthCause::kNonFiniteDelay: return "non-finite delay";
+    case HealthCause::kNonFiniteLeakage: return "non-finite leakage";
+    case HealthCause::kNonFiniteBoth: return "non-finite delay and leakage";
+  }
+  return "unknown";
+}
+
+/// Classifies one sample's (delay, leakage) pair; 0 = healthy.
+inline std::uint8_t classify_health(double delay_ps, double leakage_na) {
+  std::uint8_t cause = 0;
+  if (!std::isfinite(delay_ps)) {
+    cause |= static_cast<std::uint8_t>(HealthCause::kNonFiniteDelay);
+  }
+  if (!std::isfinite(leakage_na)) {
+    cause |= static_cast<std::uint8_t>(HealthCause::kNonFiniteLeakage);
+  }
+  return cause;
+}
+
+/// One quarantined Monte-Carlo sample: which slot, and why.
+struct QuarantinedSample {
+  std::uint64_t slot = 0;
+  HealthCause cause = HealthCause::kNonFiniteBoth;
+};
+
+/// Thrown when non-finite arithmetic is detected under HealthPolicy::kFail
+/// (or anywhere a non-finite value has no legitimate reading, e.g. a NaN
+/// required time in STA). A subclass of statleak::Error so existing catch
+/// sites keep working; the CLI maps it to the input-error exit code.
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raises NumericalError for sample `slot`, naming the cause bits.
+[[noreturn]] inline void throw_sample_health(std::uint64_t slot,
+                                             std::uint8_t cause_bits) {
+  throw NumericalError(
+      "sample " + std::to_string(slot) + " produced " +
+      to_string(static_cast<HealthCause>(cause_bits)) +
+      " — rerun with the quarantine health policy to skip poisoned "
+      "samples, or inspect the cell tables / variation model");
+}
+
+}  // namespace statleak

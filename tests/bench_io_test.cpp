@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 
 #include "netlist/bench_io.hpp"
+#include "netlist/impl_io.hpp"
 #include "util/error.hpp"
 
 namespace statleak {
@@ -367,6 +369,89 @@ TEST(BenchFuzz, RandomByteMutationsNeverCrash) {
     mutated[pos] = static_cast<char>(next() % 256);
     expect_clean(mutated, "byte mutation");
   }
+}
+
+// ------------------------------------------------------------ .impl I/O ---
+// The implementation-sidecar parser hardened in the robustness PR: every
+// diagnostic carries line AND column so a bad token in a machine-generated
+// file is findable without counting fields by hand.
+
+class ImplFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::istringstream in(kC17);
+    circuit_ = read_bench(in, "c17");
+  }
+
+  /// Expects read_impl to reject `text` with a diagnostic naming the given
+  /// 1-based line and column.
+  void expect_reject_at(const std::string& text, int line, int col,
+                        const std::string& needle) {
+    std::istringstream in(text);
+    try {
+      (void)read_impl(in, circuit_);
+      FAIL() << "accepted: " << text;
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("line " + std::to_string(line)), std::string::npos)
+          << msg << "\ninput: " << text;
+      EXPECT_NE(msg.find("column " + std::to_string(col)), std::string::npos)
+          << msg << "\ninput: " << text;
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << msg << "\ninput: " << text;
+    }
+  }
+
+  Circuit circuit_;
+};
+
+TEST_F(ImplFuzz, TooFewFields) {
+  expect_reject_at("10 LVT", 1, 7, "got 2 field(s)");
+}
+
+TEST_F(ImplFuzz, TrailingField) {
+  expect_reject_at("10 LVT 2.0 surprise", 1, 12, "trailing field");
+}
+
+TEST_F(ImplFuzz, UnknownGate) {
+  expect_reject_at("nope HVT 1.0", 1, 1, "unknown gate");
+}
+
+TEST_F(ImplFuzz, PrimaryInputRejected) {
+  expect_reject_at("1 HVT 1.0", 1, 1, "primary input");
+}
+
+TEST_F(ImplFuzz, BadVthClass) {
+  expect_reject_at("10 MVT 1.0", 1, 4, "bad Vth class");
+}
+
+TEST_F(ImplFuzz, MalformedSize) {
+  expect_reject_at("10 LVT banana", 1, 8, "malformed size");
+  expect_reject_at("10 LVT 2.0x", 1, 8, "malformed size");
+}
+
+TEST_F(ImplFuzz, NonPositiveSize) {
+  expect_reject_at("10 LVT 0", 1, 8, "positive");
+  expect_reject_at("10 LVT -3", 1, 8, "positive");
+  expect_reject_at("10 LVT inf", 1, 8, "positive");
+}
+
+TEST_F(ImplFuzz, ErrorsNameTheOffendingLineNotTheFirst) {
+  // Valid entries precede the bad one; blank and comment lines still count.
+  expect_reject_at("10 LVT 2.0\n\n# comment\n11 HVT 1.5\n16 XVT 1.0", 5, 4,
+                   "bad Vth class");
+}
+
+TEST_F(ImplFuzz, ColumnsAccountForExtraWhitespace) {
+  expect_reject_at("10   \t LVT  frob", 1, 13, "malformed size");
+}
+
+TEST_F(ImplFuzz, ValidInputStillApplies) {
+  std::istringstream in("10 HVT 2.5  # inline comment\n11 LVT 1.5\n");
+  EXPECT_EQ(read_impl(in, circuit_), 2u);
+  const GateId id = circuit_.find("10");
+  EXPECT_EQ(circuit_.gate(id).vth, Vth::kHigh);
+  EXPECT_DOUBLE_EQ(circuit_.gate(id).size, 2.5);
 }
 
 }  // namespace

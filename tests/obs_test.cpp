@@ -197,6 +197,40 @@ TEST(Json, RejectsMalformedInput) {
   }
 }
 
+TEST(Json, RejectsTruncatedDocuments) {
+  // Prefixes of a valid document cut at every structural boundary: the
+  // parser must reject each one with a structured Error, never read past
+  // the end or loop.
+  const std::string full =
+      R"({"a": [1, {"b": "text"}, null], "c": {"d": [true, 2e3]}})";
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_THROW((void)obs::Json::parse(full.substr(0, len)), Error)
+        << "prefix length " << len;
+  }
+  EXPECT_NO_THROW((void)obs::Json::parse(full));
+}
+
+TEST(Json, RejectsOversizedNestingDepth) {
+  // parse() bounds recursion at 256 levels so hostile or corrupt input
+  // cannot overflow the stack. 255 arrays parse; 300 are rejected with a
+  // depth diagnostic, not a crash.
+  const auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_NO_THROW((void)obs::Json::parse(nested(255)));
+  try {
+    (void)obs::Json::parse(nested(300));
+    FAIL() << "300-deep nesting accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+  // Mixed object/array nesting hits the same bound.
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) mixed += "{\"k\": [";
+  EXPECT_THROW((void)obs::Json::parse(mixed), Error);
+}
+
 TEST(Json, TypeMismatchesThrow) {
   const obs::Json num(1.0);
   EXPECT_THROW((void)num.as_string(), Error);
@@ -226,9 +260,11 @@ TEST(RunReport, GoldenFile) {
   reg.trace("mc", e);
 
   const std::string expected = R"({
-  "schema_version": 1,
+  "schema_version": 2,
   "tool": "statleak",
   "tool_version": "1.0.0",
+  "completed": true,
+  "incomplete_reason": "",
   "config": {
     "circuit": "c17",
     "exact": true,
@@ -282,6 +318,42 @@ TEST(RunReport, SchemaVersionLeadsAndSectionsAreTyped) {
   EXPECT_TRUE(report.at("gauges").is_object());
   EXPECT_TRUE(report.at("traces").is_object());
   EXPECT_DOUBLE_EQ(report.at("counters").at("c").as_number(), 1.0);
+}
+
+TEST(RunReport, IncompleteRunsAreFlagged) {
+  obs::Registry reg;
+  EXPECT_TRUE(reg.completed());
+  reg.mark_incomplete("deadline");
+  reg.mark_incomplete("quarantine");  // first reason wins
+  EXPECT_FALSE(reg.completed());
+  EXPECT_EQ(reg.incomplete_reason(), "deadline");
+
+  const obs::Json report = obs::Json::parse(obs::run_report_json(reg));
+  EXPECT_FALSE(report.at("completed").as_bool());
+  EXPECT_EQ(report.at("incomplete_reason").as_string(), "deadline");
+}
+
+TEST(RunReport, DeadlineStoppedMcReportsIncomplete) {
+  // End to end: a deadline-stopped MC run marks its registry, and the
+  // emitted report carries "completed": false plus the partial-progress
+  // counter. (1 ms against 50k samples; on a machine fast enough to finish
+  // anyway the run is simply complete — both outcomes must be coherent.)
+  CellLibrary lib{generic_100nm()};
+  const VariationModel var = VariationModel::typical_100nm();
+  const Circuit circuit = make_carry_lookahead_adder(8);
+  McConfig cfg;
+  cfg.num_samples = 50000;
+  cfg.deadline_ms = 1;
+  obs::Registry reg;
+  const McResult res = run_monte_carlo(circuit, lib, var, cfg, &reg);
+  EXPECT_EQ(res.completed, reg.completed());
+  const obs::Json report = obs::Json::parse(obs::run_report_json(reg));
+  EXPECT_EQ(report.at("completed").as_bool(), res.completed);
+  if (!res.completed) {
+    EXPECT_EQ(report.at("incomplete_reason").as_string(), "deadline");
+    EXPECT_DOUBLE_EQ(report.at("counters").at("mc.samples_done").as_number(),
+                     static_cast<double>(res.samples_done));
+  }
 }
 
 // ----------------------------------------------------------- ExecConfig ---

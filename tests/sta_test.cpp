@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "gen/arithmetic.hpp"
 #include "gen/random_dag.hpp"
 #include "sta/sta.hpp"
 #include "tech/process.hpp"
 #include "util/error.hpp"
+#include "util/health.hpp"
 #include "util/rng.hpp"
 
 namespace statleak {
@@ -209,6 +211,38 @@ TEST_F(StaTest, HvtSwapSlowsCircuit) {
   const double before = sta.critical_delay_ps();
   c.set_vth(c.find("inv2"), Vth::kHigh);
   EXPECT_GT(sta.critical_delay_ps(), before);
+}
+
+// -------------------------------------------------------- numerical health ---
+
+TEST_F(StaTest, NonFiniteTargetIsAStructuredErrorNotASilentClamp) {
+  // A NaN or -inf delay target poisons every required time in the backward
+  // pass. The old code silently clamped it into a plausible slack; now it
+  // raises NumericalError naming the first affected gate.
+  Circuit c = make_chain(3);
+  const StaEngine sta(c, lib_);
+  EXPECT_THROW((void)sta.analyze(std::numeric_limits<double>::quiet_NaN()),
+               NumericalError);
+  EXPECT_THROW((void)sta.analyze(-std::numeric_limits<double>::infinity()),
+               NumericalError);
+}
+
+TEST_F(StaTest, FloatingGateInfinityClampIsPreserved) {
+  // A gate with no fanout and no output mark legitimately keeps +inf
+  // required time; the clamp to t_max (the only sanctioned non-finite
+  // value) must survive the health hardening.
+  Circuit c("floating");
+  const GateId in = c.add_input("in");
+  const GateId used = c.add_gate("used", CellKind::kInv, {in});
+  (void)c.add_gate("dangling", CellKind::kInv, {in});  // no fanout, no PO
+  c.mark_output(used);
+  c.finalize();
+  const StaEngine sta(c, lib_);
+  const double t_max = 250.0;
+  const StaResult r = sta.analyze(t_max);
+  const GateId dangling = c.find("dangling");
+  EXPECT_DOUBLE_EQ(r.required_ps[dangling], t_max);
+  EXPECT_TRUE(std::isfinite(r.slack_ps[dangling]));
 }
 
 }  // namespace

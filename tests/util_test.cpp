@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <atomic>
@@ -12,6 +15,7 @@
 
 #include "util/clark.hpp"
 #include "util/error.hpp"
+#include "util/exec.hpp"
 #include "util/lognormal.hpp"
 #include "util/normal.hpp"
 #include "util/parallel.hpp"
@@ -737,6 +741,69 @@ TEST(TreeSum, PairwiseBeatsSequentialAccumulation) {
   const double exact = 1.0;
   EXPECT_LE(std::abs(sum.total() - exact), std::abs(sequential - exact));
   EXPECT_EQ(sum.total(), exact);  // powers of two sum exactly pairwise
+}
+
+// -------------------------------------------------------------- Error ----
+
+TEST(Error, LiteralConstructorPreservesMessage) {
+  const Error from_literal("bad input");
+  EXPECT_STREQ(from_literal.what(), "bad input");
+  const std::string dynamic = "built at runtime";
+  const Error from_string(dynamic);
+  EXPECT_STREQ(from_string.what(), dynamic.c_str());
+}
+
+TEST(Error, CheckThrowsWithFileLineAndMessage) {
+  try {
+    STATLEAK_CHECK(1 + 1 == 3, "arithmetic still works");
+    FAIL() << "STATLEAK_CHECK(false) must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic still works"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, CheckMessageIsLazyOnSuccessPath) {
+  // The message expression must not run when the condition holds — call
+  // sites concatenate context strings freely on that promise.
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string("expensive context");
+  };
+  STATLEAK_CHECK(true, expensive());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(STATLEAK_CHECK(false, expensive()), Error);
+  EXPECT_EQ(evaluations, 1);
+}
+
+// ----------------------------------------------------------- Deadline ----
+
+TEST(Deadline, UnarmedNeverExpires) {
+  const Deadline none;
+  EXPECT_FALSE(none.armed());
+  EXPECT_FALSE(none.expired());
+  const Deadline zero(0);
+  EXPECT_FALSE(zero.armed());
+  EXPECT_FALSE(zero.expired());
+  const Deadline negative(-25);
+  EXPECT_FALSE(negative.armed());
+  EXPECT_FALSE(negative.expired());
+}
+
+TEST(Deadline, ArmedExpiresAfterBudgetElapses) {
+  const Deadline d(1);
+  EXPECT_TRUE(d.armed());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Deadline, GenerousBudgetIsNotExpiredImmediately) {
+  const Deadline d(60'000);
+  EXPECT_TRUE(d.armed());
+  EXPECT_FALSE(d.expired());
 }
 
 }  // namespace

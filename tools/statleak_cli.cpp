@@ -27,6 +27,16 @@
 ///   statleak optimize c880.bench --tmax-factor 1.15 --eta 0.99 -o c880.impl
 ///   statleak analyze c880.bench --impl c880.impl --tmax 1200
 ///   statleak mc c880.bench --impl c880.impl --tmax 1200 --samples 10000
+///
+/// Exit codes (stable contract, see docs/ROBUSTNESS.md):
+///   0  success
+///   1  internal error (unexpected exception)
+///   2  usage error (unknown flag/command, missing argument)
+///   3  input error (unreadable/malformed netlist, impl, or config;
+///      includes numerical-health failures under the default fail policy)
+///   4  deadline expired (--deadline budget ran out; partial results and
+///      the run report — flagged "completed": false — are still written)
+///   5  corrupt or mismatched checkpoint (--checkpoint rejected)
 
 #include <cstdlib>
 #include <fstream>
@@ -75,6 +85,9 @@ std::vector<CommandSpec> command_specs() {
   const FlagSpec threads = {"--threads", true, "n",
                             "worker threads, 0 = all cores (default 0); "
                             "results are thread-count invariant"};
+  const FlagSpec deadline = {"--deadline", true, "ms",
+                             "wall-clock budget in ms, 0 = none (default); "
+                             "a clean early stop exits with code 4"};
   return {
       {"gen", "<circuit>", "generate a benchmark circuit",
        {{"--out", true, "out.bench", "output netlist (-o works too)"},
@@ -96,6 +109,7 @@ std::vector<CommandSpec> command_specs() {
         node,
         seed,
         threads,
+        deadline,
         {"--out", true, "out.impl", "implementation sidecar (-o works too)"},
         {"--write-bench", true, "out.bench", "also write the netlist"}}},
       {"mc", "<netlist.bench>", "Monte-Carlo delay/leakage report",
@@ -106,6 +120,13 @@ std::vector<CommandSpec> command_specs() {
          "samples per kernel block, 0 = auto (default; results identical)"},
         seed,
         threads,
+        deadline,
+        {"--checkpoint", true, "path",
+         "append-only checkpoint file; resumes it when it already exists"},
+        {"--checkpoint-every", true, "n",
+         "checkpoint flush cadence in samples per worker (default 4096)"},
+        {"--health", true, "fail|quarantine",
+         "non-finite sample policy (default fail)"},
         node}},
       {"mlv", "<netlist.bench>", "minimum-leakage standby vector search",
        {impl,
@@ -127,6 +148,7 @@ std::vector<CommandSpec> command_specs() {
          "MC samples per kernel block, 0 = auto (default; results identical)"},
         seed,
         threads,
+        deadline,
         node}},
   };
 }
@@ -462,6 +484,7 @@ int cmd_optimize(const Args& args, ObsSession& session) {
   cfg.seed = static_cast<std::uint64_t>(args.get_long("--seed", 42));
   // 0 = all hardware threads; results are thread-count invariant.
   cfg.num_threads = static_cast<int>(args.get_long("--threads", 0));
+  cfg.deadline_ms = args.get_long("--deadline", 0);
 
   const std::string flow = args.get("--flow").value_or("stat");
   OptResult result;
@@ -488,14 +511,26 @@ int cmd_optimize(const Args& args, ObsSession& session) {
     write_bench(file, c);
     std::cout << "wrote " << *bench_out << "\n";
   }
-  return 0;
+  // The partial implementation above is still valid and was written; the
+  // exit code tells scripts the budget ran out before convergence.
+  return result.completed ? 0 : 4;
 }
 
 int cmd_mc(const Args& args, ObsSession& session) {
+  // Flag validation precedes any file I/O: a bad spelling is a usage error
+  // (exit 2) even when the netlist is also missing.
+  McConfig mc;
+  const std::string health = args.get("--health").value_or("fail");
+  if (health == "fail") {
+    mc.health_policy = HealthPolicy::kFail;
+  } else if (health == "quarantine") {
+    mc.health_policy = HealthPolicy::kQuarantine;
+  } else {
+    throw UsageError("--health must be 'fail' or 'quarantine'");
+  }
   Circuit c = load_circuit(args);
   const CellLibrary lib = make_library(args);
   const VariationModel var = VariationModel::typical_100nm();
-  McConfig mc;
   mc.num_samples = static_cast<int>(args.get_long("--samples", 5000));
   // 0 = auto; any value yields bit-identical results (performance knob).
   mc.batch_size = static_cast<int>(args.get_long("--batch", 0));
@@ -503,13 +538,32 @@ int cmd_mc(const Args& args, ObsSession& session) {
   // 0 = all hardware threads; the sample streams are counter-based, so the
   // report is bit-identical whatever the thread count.
   mc.num_threads = static_cast<int>(args.get_long("--threads", 0));
+  mc.deadline_ms = args.get_long("--deadline", 0);
+  mc.checkpoint_path = args.get("--checkpoint").value_or("");
+  mc.checkpoint_every =
+      static_cast<int>(args.get_long("--checkpoint-every", 4096));
   const double t_max = args.get_double(
       "--tmax", 1.1 * StaEngine(c, lib).critical_delay_ps());
 
   const McResult res = run_monte_carlo(c, lib, var, mc, session.reg());
+  if (res.samples_restored > 0) {
+    std::cout << "resumed " << res.samples_restored << " of "
+              << res.samples_requested << " samples from checkpoint "
+              << mc.checkpoint_path << "\n";
+  }
+  if (!res.quarantined.empty()) {
+    std::cout << "quarantined " << res.quarantined.size()
+              << " non-finite sample(s) (first: slot "
+              << res.quarantined.front().slot << ", "
+              << to_string(res.quarantined.front().cause) << ")\n";
+  }
+  if (res.delay_ps.empty()) {
+    std::cout << "no samples completed within the budget\n";
+    return res.completed ? 0 : 4;
+  }
   const SampleSummary d = res.delay_summary();
   const SampleSummary l = res.leakage_summary();
-  std::cout << mc.num_samples << " dies of " << c.name() << ":\n"
+  std::cout << res.delay_ps.size() << " dies of " << c.name() << ":\n"
             << "  delay   mean " << format_fixed(d.mean, 1) << " ps, sigma "
             << format_fixed(d.stddev, 1) << " ps, p99 "
             << format_fixed(d.p99, 1) << " ps\n"
@@ -525,7 +579,15 @@ int cmd_mc(const Args& args, ObsSession& session) {
     obs->set_gauge("mc.leakage_p99_na", l.p99);
     obs->set_gauge("mc.timing_yield", res.timing_yield(t_max));
   }
-  return 0;
+  if (!res.completed) {
+    std::cout << "deadline expired after " << res.samples_done << " of "
+              << res.samples_requested << " samples"
+              << (mc.checkpoint_path.empty()
+                      ? ""
+                      : "; progress saved, rerun to resume")
+              << "\n";
+  }
+  return res.completed ? 0 : 4;
 }
 
 int cmd_mlv(const Args& args, ObsSession& session) {
@@ -569,6 +631,7 @@ int cmd_flow(const Args& args, ObsSession& session) {
   cfg.mc_batch_size = static_cast<int>(args.get_long("--batch", 0));
   cfg.seed = static_cast<std::uint64_t>(args.get_long("--seed", 7));
   cfg.num_threads = static_cast<int>(args.get_long("--threads", 0));
+  cfg.deadline_ms = args.get_long("--deadline", 0);
 
   const FlowOutcome out = run_flow(c, lib, var, cfg, session.reg());
 
@@ -609,7 +672,11 @@ int cmd_flow(const Args& args, ObsSession& session) {
             << format_fixed(100.0 * out.p99_saving(), 1)
             << " %, mean saving "
             << format_fixed(100.0 * out.mean_saving(), 1) << " %\n";
-  return 0;
+  if (!out.completed) {
+    std::cout << "\ndeadline expired mid-flow: the numbers above are from "
+                 "cleanly stopped partial phases\n";
+  }
+  return out.completed ? 0 : 4;
 }
 
 }  // namespace
@@ -648,12 +715,20 @@ int main(int argc, char** argv) {
     if (cmd == "mc") rc = cmd_mc(args, session);
     if (cmd == "mlv") rc = cmd_mlv(args, session);
     if (cmd == "flow") rc = cmd_flow(args, session);
-    if (rc == 0) session.finish();
+    // A deadline-expired run (rc 4) still writes its report — flagged
+    // "completed": false — so partial progress is observable.
+    if (rc == 0 || rc == 4) session.finish();
     return rc;
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n\n";
     print_command_help(*spec, std::cerr);
     return 2;
+  } catch (const CheckpointError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 5;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
