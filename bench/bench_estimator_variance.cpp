@@ -1,0 +1,186 @@
+/// \file bench_estimator_variance.cpp
+/// \brief E1 — estimator quality of the variance-reduced Monte-Carlo modes.
+///
+/// For each circuit and metric, runs R independent replications (different
+/// seeds) of every estimator at a fixed per-run sample count and reports
+/// the across-replication variance of the estimate. Because plain MC error
+/// scales as 1/N, the variance ratio vs the plain estimator is the
+/// sample-count reduction factor at equal variance (a lower bound for QMC,
+/// whose error falls faster than 1/sqrt(N)).
+///
+/// Metrics:
+///   leakage_mean_na   — mean total leakage; estimators plain / sobol / cv
+///   delay_tail_prob   — P(delay > t99), t99 from a large fixed reference
+///                       run; estimators plain / sobol / is (SSTA-guided
+///                       timing shift)
+///   leakage_tail_prob — P(leakage > l99); estimators plain / sobol / is
+///                       (leakage-gradient shift)
+///
+/// Output: one JSON document on stdout (machine format for
+/// tools/bench_to_json.py --estimators, which computes the reduction
+/// factors and writes BENCH_estimators.json). Human summary on stderr.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gen/proxy.hpp"
+#include "mc/estimator.hpp"
+#include "mc/monte_carlo.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace statleak;
+
+constexpr int kReps = 20;
+constexpr int kSamplesPerRun = 2000;
+constexpr int kReferenceSamples = 20000;
+constexpr std::uint64_t kReferenceSeed = 999;
+constexpr std::uint64_t kRepSeedBase = 1000;
+
+double tail_prob_leakage(const McResult& res, double threshold) {
+  if (!res.weights.empty()) {
+    return 1.0 - weighted_fraction_below(res.leakage_na, res.weights,
+                                         threshold);
+  }
+  std::size_t above = 0;
+  for (const double l : res.leakage_na) {
+    if (l > threshold) ++above;
+  }
+  return static_cast<double>(above) /
+         static_cast<double>(res.leakage_na.size());
+}
+
+struct Entry {
+  std::string circuit;
+  std::string metric;
+  std::string estimator;
+  double mean = 0.0;
+  double variance = 0.0;
+  double ess_mean = 0.0;  ///< average effective sample size per run
+};
+
+/// Across-replication mean/variance of one estimator configuration.
+Entry replicate(const std::string& circuit_name, const Circuit& c,
+                const bench::Setup& setup, const std::string& metric,
+                const std::string& estimator, const McConfig& proto,
+                double (*extract)(const McResult&, double), double aux) {
+  RunningStats stats;
+  double ess_sum = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    McConfig cfg = proto;
+    cfg.seed = kRepSeedBase + static_cast<std::uint64_t>(r);
+    const McResult res = run_monte_carlo(c, setup.lib, setup.var, cfg);
+    stats.add(extract(res, aux));
+    ess_sum += res.ess();
+  }
+  Entry e;
+  e.circuit = circuit_name;
+  e.metric = metric;
+  e.estimator = estimator;
+  e.mean = stats.mean();
+  e.variance = stats.variance();
+  e.ess_mean = ess_sum / kReps;
+  std::cerr << "  " << circuit_name << " " << metric << " / " << estimator
+            << ": mean " << e.mean << ", var " << e.variance << ", ess "
+            << e.ess_mean << "\n";
+  return e;
+}
+
+double extract_mean_leakage(const McResult& res, double) {
+  return mean_of(res.leakage_na);
+}
+double extract_cv_mean_leakage(const McResult& res, double) {
+  return res.cv_leakage_mean_na();
+}
+double extract_delay_tail(const McResult& res, double t_max) {
+  return 1.0 - res.timing_yield(t_max);
+}
+double extract_leakage_tail(const McResult& res, double threshold) {
+  return tail_prob_leakage(res, threshold);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace statleak;
+  bench::Setup setup;
+  std::vector<std::string> circuits;
+  for (int i = 1; i < argc; ++i) circuits.emplace_back(argv[i]);
+  if (circuits.empty()) circuits = {"c880p", "c7552p"};
+
+  std::vector<Entry> entries;
+  for (const std::string& name : circuits) {
+    const Circuit c = iscas85_proxy(name);
+    std::cerr << name << ": reference run (" << kReferenceSamples
+              << " samples)\n";
+
+    // Tail thresholds from one large fixed-seed reference run, shared by
+    // every estimator so they all target the same quantity.
+    McConfig ref_cfg;
+    ref_cfg.num_samples = kReferenceSamples;
+    ref_cfg.seed = kReferenceSeed;
+    const McResult ref = run_monte_carlo(c, setup.lib, setup.var, ref_cfg);
+    const double t99 = ref.delay_quantile_ps(0.99);
+    const double l99 = ref.leakage_quantile_na(0.99);
+
+    McConfig plain;
+    plain.num_samples = kSamplesPerRun;
+
+    McConfig sobol = plain;
+    sobol.sampler = McSampler::kSobol;
+
+    McConfig cv = plain;
+    cv.control_variate = true;
+
+    McConfig is_timing = plain;
+    is_timing.is_shift =
+        compute_timing_is_shift(c, setup.lib, setup.var, t99);
+
+    McConfig is_leak = plain;
+    is_leak.is_shift = compute_leakage_is_shift(setup.lib, setup.var, 0.99);
+
+    entries.push_back(replicate(name, c, setup, "leakage_mean_na", "plain",
+                                plain, extract_mean_leakage, 0.0));
+    entries.push_back(replicate(name, c, setup, "leakage_mean_na", "sobol",
+                                sobol, extract_mean_leakage, 0.0));
+    entries.push_back(replicate(name, c, setup, "leakage_mean_na", "cv", cv,
+                                extract_cv_mean_leakage, 0.0));
+
+    entries.push_back(replicate(name, c, setup, "delay_tail_prob", "plain",
+                                plain, extract_delay_tail, t99));
+    entries.push_back(replicate(name, c, setup, "delay_tail_prob", "sobol",
+                                sobol, extract_delay_tail, t99));
+    entries.push_back(replicate(name, c, setup, "delay_tail_prob", "is",
+                                is_timing, extract_delay_tail, t99));
+
+    entries.push_back(replicate(name, c, setup, "leakage_tail_prob",
+                                "plain", plain, extract_leakage_tail, l99));
+    entries.push_back(replicate(name, c, setup, "leakage_tail_prob",
+                                "sobol", sobol, extract_leakage_tail, l99));
+    entries.push_back(replicate(name, c, setup, "leakage_tail_prob", "is",
+                                is_leak, extract_leakage_tail, l99));
+  }
+
+  // Machine output: a single JSON document on stdout.
+  std::printf("{\n");
+  std::printf("  \"bench\": \"estimator_variance\",\n");
+  std::printf("  \"replications\": %d,\n", kReps);
+  std::printf("  \"samples_per_run\": %d,\n", kSamplesPerRun);
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::printf("    {\"circuit\": \"%s\", \"metric\": \"%s\", "
+                "\"estimator\": \"%s\", \"mean\": %.17g, "
+                "\"variance\": %.17g, \"ess_mean\": %.17g}%s\n",
+                e.circuit.c_str(), e.metric.c_str(), e.estimator.c_str(),
+                e.mean, e.variance, e.ess_mean,
+                i + 1 < entries.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

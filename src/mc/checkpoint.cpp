@@ -176,6 +176,13 @@ std::uint64_t mc_checkpoint_hash(const Circuit& circuit,
   mix(config.seed);
   mix(static_cast<std::uint64_t>(config.num_samples));
   mix(config.exact_delay ? 1 : 0);
+  // The sampler kind and the importance shift both change every sampled
+  // value, so resuming e.g. a Sobol run from a pseudo checkpoint must be
+  // rejected. The control-variate flag is deliberately NOT mixed: it only
+  // adds a derived side-channel and leaves the samples untouched.
+  mix(static_cast<std::uint64_t>(config.sampler));
+  mix_f64(config.is_shift.l_sigma);
+  mix_f64(config.is_shift.v_sigma);
 
   mix(circuit.num_gates());
   for (GateId id = 0; id < circuit.num_gates(); ++id) {

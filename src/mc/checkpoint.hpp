@@ -68,13 +68,15 @@ std::uint32_t crc32(const void* data, std::size_t size,
                     std::uint32_t seed = 0);
 
 /// Fingerprint of everything that pins Monte-Carlo sample values: the
-/// master seed, the population size, the delay mode, the implementation
-/// point (per-gate kind/vth/size), the variation model, and the per-gate
-/// device widths (which fold in the cell library's area tables via the
-/// Pelgrom path). Thread count, batch size and engine choice are
-/// deliberately excluded — results are invariant to them, so a checkpoint
-/// written by a batched 8-thread run resumes under a scalar single-thread
-/// run and vice versa.
+/// master seed, the population size, the delay mode, the sampler kind and
+/// importance shift (a Sobol or shifted run draws different values than a
+/// pseudo one, so cross-resume is rejected), the implementation point
+/// (per-gate kind/vth/size), the variation model, and the per-gate device
+/// widths (which fold in the cell library's area tables via the Pelgrom
+/// path). Thread count, batch size, engine choice and the control-variate
+/// flag are deliberately excluded — results are invariant to them, so a
+/// checkpoint written by a batched 8-thread run resumes under a scalar
+/// single-thread run and vice versa.
 std::uint64_t mc_checkpoint_hash(const Circuit& circuit,
                                  const VariationModel& var,
                                  const McConfig& config,

@@ -1,0 +1,112 @@
+/// \file estimator.hpp
+/// \brief Variance-reduction building blocks for the Monte-Carlo engines:
+///        importance-sampling shifts and the SSTA control-variate model.
+///
+/// Importance sampling (ISLE-style)
+/// --------------------------------
+/// Tail probabilities — timing-yield loss P(D > T), extreme leakage
+/// quantiles — waste almost every plain-MC sample on the uninteresting bulk
+/// of the distribution. Following Bayrakci et al.'s ISLE recipe, the
+/// *global* (inter-die) variation distribution is shifted toward the
+/// failure region and every sample is reweighted with the exact Gaussian
+/// likelihood ratio; the intra-die draws keep their nominal distribution
+/// (they average out over the circuit and contribute little to the tail
+/// direction). The shift lives in standardized units of the two global
+/// sources, so it composes with any sampler: for a base deviate z ~ N(0,1)
+/// the engine draws z' = z + s and weighs the sample by
+///
+///   w = phi(z') / phi(z' - s) = exp(-s^2/2 - s z)   (per dimension),
+///
+/// which is exact — estimates stay unbiased for any shift, good or bad. The
+/// shift *selection* uses the canonical SSTA model as the cheap proxy: the
+/// circuit-delay canonical's global sensitivities give the failure
+/// direction, and the distance to the delay target gives the magnitude
+/// (the most-likely-failure-point of the linearized limit state).
+///
+/// Control variate
+/// ---------------
+/// The conditional mean of total leakage given the global draw,
+/// X = E[L_total | dL_glob, dVth_glob], is a perfect control variate
+/// candidate: it is strongly correlated with the sampled total (the global
+/// components dominate the spread of a many-gate sum), it is computable in
+/// O(1) per sample after an O(gates) precomputation (the per-gate
+/// conditional means share one global factor), and its expectation is the
+/// *exact* analytic mean the Wilkinson model already computes (tower
+/// property: E[X] = E[L_total]). The corrected estimator
+///
+///   mean_cv = mean(L) - beta * (mean(X) - E[X]),   beta = cov(L,X)/var(X)
+///
+/// removes the sampling noise of the global dimensions from the mean (and,
+/// applied per-sample, from quantile estimates).
+
+#pragma once
+
+#include <cstdint>
+
+#include "cells/library.hpp"
+#include "netlist/circuit.hpp"
+#include "tech/variation.hpp"
+
+namespace statleak {
+
+/// Mean shift of the two standardized global variation sources (units of
+/// their own sigmas). {0, 0} disables importance sampling.
+struct IsShift {
+  double l_sigma = 0.0;  ///< shift of the global dL source
+  double v_sigma = 0.0;  ///< shift of the global dVth source
+
+  bool active() const { return l_sigma != 0.0 || v_sigma != 0.0; }
+
+  /// log of the per-sample likelihood ratio for *base* (pre-shift)
+  /// standard deviates (zl, zv): log w = sum_dim(-s^2/2 - s z).
+  double log_weight(double zl_base, double zv_base) const {
+    return -0.5 * l_sigma * l_sigma - l_sigma * zl_base -
+           0.5 * v_sigma * v_sigma - v_sigma * zv_base;
+  }
+};
+
+/// Shift toward the timing-failure region {D > t_max_ps}: direction from
+/// the canonical circuit delay's global sensitivities (gl, gv), magnitude
+/// the standardized distance from the delay mean to the target along that
+/// direction (the most likely failure point of the linearized limit state),
+/// clamped to [0, 6] sigma. Returns an inactive shift when the target sits
+/// at or below the mean (failures are not rare — plain MC is fine) or when
+/// the delay carries no global sensitivity.
+IsShift compute_timing_is_shift(const Circuit& circuit,
+                                const CellLibrary& lib,
+                                const VariationModel& var, double t_max_ps);
+
+/// Shift toward the high-leakage tail: direction opposite the leakage
+/// exponent's global gradient (leakage is exp(-cL dL - cV dVth), so *low*
+/// dL / dVth means high leakage), magnitude Phi^-1(p) so the shifted mean
+/// sits near the p-quantile of the global log-leakage factor. Requires
+/// p in (0.5, 1); clamped to 6 sigma.
+IsShift compute_leakage_is_shift(const CellLibrary& lib,
+                                 const VariationModel& var, double p);
+
+/// Precomputed conditional-mean leakage proxy X(global) = E[L_total |
+/// global draw]. Per-sample evaluation is O(1): every gate's conditional
+/// mean shares one factor depending only on the global draw, so the
+/// gate sum collapses into a single precomputed constant.
+class CvLeakageModel {
+ public:
+  CvLeakageModel(const Circuit& circuit, const CellLibrary& lib,
+                 const VariationModel& var);
+
+  /// X for one global draw [nA].
+  double proxy_na(const GlobalSample& g) const;
+
+  /// The exact analytic mean E[X] = E[L_total] [nA] (sum of exact per-gate
+  /// lognormal means, same math as LeakageAnalyzer::mean_na()).
+  double analytic_mean_na() const { return analytic_mean_na_; }
+
+ private:
+  double cl_ = 0.0;       ///< leakage exponent on dL [1/nm]
+  double cv_ = 0.0;       ///< leakage exponent on dVth [1/V]
+  double q_ = 0.0;        ///< quadratic dL exponent [1/nm^2]
+  double sig_ll2_ = 0.0;  ///< intra-die dL variance [nm^2]
+  double base_sum_na_ = 0.0;  ///< sum_g nominal_g * E[exp(-cV dVth_loc,g)]
+  double analytic_mean_na_ = 0.0;
+};
+
+}  // namespace statleak

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "leakage/batch_leakage.hpp"
@@ -18,11 +19,28 @@
 #include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/sobol.hpp"
 
 namespace statleak {
 
+const char* to_string(McSampler sampler) {
+  switch (sampler) {
+    case McSampler::kPseudo: return "pseudo";
+    case McSampler::kSobol: return "sobol";
+  }
+  return "unknown";
+}
+
+double McResult::ess() const {
+  if (weights.empty()) return static_cast<double>(delay_ps.size());
+  return effective_sample_size(weights);
+}
+
 double McResult::timing_yield(double t_max_ps) const {
   STATLEAK_CHECK(!delay_ps.empty(), "no samples");
+  if (!weights.empty()) {
+    return weighted_fraction_below(delay_ps, weights, t_max_ps);
+  }
   std::size_t pass = 0;
   for (double d : delay_ps) {
     if (d <= t_max_ps) ++pass;
@@ -34,6 +52,17 @@ double McResult::combined_yield(double t_max_ps, double leak_cap_na) const {
   STATLEAK_CHECK(!delay_ps.empty(), "no samples");
   STATLEAK_CHECK(delay_ps.size() == leakage_na.size(),
                  "delay/leakage sample mismatch");
+  if (!weights.empty()) {
+    // Encode the joint indicator (pass = 0, fail = 1) and reuse the
+    // lower-variance-side unnormalized fraction estimator.
+    std::vector<double> fail(delay_ps.size());
+    for (std::size_t i = 0; i < delay_ps.size(); ++i) {
+      fail[i] = delay_ps[i] <= t_max_ps && leakage_na[i] <= leak_cap_na
+                    ? 0.0
+                    : 1.0;
+    }
+    return weighted_fraction_below(fail, weights, 0.5);
+  }
   std::size_t pass = 0;
   for (std::size_t i = 0; i < delay_ps.size(); ++i) {
     if (delay_ps[i] <= t_max_ps && leakage_na[i] <= leak_cap_na) ++pass;
@@ -42,9 +71,75 @@ double McResult::combined_yield(double t_max_ps, double leak_cap_na) const {
 }
 
 double McResult::yield_stderr(double t_max_ps) const {
+  if (!weights.empty()) {
+    // Standard error of the unnormalized estimator on its quieter side —
+    // the same side timing_yield() reports.
+    return weighted_fraction_below_est(delay_ps, weights, t_max_ps)
+        .std_error;
+  }
   const double y = timing_yield(t_max_ps);
   const auto n = static_cast<double>(delay_ps.size());
   return std::sqrt(std::max(0.0, y * (1.0 - y) / n));
+}
+
+double McResult::leakage_quantile_na(double p) const {
+  if (!weights.empty()) return weighted_quantile(leakage_na, weights, p);
+  return quantile(leakage_na, p);
+}
+
+double McResult::delay_quantile_ps(double p) const {
+  if (!weights.empty()) return weighted_quantile(delay_ps, weights, p);
+  return quantile(delay_ps, p);
+}
+
+double McResult::leakage_mean_ci_na(double confidence) const {
+  if (!weights.empty()) {
+    return weighted_mean_ci_halfwidth(leakage_na, weights, confidence);
+  }
+  return mean_ci_halfwidth(leakage_na, confidence);
+}
+
+double McResult::delay_mean_ci_ps(double confidence) const {
+  if (!weights.empty()) {
+    return weighted_mean_ci_halfwidth(delay_ps, weights, confidence);
+  }
+  return mean_ci_halfwidth(delay_ps, confidence);
+}
+
+double McResult::cv_beta() const {
+  STATLEAK_CHECK(!cv_proxy_na.empty(),
+                 "control variate was not enabled for this run");
+  STATLEAK_CHECK(cv_proxy_na.size() == leakage_na.size(),
+                 "proxy/sample mismatch");
+  const std::size_t m = leakage_na.size();
+  if (m < 2) return 0.0;
+  const double ly = mean_of(leakage_na);
+  const double lx = mean_of(cv_proxy_na);
+  double cov = 0.0;
+  double var = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double dx = cv_proxy_na[i] - lx;
+    cov += dx * (leakage_na[i] - ly);
+    var += dx * dx;
+  }
+  if (var <= 0.0) return 0.0;
+  return cov / var;
+}
+
+double McResult::cv_leakage_mean_na() const {
+  const double beta = cv_beta();
+  return mean_of(leakage_na) - beta * (mean_of(cv_proxy_na) -
+                                       cv_proxy_mean_na);
+}
+
+double McResult::cv_leakage_quantile_na(double p) const {
+  const double beta = cv_beta();
+  std::vector<double> corrected(leakage_na.size());
+  for (std::size_t i = 0; i < leakage_na.size(); ++i) {
+    corrected[i] =
+        leakage_na[i] - beta * (cv_proxy_na[i] - cv_proxy_mean_na);
+  }
+  return quantile(corrected, p);
 }
 
 namespace {
@@ -59,7 +154,48 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
                          obs::Registry* obs) {
   STATLEAK_CHECK(config.num_samples > 0, "need at least one sample");
   var.validate();
+  STATLEAK_CHECK(!(config.control_variate && config.is_shift.active()),
+                 "control variate and importance sampling cannot be "
+                 "combined: the conditional-mean proxy assumes the nominal "
+                 "global distribution");
+  STATLEAK_CHECK(std::isfinite(config.is_shift.l_sigma) &&
+                     std::isfinite(config.is_shift.v_sigma),
+                 "importance shift must be finite");
+  if (config.is_shift.l_sigma != 0.0) {
+    STATLEAK_CHECK(var.sigma_l_inter_nm > 0.0,
+                   "importance shift on dL requires a nonzero inter-die "
+                   "length sigma");
+  }
+  if (config.is_shift.v_sigma != 0.0) {
+    STATLEAK_CHECK(var.sigma_vth_inter_v > 0.0,
+                   "importance shift on dVth requires a nonzero inter-die "
+                   "Vth sigma");
+  }
   obs::ScopedTimer timer(obs, "mc.samples");
+
+  // Scrambled-Sobol points for the two global dimensions; the intra-die
+  // draws always stay on the per-sample pseudo-random streams. Point s is a
+  // pure function of (seed, s), same determinism contract as Rng::stream.
+  std::optional<SobolSequence> sobol_seq;
+  if (config.sampler == McSampler::kSobol) sobol_seq.emplace(config.seed);
+  const SobolSequence* qmc = sobol_seq ? &*sobol_seq : nullptr;
+
+  // One global draw for slot s. The historical pseudo path must keep the
+  // exact sample_global() call so existing seeds reproduce bit-for-bit;
+  // the general path draws standardized deviates (Sobol point or the same
+  // two stream normals), applies the standardized importance shift, and
+  // scales. With pseudo + shift the stream consumes the same two normals
+  // as before, so the per-gate draws that follow are unchanged.
+  const IsShift shift = config.is_shift;
+  const bool legacy_draw = qmc == nullptr && !shift.active();
+  const auto draw_global = [&var, &shift, qmc, legacy_draw](
+                               std::size_t s, Rng& rng) -> GlobalSample {
+    if (legacy_draw) return sample_global(var, rng);
+    const double zl = qmc != nullptr ? qmc->normal(s, 0) : rng.normal();
+    const double zv = qmc != nullptr ? qmc->normal(s, 1) : rng.normal();
+    return {var.sigma_l_inter_nm * (zl + shift.l_sigma),
+            var.sigma_vth_inter_v * (zv + shift.v_sigma)};
+  };
 
   // Shared, read-only during the sample loop: the engines' per-sample entry
   // points are const and take caller-owned scratch, so one instance serves
@@ -203,7 +339,7 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
             // gate-major blocks as they land.
             for (std::size_t lane = 0; lane < lanes; ++lane) {
               Rng rng = Rng::stream(config.seed, s0 + lane);
-              GlobalSample die = sample_global(var, rng);
+              GlobalSample die = draw_global(s0 + lane, rng);
               if (STATLEAK_FAULT_FIRES(fault::Point::kNanDeviate,
                                        s0 + lane)) {
                 die.dvth_v = std::numeric_limits<double>::quiet_NaN();
@@ -276,7 +412,7 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
             }
             STATLEAK_FAULT_STALL(fault::Point::kShardStall, s);
             Rng rng = Rng::stream(config.seed, s);
-            GlobalSample die = sample_global(var, rng);
+            GlobalSample die = draw_global(s, rng);
             if (STATLEAK_FAULT_FIRES(fault::Point::kNanDeviate, s)) {
               die.dvth_v = std::numeric_limits<double>::quiet_NaN();
             }
@@ -334,6 +470,51 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
         {static_cast<std::uint64_t>(s), static_cast<HealthCause>(cause)});
   }
 
+  // --- estimator side-channels ---------------------------------------------
+  // Importance weights and control-variate proxies are recomputed here,
+  // serially, from the slot index alone: either sampler makes the global
+  // deviates of slot s a pure function of (seed, s). That keeps the hot
+  // loops untouched, makes this pass bit-identical for any thread count,
+  // batch size, or resume history, and spares the checkpoint format from
+  // storing weights at all. Both vectors are built survivor-aligned.
+  if (shift.active() || config.control_variate) {
+    std::optional<CvLeakageModel> cv;
+    if (config.control_variate) {
+      cv.emplace(circuit, lib, var);
+      result.cv_proxy_mean_na = cv->analytic_mean_na();
+      result.cv_proxy_na.reserve(result.samples_done);
+    }
+    if (shift.active()) result.weights.reserve(result.samples_done);
+    std::size_t q = 0;  // cursor into the slot-ordered quarantine list
+    for (std::size_t s = 0; s < num_samples; ++s) {
+      if (done[s] == 0) continue;
+      if (q < result.quarantined.size() && result.quarantined[q].slot == s) {
+        ++q;
+        continue;
+      }
+      double zl;
+      double zv;
+      if (qmc != nullptr) {
+        zl = qmc->normal(s, 0);
+        zv = qmc->normal(s, 1);
+      } else {
+        Rng rng = Rng::stream(config.seed, s);
+        zl = rng.normal();
+        zv = rng.normal();
+      }
+      if (shift.active()) {
+        result.weights.push_back(std::exp(shift.log_weight(zl, zv)));
+      }
+      if (cv) {
+        // No shift here — CV excludes IS — so the physical draw is just
+        // the scaled deviate.
+        const GlobalSample g{var.sigma_l_inter_nm * zl,
+                             var.sigma_vth_inter_v * zv};
+        result.cv_proxy_na.push_back(cv->proxy_na(g));
+      }
+    }
+  }
+
   // Compact the slot-indexed vectors down to surviving samples. The common
   // complete-and-healthy case keeps the full vectors untouched.
   if (!result.completed || !result.quarantined.empty()) {
@@ -355,6 +536,16 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
 
   if (obs != nullptr) {
     obs->add("mc.samples", static_cast<double>(result.delay_ps.size()));
+    obs->note_config("mc.sampler", to_string(config.sampler));
+    if (!result.delay_ps.empty()) {
+      obs->set_gauge("mc.ess", result.ess());
+      obs->set_gauge("mc.leakage_mean_ci_na", result.leakage_mean_ci_na());
+      obs->set_gauge("mc.delay_mean_ci_ps", result.delay_mean_ci_ps());
+      if (config.control_variate) {
+        obs->set_gauge("mc.cv_beta", result.cv_beta());
+        obs->set_gauge("mc.cv_leakage_mean_na", result.cv_leakage_mean_na());
+      }
+    }
     if (!result.quarantined.empty()) {
       std::size_t bad_delay = 0;
       std::size_t bad_leak = 0;

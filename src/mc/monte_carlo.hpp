@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cells/library.hpp"
+#include "mc/estimator.hpp"
 #include "netlist/circuit.hpp"
 #include "obs/registry.hpp"
 #include "tech/variation.hpp"
@@ -36,6 +37,18 @@
 #include "util/stats.hpp"
 
 namespace statleak {
+
+/// How the *global* (inter-die) variation dimensions are sampled. The
+/// intra-die draws always come from the counter-based pseudo-random
+/// streams; the global dimensions carry most of the estimator variance of
+/// full-chip totals, so they are where a low-discrepancy sequence pays.
+enum class McSampler : std::uint8_t {
+  kPseudo = 0,  ///< counter-based xoshiro streams (historical behavior)
+  kSobol = 1,   ///< scrambled-Sobol QMC points (util/sobol.hpp)
+};
+
+/// "pseudo" / "sobol" (stable CLI spellings).
+const char* to_string(McSampler sampler);
 
 /// Execution knobs (`seed`, `num_threads`, `deadline_ms`) come from
 /// ExecConfig. Sample i draws from its own counter-derived RNG stream (see
@@ -69,6 +82,23 @@ struct McConfig : ExecConfig {
   /// checkpoint record. Smaller = finer resume granularity, more I/O.
   /// Ignored without checkpoint_path. Values < 1 are clamped to 1.
   int checkpoint_every = 4096;
+
+  /// Source of the two global (inter-die) deviates. kPseudo reproduces the
+  /// historical per-stream draws bit-for-bit; kSobol replaces them with
+  /// scrambled-Sobol points indexed by slot. Either way sample i is a pure
+  /// function of (seed, i), so thread/batch/resume invariance holds.
+  McSampler sampler = McSampler::kPseudo;
+
+  /// Importance-sampling shift of the global distribution (standardized
+  /// units). Inactive by default. When active, McResult::weights holds the
+  /// exact per-sample likelihood ratios and all statistics self-normalize.
+  /// Mutually exclusive with control_variate (Error).
+  IsShift is_shift;
+
+  /// Correct leakage statistics with the SSTA conditional-mean control
+  /// variate (mc/estimator.hpp). Does not change the sampled values — only
+  /// adds McResult::cv_proxy_na and the cv_* estimators.
+  bool control_variate = false;
 };
 
 struct McResult {
@@ -86,7 +116,27 @@ struct McResult {
   std::uint64_t samples_restored = 0; ///< slots restored from the checkpoint
   std::vector<QuarantinedSample> quarantined;  ///< slot order
 
+  /// Importance-sampling likelihood ratios, aligned with delay_ps /
+  /// leakage_na. Empty (the default) means uniform weights — every
+  /// statistic below then reduces to its historical unweighted form.
+  std::vector<double> weights;
+
+  /// Control-variate proxy X_i = E[L_total | global draw of slot i],
+  /// aligned with leakage_na. Empty unless McConfig::control_variate.
+  std::vector<double> cv_proxy_na;
+  /// Exact analytic E[X] (= E[L_total]); 0 unless control_variate.
+  double cv_proxy_mean_na = 0.0;
+
+  /// Kish effective sample size (sum w)^2 / sum w^2. Equals the survivor
+  /// count for unweighted runs; collapses toward 1 when the importance
+  /// shift overshoots — report it next to any weighted estimate.
+  double ess() const;
+
   /// Fraction of samples meeting the delay target, i.e. MC timing yield.
+  /// With weights: the unbiased unnormalized estimator evaluated on the
+  /// lower-variance side of the target (see weighted_fraction_below_est),
+  /// which is what preserves the importance-sampling gain on tail
+  /// probabilities.
   double timing_yield(double t_max_ps) const;
   /// Fraction of samples meeting BOTH the delay target and a leakage cap —
   /// the "sellable dies" metric of post-silicon compensation studies.
@@ -96,8 +146,23 @@ struct McResult {
 
   SampleSummary delay_summary() const { return summarize(delay_ps); }
   SampleSummary leakage_summary() const { return summarize(leakage_na); }
-  double leakage_quantile_na(double p) const { return quantile(leakage_na, p); }
-  double delay_quantile_ps(double p) const { return quantile(delay_ps, p); }
+  /// Weighted quantiles when weights are present, classic otherwise.
+  double leakage_quantile_na(double p) const;
+  double delay_quantile_ps(double p) const;
+
+  /// 95% (default) confidence half-width of the mean-leakage / mean-delay
+  /// estimate; weight-aware. The run report publishes these as
+  /// mc.leakage_mean_ci_na / mc.delay_mean_ci_ps.
+  double leakage_mean_ci_na(double confidence = 0.95) const;
+  double delay_mean_ci_ps(double confidence = 0.95) const;
+
+  /// Control-variate estimators (Error unless control_variate was on).
+  /// beta = cov(L, X) / var(X), estimated from the surviving samples.
+  double cv_beta() const;
+  /// mean(L) - beta * (mean(X) - E[X]) — unbiased, lower-variance mean.
+  double cv_leakage_mean_na() const;
+  /// Quantile of the per-sample corrected values L_i - beta * (X_i - E[X]).
+  double cv_leakage_quantile_na(double p) const;
 };
 
 /// Runs the Monte-Carlo analysis. Deterministic for a given config.

@@ -1,0 +1,140 @@
+#include "util/sobol.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+#include "util/normal.hpp"
+#include "util/rng.hpp"
+
+namespace statleak {
+
+namespace {
+
+/// Primitive polynomial + Joe–Kuo initial direction values for dimensions
+/// 1..15 (dimension 0 is the van der Corput sequence, whose direction
+/// numbers are the plain powers of two). `s` is the polynomial degree, `a`
+/// encodes the middle coefficients, `m` the first s initial values (odd,
+/// m_k < 2^k). From the new-joe-kuo-6 table (Joe & Kuo, ACM TOMS 2003).
+struct DimSpec {
+  unsigned s;
+  std::uint32_t a;
+  std::uint32_t m[6];
+};
+
+constexpr DimSpec kDims[kSobolMaxDims - 1] = {
+    {1, 0, {1}},
+    {2, 1, {1, 3}},
+    {3, 1, {1, 3, 1}},
+    {3, 2, {1, 1, 1}},
+    {4, 1, {1, 1, 3, 3}},
+    {4, 4, {1, 3, 5, 13}},
+    {5, 2, {1, 1, 5, 5, 17}},
+    {5, 4, {1, 1, 5, 5, 5}},
+    {5, 7, {1, 1, 7, 11, 19}},
+    {5, 11, {1, 1, 5, 1, 1}},
+    {5, 13, {1, 1, 1, 3, 11}},
+    {5, 14, {1, 3, 5, 5, 31}},
+    {6, 1, {1, 3, 3, 9, 7, 49}},
+    {6, 13, {1, 1, 1, 15, 21, 21}},
+    {6, 16, {1, 3, 1, 13, 27, 49}},
+};
+
+/// All 32 direction numbers of every dimension, expanded once at static
+/// initialization from the m-value recurrence
+///   m_k = 2 a_1 m_{k-1} ^ 4 a_2 m_{k-2} ^ ... ^ 2^s m_{k-s} ^ m_{k-s}.
+/// v[dim][j] carries m_{j+1} << (31 - j): digit j of the point (counting
+/// from the binary point) lives in bit (31 - j).
+struct DirectionTable {
+  std::uint32_t v[kSobolMaxDims][32];
+
+  DirectionTable() {
+    for (unsigned j = 0; j < 32; ++j) v[0][j] = 1u << (31 - j);
+    for (unsigned dim = 1; dim < kSobolMaxDims; ++dim) {
+      const DimSpec& d = kDims[dim - 1];
+      std::uint32_t m[32];
+      for (unsigned k = 0; k < d.s; ++k) m[k] = d.m[k];
+      for (unsigned k = d.s; k < 32; ++k) {
+        std::uint32_t mk = m[k - d.s] ^ (m[k - d.s] << d.s);
+        for (unsigned i = 1; i < d.s; ++i) {
+          if ((d.a >> (d.s - 1 - i)) & 1u) mk ^= m[k - i] << i;
+        }
+        m[k] = mk;
+      }
+      for (unsigned j = 0; j < 32; ++j) v[dim][j] = m[j] << (31 - j);
+    }
+  }
+};
+
+const DirectionTable kDirections;
+
+/// Reverses the 32-bit digit string (digit j <-> digit 31-j).
+std::uint32_t reverse_bits32(std::uint32_t x) {
+  x = (x << 16) | (x >> 16);
+  x = ((x & 0x00FF00FFu) << 8) | ((x & 0xFF00FF00u) >> 8);
+  x = ((x & 0x0F0F0F0Fu) << 4) | ((x & 0xF0F0F0F0u) >> 4);
+  x = ((x & 0x33333333u) << 2) | ((x & 0xCCCCCCCCu) >> 2);
+  x = ((x & 0x55555555u) << 1) | ((x & 0xAAAAAAAAu) >> 1);
+  return x;
+}
+
+}  // namespace
+
+std::uint32_t sobol_raw32(std::uint64_t index, unsigned dim) {
+  STATLEAK_CHECK(dim < kSobolMaxDims, "Sobol dimension out of range");
+  STATLEAK_CHECK(index >> 32 == 0, "Sobol index needs more than 32 digits");
+  std::uint32_t x = 0;
+  auto bits = static_cast<std::uint32_t>(index);
+  const std::uint32_t* v = kDirections.v[dim];
+  while (bits != 0) {
+    const int j = std::countr_zero(bits);
+    x ^= v[j];
+    bits &= bits - 1;  // clear lowest set bit
+  }
+  return x;
+}
+
+std::uint32_t owen_scramble32(std::uint32_t x, std::uint32_t key) {
+  // Laine–Karras style hash acting on the reversed digit string: after the
+  // reversal, digit d of the point is bit d of the word, and every
+  // operation below only propagates information from lower to higher bits —
+  // i.e. each digit's flip depends only on the more significant digits of
+  // the point (its ancestors in the digit tree) and the key, which is
+  // exactly the structure of an Owen scramble. Constants from Burley 2020.
+  x = reverse_bits32(x);
+  x += key;
+  x ^= x * 0x6c50b47cu;
+  x ^= x * 0xb82f1e52u;
+  x ^= x * 0xc7afe638u;
+  x ^= x * 0x8d22f6e6u;
+  return reverse_bits32(x);
+}
+
+SobolSequence::SobolSequence(std::uint64_t seed) : seed_(seed) {
+  // Per-dimension scramble keys from the same counter-based derivation the
+  // RNG streams use; the tag keeps the key space disjoint from sample
+  // streams under the same master seed.
+  constexpr std::uint64_t kTag = 0x534F424F4C514D43ull;  // "SOBOLQMC"
+  for (unsigned dim = 0; dim < kSobolMaxDims; ++dim) {
+    keys_[dim] = static_cast<std::uint32_t>(
+        stream_seed(seed ^ kTag, dim) >> 32);
+  }
+}
+
+double SobolSequence::uniform(std::uint64_t index, unsigned dim) const {
+  STATLEAK_CHECK(dim < kSobolMaxDims, "Sobol dimension out of range");
+  const std::uint32_t hi =
+      owen_scramble32(sobol_raw32(index, dim), keys_[dim]);
+  // 21 dither bits below the scrambled digits: full 53-bit mantissas, and
+  // the +1 offset keeps the value strictly inside (0, 1).
+  const std::uint64_t lo =
+      mix64(stream_seed(seed_ ^ (0xD1D4ull << 32 | dim), index)) &
+      ((1ull << 21) - 1);
+  const std::uint64_t mantissa = (static_cast<std::uint64_t>(hi) << 21) | lo;
+  return (static_cast<double>(mantissa) + 1.0) * 0x1.0p-53;
+}
+
+double SobolSequence::normal(std::uint64_t index, unsigned dim) const {
+  return normal_inverse_cdf(uniform(index, dim));
+}
+
+}  // namespace statleak

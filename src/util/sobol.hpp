@@ -1,0 +1,85 @@
+/// \file sobol.hpp
+/// \brief Scrambled-Sobol quasi-Monte-Carlo point set with random access.
+///
+/// The Monte-Carlo engines sample the *global* (inter-die) variation
+/// dimensions with far more leverage than the per-gate local draws: the
+/// inter-die components are shared by every gate, so they dominate the
+/// variance of full-chip totals. Replacing the pseudo-random draws of those
+/// few dimensions with a low-discrepancy sequence cuts the variance of
+/// mean/quantile estimates without touching the (already variance-averaged)
+/// local draws — the classic "effective dimension" argument for hybrid
+/// QMC/MC sampling.
+///
+/// This header provides a digital (t, s)-sequence in base 2 (Sobol')
+/// evaluated by *random access*: point `index` of dimension `dim` is a pure
+/// function of (seed, index, dim), exactly like the counter-based RNG
+/// streams of util/rng.hpp. That gives the QMC path the same determinism
+/// contract the engines already rely on:
+///
+///   - thread-invariant: sample i's point never depends on evaluation order;
+///   - resumable: a checkpoint only needs the slot index to regenerate the
+///     point bit-identically;
+///   - prefix-preserving: the first N points of an M-point run (M > N) are
+///     exactly the N-point run's points.
+///
+/// Scrambling is Owen-style nested uniform scrambling implemented with the
+/// Laine–Karras hash construction (as refined by Burley, "Practical
+/// hash-based Owen scrambling", JCGT 2020): the output digits are permuted
+/// by a per-dimension keyed hash acting on the bit-reversed coordinate,
+/// which applies an (approximately) independent random permutation at every
+/// node of the binary digit tree. Owen scrambling preserves the elementary
+/// intervals of the net — the first 2^k points of any dimension still
+/// stratify [0,1) into 2^k equal bins with exactly one point each (pinned
+/// by tests/sobol_test.cpp) — while decorrelating the points across
+/// replications, so averaging runs with different seeds gives an unbiased
+/// estimate with a measurable variance.
+///
+/// Direction numbers cover kSobolMaxDims dimensions (degree-<=6 primitive
+/// polynomials with Joe–Kuo initial values); the engines use two (global
+/// dL, global dVth). 32 scrambled digits are dithered with 21 further
+/// seeded random bits so uniforms carry full 53-bit resolution and never
+/// return exactly 0 or 1 (the inverse normal CDF must stay finite).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace statleak {
+
+inline constexpr unsigned kSobolMaxDims = 16;
+
+/// Unscrambled 32-digit Sobol' coordinate of point `index` in dimension
+/// `dim` (binary-digit construction, no Gray code — random access). The
+/// implicit binary point sits before bit 31: value = result * 2^-32.
+/// Requires dim < kSobolMaxDims and index < 2^32; throws statleak::Error
+/// otherwise.
+std::uint32_t sobol_raw32(std::uint64_t index, unsigned dim);
+
+/// Hash-based Owen scramble of one 32-digit net coordinate under `key`.
+/// Deterministic in (x, key); key 0 is a valid (non-identity) scramble.
+std::uint32_t owen_scramble32(std::uint32_t x, std::uint32_t key);
+
+/// A seeded, scrambled Sobol' sequence over kSobolMaxDims dimensions.
+/// Copyable and cheap to construct; safe to share across threads (all
+/// methods are const and stateless beyond the keys).
+class SobolSequence {
+ public:
+  explicit SobolSequence(std::uint64_t seed);
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Scrambled point `index` of dimension `dim`, mapped into the *open*
+  /// interval (0, 1) with 53-bit resolution (scrambled digits above a
+  /// seeded sub-2^-32 dither).
+  double uniform(std::uint64_t index, unsigned dim) const;
+
+  /// Standard normal deviate Phi^-1(uniform(index, dim)). Always finite.
+  double normal(std::uint64_t index, unsigned dim) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::array<std::uint32_t, kSobolMaxDims> keys_{};  ///< per-dim scramble keys
+};
+
+}  // namespace statleak

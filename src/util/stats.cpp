@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/normal.hpp"
 
 namespace statleak {
 
@@ -126,6 +127,160 @@ double stddev_of(std::span<const double> data) {
   RunningStats rs;
   for (double x : data) rs.add(x);
   return rs.stddev();
+}
+
+namespace {
+
+/// Shared validation for the weighted estimators. Returns sum(w).
+double check_weights(std::span<const double> values,
+                     std::span<const double> weights) {
+  STATLEAK_CHECK(!values.empty(), "weighted estimator of empty data");
+  STATLEAK_CHECK(values.size() == weights.size(),
+                 "weighted estimator: value/weight size mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    STATLEAK_CHECK(w >= 0.0, "weighted estimator: negative weight");
+    total += w;
+  }
+  STATLEAK_CHECK(total > 0.0, "weighted estimator: total weight is zero");
+  return total;
+}
+
+}  // namespace
+
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights) {
+  const double total = check_weights(values, weights);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum += weights[i] * values[i];
+  }
+  return sum / total;
+}
+
+double weighted_quantile(std::span<const double> values,
+                         std::span<const double> weights, double q) {
+  const double total = check_weights(values, weights);
+  STATLEAK_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  // Argsort by value; ties keep index order, so the result is independent
+  // of the caller's sample ordering only up to tie grouping — fine, tied
+  // values interpolate to the same number.
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;
+  });
+  // Midpoint positions of the weighted empirical CDF. Zero-weight samples
+  // are skipped outright: they carry no mass, so they must neither anchor
+  // an interpolation segment nor win the extreme clamps.
+  const double target = q * total;
+  double cum = 0.0;
+  double prev_pos = -1.0;  // sentinel: no positive-weight sample yet
+  double prev_val = 0.0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const double w = weights[order[k]];
+    if (w == 0.0) continue;
+    const double pos = cum + 0.5 * w;  // midpoint of this sample's mass
+    const double val = values[order[k]];
+    if (target <= pos) {
+      if (prev_pos < 0.0) return val;  // clamp below the first midpoint
+      const double frac = (target - prev_pos) / (pos - prev_pos);
+      return prev_val + frac * (val - prev_val);
+    }
+    cum += w;
+    prev_pos = pos;
+    prev_val = val;
+  }
+  return prev_val;  // clamp above the last midpoint (total > 0 => set)
+}
+
+FractionEstimate weighted_fraction_below_est(std::span<const double> values,
+                                             std::span<const double> weights,
+                                             double threshold) {
+  (void)check_weights(values, weights);
+  const auto n = static_cast<double>(values.size());
+  double sum_b = 0.0;   // weight mass below the threshold
+  double sum2_b = 0.0;  // sum of squared below-side summands
+  double sum_a = 0.0;
+  double sum2_a = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double w = weights[i];
+    if (values[i] <= threshold) {
+      sum_b += w;
+      sum2_b += w * w;
+    } else {
+      sum_a += w;
+      sum2_a += w * w;
+    }
+  }
+  const double pb = sum_b / n;
+  const double pa = sum_a / n;
+  // Variance of the unnormalized mean estimator on each side; estimate
+  // from whichever side the weights make quieter.
+  const double var_b = std::max(0.0, sum2_b / n - pb * pb) / n;
+  const double var_a = std::max(0.0, sum2_a / n - pa * pa) / n;
+  FractionEstimate est;
+  if (var_b <= var_a) {
+    est.value = pb;
+    est.std_error = std::sqrt(var_b);
+  } else {
+    est.value = 1.0 - pa;
+    est.std_error = std::sqrt(var_a);
+  }
+  est.value = std::min(1.0, std::max(0.0, est.value));
+  return est;
+}
+
+double weighted_fraction_below(std::span<const double> values,
+                               std::span<const double> weights,
+                               double threshold) {
+  return weighted_fraction_below_est(values, weights, threshold).value;
+}
+
+double effective_sample_size(std::span<const double> weights) {
+  STATLEAK_CHECK(!weights.empty(), "effective sample size of empty weights");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double w : weights) {
+    STATLEAK_CHECK(w >= 0.0, "effective sample size: negative weight");
+    sum += w;
+    sum_sq += w * w;
+  }
+  STATLEAK_CHECK(sum_sq > 0.0, "effective sample size: all weights zero");
+  return sum * sum / sum_sq;
+}
+
+namespace {
+
+double ci_z(double confidence) {
+  STATLEAK_CHECK(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0, 1)");
+  return normal_inverse_cdf(0.5 * (1.0 + confidence));
+}
+
+}  // namespace
+
+double mean_ci_halfwidth(std::span<const double> data, double confidence) {
+  STATLEAK_CHECK(!data.empty(), "confidence interval of empty data");
+  const double z = ci_z(confidence);
+  if (data.size() < 2) return 0.0;
+  return z * stddev_of(data) / std::sqrt(static_cast<double>(data.size()));
+}
+
+double weighted_mean_ci_halfwidth(std::span<const double> values,
+                                  std::span<const double> weights,
+                                  double confidence) {
+  const double total = check_weights(values, weights);
+  const double z = ci_z(confidence);
+  if (values.size() < 2) return 0.0;
+  const double m = weighted_mean(values, weights);
+  double s = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double d = values[i] - m;
+    s += weights[i] * weights[i] * d * d;
+  }
+  return z * std::sqrt(s) / total;
 }
 
 Histogram::Histogram(double lo_, double hi_, std::size_t nbins)

@@ -65,6 +65,68 @@ double mean_of(std::span<const double> data);
 /// Unbiased sample standard deviation; 0 for n < 2.
 double stddev_of(std::span<const double> data);
 
+// --- weighted estimators (importance sampling) -----------------------------
+// The importance-sampling Monte-Carlo mode attaches a positive likelihood
+// ratio w_i to every sample; all estimates become self-normalized weighted
+// versions of their plain counterparts. Every function below treats an
+// equal-weight input as the plain estimator (up to the documented quantile
+// position convention) and throws statleak::Error on size mismatches,
+// empty data, non-positive total weight, or negative weights.
+
+/// Self-normalized weighted mean: sum(w_i x_i) / sum(w_i).
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights);
+
+/// Weighted quantile by linear interpolation of the weighted empirical CDF
+/// evaluated at the midpoint positions p_i = (C_i - w_i/2) / W (Hyndman &
+/// Fan type "mid-distribution"); q outside the covered range clamps to the
+/// extreme order statistics. With equal weights this reproduces the
+/// midpoint-position quantile, which converges to quantile() as n grows.
+double weighted_quantile(std::span<const double> values,
+                         std::span<const double> weights, double q);
+
+/// A probability estimate with its standard error.
+struct FractionEstimate {
+  double value = 0.0;
+  double std_error = 0.0;
+};
+
+/// Importance-sampled fraction of values <= threshold. The weights are
+/// exact likelihood ratios (E[w] = 1), so the *unnormalized* estimator
+/// sum(w_i [x_i <= t]) / n is unbiased; the estimator is evaluated on
+/// whichever side of the threshold has the smaller empirical variance and
+/// complemented if needed. This matters: a tail-directed shift makes the
+/// rare side's summand tiny-weighted and precise, while the self-normalized
+/// form would re-import the weight-sum noise of the bulk side and forfeit
+/// most of the variance reduction. Equal weights reduce to the plain
+/// fraction either way. The result is clamped to [0, 1].
+FractionEstimate weighted_fraction_below_est(std::span<const double> values,
+                                             std::span<const double> weights,
+                                             double threshold);
+
+/// Value-only convenience wrapper around weighted_fraction_below_est().
+double weighted_fraction_below(std::span<const double> values,
+                               std::span<const double> weights,
+                               double threshold);
+
+/// Kish effective sample size (sum w)^2 / sum(w^2): the number of plain
+/// samples whose estimator variance the weighted set is worth. Equals n for
+/// equal weights; collapses toward 1 as the weights degenerate.
+double effective_sample_size(std::span<const double> weights);
+
+/// Half-width of the normal-approximation confidence interval on the mean:
+/// z * stddev / sqrt(n), with z = Phi^-1((1 + confidence) / 2). 0 for
+/// n < 2; throws on empty data or confidence outside (0, 1).
+double mean_ci_halfwidth(std::span<const double> data,
+                         double confidence = 0.95);
+
+/// Half-width of the CI on a self-normalized weighted mean, via the
+/// standard delta-method variance  sum(w_i^2 (x_i - m)^2) / (sum w)^2.
+/// Falls back to mean_ci_halfwidth semantics for equal weights.
+double weighted_mean_ci_halfwidth(std::span<const double> values,
+                                  std::span<const double> weights,
+                                  double confidence = 0.95);
+
 /// Equal-width histogram over [lo, hi]; values outside are clamped to the
 /// boundary bins. Used by the distribution-figure benches.
 struct Histogram {

@@ -266,6 +266,44 @@ TEST_F(CheckpointTest, UncommittedTailIsDroppedNotFatal) {
 
 // ------------------------------------------------- resume bit-identity ----
 
+TEST_F(CheckpointTest, ConfigHashCoversSamplerAndImportanceShift) {
+  // The sampler kind and importance shift change every sampled value, so
+  // they must be part of the config fingerprint: a Sobol or shifted run
+  // must not resume a pseudo checkpoint. The control-variate flag leaves
+  // samples untouched and is deliberately NOT fingerprinted.
+  std::vector<double> widths(circuit_.num_gates(), -1.0);
+  for (GateId id = 0; id < circuit_.num_gates(); ++id) {
+    const Gate& g = circuit_.gate(id);
+    if (g.kind != CellKind::kInput) {
+      widths[id] = lib_.area_um(g.kind, g.size);
+    }
+  }
+  const McConfig cfg = base_config();
+  const std::uint64_t base = mc_checkpoint_hash(circuit_, var_, cfg, widths);
+
+  McConfig sobol = cfg;
+  sobol.sampler = McSampler::kSobol;
+  const std::uint64_t sobol_hash =
+      mc_checkpoint_hash(circuit_, var_, sobol, widths);
+  EXPECT_NE(sobol_hash, base);
+
+  McConfig shifted = cfg;
+  shifted.is_shift = {0.5, 0.0};
+  const std::uint64_t shift_l =
+      mc_checkpoint_hash(circuit_, var_, shifted, widths);
+  shifted.is_shift = {0.0, 0.5};
+  const std::uint64_t shift_v =
+      mc_checkpoint_hash(circuit_, var_, shifted, widths);
+  EXPECT_NE(shift_l, base);
+  EXPECT_NE(shift_v, base);
+  EXPECT_NE(shift_l, shift_v);
+  EXPECT_NE(shift_l, sobol_hash);
+
+  McConfig cv = cfg;
+  cv.control_variate = true;
+  EXPECT_EQ(mc_checkpoint_hash(circuit_, var_, cv, widths), base);
+}
+
 TEST_F(CheckpointTest, KillResumeBitIdenticalAcrossEnginesAndThreads) {
   // The tentpole guarantee. Reference: one uninterrupted run. Then, for
   // three cut points, rebuild a partial checkpoint holding only the slots

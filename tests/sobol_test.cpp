@@ -1,0 +1,180 @@
+/// Scrambled-Sobol sequence tests: golden direction-number/scramble
+/// vectors (pinning the exact bit patterns the MC determinism contract
+/// relies on), the stratification properties that make QMC work, and the
+/// random-access determinism contract itself.
+
+#include "util/sobol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace statleak {
+namespace {
+
+// --- golden vectors ---------------------------------------------------------
+// These pin the implementation bit-for-bit: direction-number tables,
+// digit-XOR accumulation, and the hash-based Owen scramble. Any change
+// here invalidates every Sobol-mode Monte-Carlo checkpoint and golden
+// result, so it must be deliberate.
+
+TEST(Sobol, RawGoldenVectorsFirstDims) {
+  const std::uint32_t kDim0[8] = {0x00000000u, 0x80000000u, 0x40000000u,
+                                  0xc0000000u, 0x20000000u, 0xa0000000u,
+                                  0x60000000u, 0xe0000000u};
+  const std::uint32_t kDim1[8] = {0x00000000u, 0x80000000u, 0xc0000000u,
+                                  0x40000000u, 0xa0000000u, 0x20000000u,
+                                  0x60000000u, 0xe0000000u};
+  const std::uint32_t kDim2[8] = {0x00000000u, 0x80000000u, 0xc0000000u,
+                                  0x40000000u, 0x60000000u, 0xe0000000u,
+                                  0xa0000000u, 0x20000000u};
+  const std::uint32_t kDim3[8] = {0x00000000u, 0x80000000u, 0xc0000000u,
+                                  0x40000000u, 0x20000000u, 0xa0000000u,
+                                  0xe0000000u, 0x60000000u};
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(sobol_raw32(i, 0), kDim0[i]) << "dim 0 index " << i;
+    EXPECT_EQ(sobol_raw32(i, 1), kDim1[i]) << "dim 1 index " << i;
+    EXPECT_EQ(sobol_raw32(i, 2), kDim2[i]) << "dim 2 index " << i;
+    EXPECT_EQ(sobol_raw32(i, 3), kDim3[i]) << "dim 3 index " << i;
+  }
+}
+
+TEST(Sobol, Dim0IsBitReversedIndex) {
+  // The first dimension is the van der Corput sequence: point i is the
+  // 32-bit bit reversal of i.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t rev = 0;
+    for (int b = 0; b < 32; ++b) {
+      if ((i >> b) & 1u) rev |= 1u << (31 - b);
+    }
+    EXPECT_EQ(sobol_raw32(i, 0), rev);
+  }
+}
+
+TEST(Sobol, OwenScrambleGoldenVectors) {
+  const std::uint32_t kKey = 0x9e3779b9u;
+  const std::uint32_t kWant[4] = {0xbac6d875u, 0x4b228be7u, 0x350f5cceu,
+                                  0xf6cc311cu};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(owen_scramble32(sobol_raw32(i, 1), kKey), kWant[i]);
+  }
+}
+
+TEST(Sobol, SequenceUniformGoldenVectors) {
+  const SobolSequence q(42);
+  const double kWant[4][3] = {
+      {0.064228044246581129, 0.11699967315867166, 0.73651489838826156},
+      {0.69161415993800857, 0.7430305135203179, 0.29918517342268558},
+      {0.25679657360213737, 0.94902353085857416, 0.20156509787113874},
+      {0.98789241906294945, 0.30523382343819283, 0.94104441347109302},
+  };
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    for (unsigned d = 0; d < 3; ++d) {
+      EXPECT_DOUBLE_EQ(q.uniform(i, d), kWant[i][d])
+          << "index " << i << " dim " << d;
+    }
+  }
+}
+
+// --- stratification ---------------------------------------------------------
+
+TEST(Sobol, ScrambledPrefixStratifiesEveryDim) {
+  // For every dimension the first 2^k points land in the 2^k equal bins
+  // exactly once — the base-2 (0,m,1)-net property, which Owen-style
+  // scrambling preserves. This is the property that makes QMC converge
+  // faster than MC; the dither bits below bit 32 cannot break it for
+  // k <= 8.
+  const SobolSequence q(7);
+  for (unsigned dim = 0; dim < kSobolMaxDims; ++dim) {
+    std::set<int> bins;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      bins.insert(static_cast<int>(q.uniform(i, dim) * 256.0));
+    }
+    EXPECT_EQ(bins.size(), 256u) << "dim " << dim;
+  }
+}
+
+TEST(Sobol, ScrambledPairStratifiesElementaryIntervals) {
+  // The (dim 0, dim 1) projection — the two global variation dimensions
+  // of the MC engine — forms a (0,2)-net: 256 points hit all 16x16 cells
+  // exactly once, even after per-dimension scrambling.
+  for (std::uint64_t seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    const SobolSequence q(seed);
+    std::set<int> cells;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      const int cx = static_cast<int>(q.uniform(i, 0) * 16.0);
+      const int cy = static_cast<int>(q.uniform(i, 1) * 16.0);
+      cells.insert(cx * 16 + cy);
+    }
+    EXPECT_EQ(cells.size(), 256u) << "seed " << seed;
+  }
+}
+
+// --- determinism contract ---------------------------------------------------
+
+TEST(Sobol, RandomAccessIsPureFunctionOfSeedAndIndex) {
+  const SobolSequence a(123);
+  const SobolSequence b(123);
+  // Query b out of order and interleaved — random access means no hidden
+  // state, so order cannot matter.
+  std::vector<double> fwd;
+  for (std::uint64_t i = 0; i < 64; ++i) fwd.push_back(a.uniform(i, 1));
+  for (std::uint64_t i = 64; i-- > 0;) {
+    EXPECT_EQ(b.uniform(i, 1), fwd[i]);
+  }
+}
+
+TEST(Sobol, SeedsDecorrelateButKeepTheNet) {
+  const SobolSequence a(1);
+  const SobolSequence b(2);
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    if (a.uniform(i, 0) != b.uniform(i, 0)) ++differing;
+  }
+  EXPECT_GT(differing, 120);  // scramble keys differ => points differ
+}
+
+TEST(Sobol, UniformStaysInOpenUnitInterval) {
+  // Strict (0,1): index 0 of an unscrambled stream is the worst case for
+  // hitting 0.0, and Phi^-1 must stay finite for the normal mapping.
+  const SobolSequence q(0);
+  for (unsigned dim = 0; dim < kSobolMaxDims; ++dim) {
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      const double u = q.uniform(i, dim);
+      EXPECT_GT(u, 0.0);
+      EXPECT_LT(u, 1.0);
+      EXPECT_TRUE(std::isfinite(q.normal(i, dim)));
+    }
+  }
+}
+
+TEST(Sobol, NormalMomentsMatchStandardGaussian) {
+  const SobolSequence q(9);
+  const std::size_t n = 4096;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double z = q.normal(i, 1);
+    sum += z;
+    sum2 += z * z;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum2 / static_cast<double>(n) - mean * mean;
+  // QMC at n=4096 estimates these far tighter than plain MC would.
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Sobol, RejectsOutOfRangeDimension) {
+  const SobolSequence q(1);
+  EXPECT_NO_THROW(q.uniform(0, kSobolMaxDims - 1));
+  EXPECT_THROW(q.uniform(0, kSobolMaxDims), Error);
+  EXPECT_THROW(sobol_raw32(0, kSobolMaxDims), Error);
+}
+
+}  // namespace
+}  // namespace statleak

@@ -406,6 +406,136 @@ TEST(Quantile, OutOfRangeThrows) {
   EXPECT_THROW(quantile(xs, 1.1), Error);
 }
 
+TEST(WeightedStats, MeanMatchesHandComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  const std::vector<double> ws = {1.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, ws), (1.0 + 2.0 + 8.0) / 4.0);
+  // Equal weights reduce to the plain mean.
+  const std::vector<double> eq = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, eq), mean_of(xs));
+}
+
+TEST(WeightedStats, QuantileScaleInvariantAndMonotone) {
+  // Quantiles depend on relative weights only, and are monotone in q.
+  const std::vector<double> xs = {1.0, 5.0, 9.0};
+  const std::vector<double> ws = {2.0, 1.0, 1.0};
+  const std::vector<double> scaled = {20.0, 10.0, 10.0};
+  double prev = weighted_quantile(xs, ws, 0.0);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double v = weighted_quantile(xs, ws, q);
+    EXPECT_DOUBLE_EQ(v, weighted_quantile(xs, scaled, q)) << "q=" << q;
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(WeightedStats, QuantileFollowsTheMass) {
+  // Shifting weight toward a sample pulls every interior quantile toward
+  // it: median of {1 w3, 9 w1} < median of {1 w1, 9 w3}.
+  const std::vector<double> xs = {1.0, 9.0};
+  const std::vector<double> heavy_low = {3.0, 1.0};
+  const std::vector<double> heavy_high = {1.0, 3.0};
+  EXPECT_LT(weighted_quantile(xs, heavy_low, 0.5),
+            weighted_quantile(xs, heavy_high, 0.5));
+  // A sample holding (almost) all the mass owns the median (up to the
+  // vanishing interpolation sliver past its midpoint).
+  const std::vector<double> dominant = {1e9, 1.0};
+  EXPECT_NEAR(weighted_quantile(xs, dominant, 0.5), 1.0, 1e-6);
+}
+
+TEST(WeightedStats, QuantileInterpolatesMidpoints) {
+  // Two equal-weight samples: midpoint positions 0.25 and 0.75, linear in
+  // between, clamped to the extremes outside.
+  const std::vector<double> xs = {10.0, 20.0};
+  const std::vector<double> ws = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_quantile(xs, ws, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(xs, ws, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(xs, ws, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(xs, ws, 0.75), 20.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(xs, ws, 1.0), 20.0);
+}
+
+TEST(WeightedStats, QuantileUnsortedAndZeroWeightHandled) {
+  const std::vector<double> xs = {30.0, 10.0, 20.0, 99.0};
+  const std::vector<double> ws = {1.0, 1.0, 1.0, 0.0};
+  // The zero-weight sample must not influence any quantile.
+  EXPECT_DOUBLE_EQ(weighted_quantile(xs, ws, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(xs, ws, 1.0), 30.0);
+}
+
+TEST(WeightedStats, EqualWeightQuantileConvergesToPlain) {
+  // The midpoint convention differs from quantile()'s endpoints by O(1/n).
+  Rng rng(4);
+  std::vector<double> xs(2000);
+  for (double& x : xs) x = rng.normal();
+  const std::vector<double> ones(xs.size(), 1.0);
+  for (const double q : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(weighted_quantile(xs, ones, q), quantile(xs, q), 5e-3);
+  }
+}
+
+TEST(WeightedStats, FractionBelowAndEss) {
+  // Weights are exact likelihood ratios (mean 1), the contract of the
+  // unnormalized estimator sum(w * indicator) / n.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ws = {0.5, 0.5, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(weighted_fraction_below(xs, ws, 2.5), 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(weighted_fraction_below(xs, ws, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_fraction_below(xs, ws, 4.0), 1.0);
+
+  // The estimator reads off whichever side of the threshold the weights
+  // make quieter: here the heavy weight sits above 2.5, so the below side
+  // is used directly and its standard error beats the complement's.
+  const auto est = weighted_fraction_below_est(xs, ws, 2.5);
+  EXPECT_DOUBLE_EQ(est.value, 1.0 / 4.0);
+  double s2_b = 0.0;  // below-side summand variance by hand
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double y = xs[i] <= 2.5 ? ws[i] : 0.0;
+    s2_b += (y - 0.25) * (y - 0.25);
+  }
+  EXPECT_NEAR(est.std_error, std::sqrt(s2_b / 4.0 / 4.0), 1e-12);
+
+  const std::vector<double> eq(4, 2.5);
+  EXPECT_DOUBLE_EQ(effective_sample_size(eq), 4.0);
+  const std::vector<double> kish = {1.0, 1.0, 1.0, 5.0};
+  EXPECT_NEAR(effective_sample_size(kish), 64.0 / 28.0, 1e-12);
+  const std::vector<double> degenerate = {0.0, 0.0, 7.0};
+  EXPECT_DOUBLE_EQ(effective_sample_size(degenerate), 1.0);
+}
+
+TEST(WeightedStats, CiHalfwidthConsistency) {
+  Rng rng(9);
+  std::vector<double> xs(500);
+  for (double& x : xs) x = rng.normal(10.0, 2.0);
+  const std::vector<double> ones(xs.size(), 1.0);
+  const double plain = mean_ci_halfwidth(xs);
+  // Equal weights: the delta-method form reduces to z * s / sqrt(n) up to
+  // the population-vs-sample variance factor, ~1/(2n) relative.
+  EXPECT_NEAR(weighted_mean_ci_halfwidth(xs, ones), plain, 3e-3 * plain);
+  // 99% interval is wider than 95%.
+  EXPECT_GT(mean_ci_halfwidth(xs, 0.99), plain);
+  // Rough magnitude: z=1.96, sigma~=2, n=500.
+  EXPECT_NEAR(plain, 1.96 * 2.0 / std::sqrt(500.0), 0.05);
+}
+
+TEST(WeightedStats, RejectsInvalidInput) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> short_w = {1.0};
+  const std::vector<double> neg_w = {1.0, -0.5};
+  const std::vector<double> zero_w = {0.0, 0.0};
+  const std::vector<double> ok_w = {1.0, 1.0};
+  EXPECT_THROW(weighted_mean(xs, short_w), Error);
+  EXPECT_THROW(weighted_mean(xs, neg_w), Error);
+  EXPECT_THROW(weighted_mean(xs, zero_w), Error);
+  EXPECT_THROW(weighted_quantile(xs, neg_w, 0.5), Error);
+  EXPECT_THROW(weighted_quantile(xs, ok_w, 1.5), Error);
+  EXPECT_THROW(weighted_fraction_below(xs, short_w, 0.0), Error);
+  EXPECT_THROW(effective_sample_size(std::vector<double>{}), Error);
+  EXPECT_THROW(mean_ci_halfwidth(std::vector<double>{}), Error);
+  EXPECT_THROW(mean_ci_halfwidth(xs, 0.0), Error);
+  EXPECT_THROW(mean_ci_halfwidth(xs, 1.0), Error);
+}
+
 TEST(Summarize, FieldsConsistent) {
   Rng rng(2);
   std::vector<double> xs;

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Convert Google Benchmark JSON output into a compact BENCH_mc.json.
+"""Convert raw benchmark JSON output into a compact BENCH_*.json.
 
-Reads the JSON emitted by
+Default mode reads the Google Benchmark JSON emitted by
 
     bench_fig5_runtime --benchmark_filter='BM_MonteCarloBatched' \
         --benchmark_format=json
@@ -11,8 +11,18 @@ samples/sec per (circuit, engine), plus the batched/scalar speedup per
 circuit.  When the run used --benchmark_repetitions, the median aggregate is
 preferred; otherwise the median over the plain iteration entries is taken.
 
+With --estimators the input is instead the JSON document printed by
+bench_estimator_variance (across-replication variance per circuit, metric,
+estimator) and the output is BENCH_estimators.json: the same means and
+variances plus the variance-reduction factor of every variance-reduced
+estimator against the plain-MC baseline of its (circuit, metric).  That
+factor is the sample-count reduction at equal variance, and it is what the
+CI estimator-quality gate pins floors on.
+
 Usage:
     bench_to_json.py [raw_benchmark.json] [-o BENCH_mc.json]
+    bench_to_json.py --estimators [raw_estimators.json] \
+        [-o BENCH_estimators.json]
 
 With no -o the result is printed to stdout.
 """
@@ -92,12 +102,68 @@ def distill(raw: dict) -> dict:
     }
 
 
+def distill_estimators(raw: dict) -> dict:
+    """Reduce bench_estimator_variance output to variance-reduction factors.
+
+    Output shape:
+        circuits.<circuit>.<metric>.plain = {mean, variance}
+        circuits.<circuit>.<metric>.<estimator> =
+            {mean, variance, variance_reduction[, ess_mean]}
+    """
+    if raw.get("bench") != "estimator_variance":
+        raise ValueError("input is not bench_estimator_variance output")
+
+    baseline: dict[tuple[str, str], float] = {}
+    for entry in raw.get("results", []):
+        if entry["estimator"] == "plain":
+            baseline[(entry["circuit"], entry["metric"])] = entry["variance"]
+
+    circuits: dict[str, dict] = {}
+    for entry in raw.get("results", []):
+        circuit, metric = entry["circuit"], entry["metric"]
+        record = {
+            "mean": entry["mean"],
+            "variance": entry["variance"],
+        }
+        if entry["estimator"] != "plain":
+            key = (circuit, metric)
+            if key not in baseline:
+                raise ValueError(
+                    f"no plain baseline for {circuit}/{metric}")
+            if entry["variance"] > 0:
+                record["variance_reduction"] = round(
+                    baseline[key] / entry["variance"], 2)
+            else:
+                record["variance_reduction"] = float("inf")
+            # ESS only means something for weighted (importance-sampled)
+            # estimators; QMC/CV runs keep every weight at 1.
+            if entry.get("ess_mean", 0) and \
+                    entry["ess_mean"] != raw.get("samples_per_run"):
+                record["ess_mean"] = round(entry["ess_mean"], 1)
+        circuits.setdefault(circuit, {}).setdefault(
+            metric, {})[entry["estimator"]] = record
+
+    return {
+        "schema_version": 1,
+        "generated_by": "tools/bench_to_json.py --estimators",
+        "benchmark": "bench_estimator_variance",
+        "replications": raw.get("replications"),
+        "samples_per_run": raw.get("samples_per_run"),
+        "note": ("variance_reduction = var(plain) / var(estimator) across "
+                 "replications = sample-count reduction at equal variance"),
+        "circuits": circuits,
+    }
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("input", nargs="?", default="-",
-                        help="Google Benchmark JSON file (default: stdin)")
+                        help="raw benchmark JSON file (default: stdin)")
     parser.add_argument("-o", "--output", default="-",
                         help="output path (default: stdout)")
+    parser.add_argument("--estimators", action="store_true",
+                        help="input is bench_estimator_variance JSON; emit "
+                             "variance-reduction factors")
     args = parser.parse_args(argv)
 
     if args.input == "-":
@@ -106,11 +172,18 @@ def main(argv: list[str]) -> int:
         with open(args.input) as f:
             raw = json.load(f)
 
-    result = distill(raw)
-    if not result["circuits"]:
-        print("bench_to_json: no BM_MonteCarloBatched entries in input",
-              file=sys.stderr)
-        return 1
+    if args.estimators:
+        try:
+            result = distill_estimators(raw)
+        except ValueError as err:
+            print(f"bench_to_json: {err}", file=sys.stderr)
+            return 1
+    else:
+        result = distill(raw)
+        if not result["circuits"]:
+            print("bench_to_json: no BM_MonteCarloBatched entries in input",
+                  file=sys.stderr)
+            return 1
 
     text = json.dumps(result, indent=2) + "\n"
     if args.output == "-":

@@ -127,6 +127,13 @@ std::vector<CommandSpec> command_specs() {
          "checkpoint flush cadence in samples per worker (default 4096)"},
         {"--health", true, "fail|quarantine",
          "non-finite sample policy (default fail)"},
+        {"--sampler", true, "pseudo|sobol",
+         "global-dimension sampler (default pseudo); sobol = scrambled QMC"},
+        {"--importance", true, "auto|off",
+         "importance-sample the timing tail at --tmax (default off); "
+         "estimates stay unbiased via exact likelihood weights"},
+        {"--cv", false, "",
+         "SSTA control variate for leakage mean/quantiles"},
         node}},
       {"mlv", "<netlist.bench>", "minimum-leakage standby vector search",
        {impl,
@@ -528,6 +535,22 @@ int cmd_mc(const Args& args, ObsSession& session) {
   } else {
     throw UsageError("--health must be 'fail' or 'quarantine'");
   }
+  const std::string sampler = args.get("--sampler").value_or("pseudo");
+  if (sampler == "pseudo") {
+    mc.sampler = McSampler::kPseudo;
+  } else if (sampler == "sobol") {
+    mc.sampler = McSampler::kSobol;
+  } else {
+    throw UsageError("--sampler must be 'pseudo' or 'sobol'");
+  }
+  const std::string importance = args.get("--importance").value_or("off");
+  if (importance != "auto" && importance != "off") {
+    throw UsageError("--importance must be 'auto' or 'off'");
+  }
+  mc.control_variate = args.has("--cv");
+  if (mc.control_variate && importance == "auto") {
+    throw UsageError("--cv cannot be combined with --importance auto");
+  }
   Circuit c = load_circuit(args);
   const CellLibrary lib = make_library(args);
   const VariationModel var = VariationModel::typical_100nm();
@@ -544,6 +567,12 @@ int cmd_mc(const Args& args, ObsSession& session) {
       static_cast<int>(args.get_long("--checkpoint-every", 4096));
   const double t_max = args.get_double(
       "--tmax", 1.1 * StaEngine(c, lib).critical_delay_ps());
+  if (importance == "auto") {
+    // Shift the global distribution toward the timing-failure region at
+    // the delay target; inactive (plain MC) when the target is not in the
+    // tail. Exact likelihood weights keep every estimate unbiased.
+    mc.is_shift = compute_timing_is_shift(c, lib, var, t_max);
+  }
 
   const McResult res = run_monte_carlo(c, lib, var, mc, session.reg());
   if (res.samples_restored > 0) {
@@ -571,7 +600,24 @@ int cmd_mc(const Args& args, ObsSession& session) {
             << ", p99 " << format_si(l.p99 * 1e-9, "A") << "\n"
             << "  timing yield at " << format_fixed(t_max, 1) << " ps: "
             << format_fixed(res.timing_yield(t_max), 4) << " +/- "
-            << format_fixed(res.yield_stderr(t_max), 4) << "\n";
+            << format_fixed(res.yield_stderr(t_max), 4) << "\n"
+            << "  mean 95% CI: delay +/- "
+            << format_fixed(res.delay_mean_ci_ps(), 2) << " ps, leakage +/- "
+            << format_si(res.leakage_mean_ci_na() * 1e-9, "A") << "\n";
+  if (mc.sampler != McSampler::kPseudo) {
+    std::cout << "  sampler: " << to_string(mc.sampler) << "\n";
+  }
+  if (mc.is_shift.active()) {
+    std::cout << "  importance shift (" << format_fixed(mc.is_shift.l_sigma, 2)
+              << ", " << format_fixed(mc.is_shift.v_sigma, 2)
+              << ") sigma, effective samples " << format_fixed(res.ess(), 1)
+              << " of " << res.delay_ps.size() << "\n";
+  }
+  if (mc.control_variate) {
+    std::cout << "  control variate: beta " << format_fixed(res.cv_beta(), 3)
+              << ", corrected leakage mean "
+              << format_si(res.cv_leakage_mean_na() * 1e-9, "A") << "\n";
+  }
   if (obs::Registry* obs = session.reg()) {
     obs->set_gauge("mc.delay_mean_ps", d.mean);
     obs->set_gauge("mc.delay_p99_ps", d.p99);
