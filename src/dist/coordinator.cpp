@@ -1,0 +1,553 @@
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/net.hpp"
+#include "dist/partition.hpp"
+#include "dist/protocol.hpp"
+#include "mc/checkpoint.hpp"
+#include "obs/snapshot.hpp"
+#include "util/fault.hpp"
+
+namespace statleak::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// How many replacement forks a pool campaign may burn before a lost
+/// worker becomes fatal: the initial fleet plus three full refills.
+constexpr int kRespawnFactor = 4;
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// One worker, pooled child or TCP peer, with its protocol stream and the
+/// coordinator-side bookkeeping (in-flight shard, liveness, throughput).
+struct Conn {
+  Conn(int id_, pid_t pid_, int read_fd_, int write_fd_)
+      : id(id_),
+        pid(pid_),
+        read_fd(read_fd_),
+        write_fd(write_fd_),
+        stream(read_fd_, write_fd_),
+        last_heard(Clock::now()),
+        started(Clock::now()) {}
+
+  int id;
+  pid_t pid;  ///< pooled child; -1 for TCP peers
+  int read_fd;
+  int write_fd;
+  MessageStream stream;
+  bool ready = false;  ///< hello received, setup sent
+  bool alive = true;
+  bool has_bye = false;
+  std::optional<SlotRange> inflight;
+  Clock::time_point last_heard;
+  Clock::time_point started;
+  std::uint64_t samples_committed = 0;
+  obs::Json bye_registry;
+};
+
+class Campaign {
+ public:
+  Campaign(const api::McCommandConfig& command, const DistConfig& dist,
+           obs::Registry* obs)
+      : dist_(dist), obs_(obs), study_(api::prepare_mc_study(command)) {
+    build_setup(command);
+    init_population();
+    build_queue();
+  }
+
+  ~Campaign() { kill_fleet(); }
+
+  CampaignResult run() {
+    // A worker that died mid-send must surface as a failed send, not a
+    // process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    obs::ScopedTimer timer(obs_, "dist.campaign");
+    try {
+      connect_fleet();
+      event_loop();
+      if (deadline_expired_) {
+        kill_fleet();  // partial result; workers' shards are moot now
+      } else {
+        stop_fleet();
+      }
+    } catch (...) {
+      kill_fleet();
+      throw;
+    }
+    timer.stop();
+    publish_fleet_stats();
+    result_.command = api::finalize_mc_campaign(study_, std::move(pop_), obs_);
+    return std::move(result_);
+  }
+
+ private:
+  // ------------------------------------------------------------- setup -----
+
+  void build_setup(const api::McCommandConfig& command) {
+    WorkerSetup setup;
+    if (!command.input.bench_text.empty()) {
+      setup.input.bench_text = command.input.bench_text;
+      setup.input.circuit_name = command.input.circuit_name;
+    } else {
+      // Ship the raw file bytes; every worker parses exactly what the
+      // coordinator read, wherever it runs.
+      setup.input.bench_text = slurp_file(command.input.bench_path);
+      setup.input.circuit_name = study_.study.circuit.name();
+    }
+    if (!command.input.impl_text.empty()) {
+      setup.input.impl_text = command.input.impl_text;
+    } else if (!command.input.impl_path.empty()) {
+      setup.input.impl_text = slurp_file(command.input.impl_path);
+    }
+    setup.input.node_nm = command.input.node_nm;
+    setup.mc = study_.mc;  // resolved once; workers never re-resolve
+    setup.t_max_ps = study_.t_max_ps;
+    setup.threads = dist_.worker_threads;
+    setup_json_ = setup_message(setup);
+  }
+
+  void init_population() {
+    const auto n = static_cast<std::uint64_t>(study_.mc.num_samples);
+    pop_.delay_ps.assign(n, 0.0);
+    pop_.leakage_na.assign(n, 0.0);
+    pop_.done.assign(n, 0);
+    const std::string& path = study_.mc.checkpoint_path;
+    if (path.empty()) return;
+    const std::uint64_t hash = mc_checkpoint_hash(
+        study_.study.circuit, study_.study.var, study_.mc,
+        mc_device_widths(study_.study.circuit, study_.study.lib));
+    if (checkpoint_exists(path)) {
+      CheckpointData data = load_checkpoint(path, hash, n);
+      pop_.delay_ps = std::move(data.delay_ps);
+      pop_.leakage_na = std::move(data.leakage_na);
+      pop_.done = std::move(data.done);
+      pop_.samples_restored = data.done_count;
+      writer_ = CheckpointWriter::resume(path, hash, n);
+    } else {
+      writer_ = CheckpointWriter::create(path, hash, n);
+    }
+  }
+
+  void build_queue() {
+    const auto n = static_cast<std::uint64_t>(study_.mc.num_samples);
+    const std::vector<SlotRange> gaps = undone_ranges(pop_.done, {0, n});
+    std::uint64_t undone = 0;
+    for (const SlotRange& g : gaps) undone += g.size();
+    if (undone == 0) return;
+    const auto target =
+        static_cast<std::uint64_t>(std::max(1, dist_.workers)) *
+        static_cast<std::uint64_t>(std::max(1, dist_.shards_per_worker));
+    const std::uint64_t shard =
+        std::max<std::uint64_t>(1, (undone + target - 1) / target);
+    for (const SlotRange& g : gaps) {
+      for (std::uint64_t b = g.begin; b < g.end; b += shard) {
+        queue_.push_back({b, std::min(b + shard, g.end)});
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- fleet -----
+
+  void spawn_pool_worker() {
+    int to_child[2];
+    int from_child[2];
+    if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+      throw DistError(std::string("campaign pool: pipe failed: ") +
+                      std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw DistError(std::string("campaign pool: fork failed: ") +
+                      std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: protocol on stdin/stdout, stderr inherited for diagnostics.
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      ::execl("/proc/self/exe", "statleak", "worker", "--stdio",
+              static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    // Keep the coordinator's ends out of later-forked siblings.
+    ::fcntl(to_child[1], F_SETFD, FD_CLOEXEC);
+    ::fcntl(from_child[0], F_SETFD, FD_CLOEXEC);
+    conns_.push_back(
+        std::make_unique<Conn>(next_id_++, pid, from_child[0], to_child[1]));
+    ++result_.workers_spawned;
+  }
+
+  void connect_fleet() {
+    const int workers = std::max(1, dist_.workers);
+    if (dist_.listen.empty()) {
+      for (int i = 0; i < workers; ++i) spawn_pool_worker();
+      return;
+    }
+    int port = 0;
+    listen_fd_ = listen_tcp(dist_.listen, &port);
+    if (!dist_.port_file.empty()) {
+      std::ofstream pf(dist_.port_file, std::ios::trunc);
+      pf << port << "\n";
+      if (!pf) {
+        throw DistError("cannot write port file '" + dist_.port_file + "'");
+      }
+    }
+    const int timeout_ms =
+        dist_.heartbeat_ms > 0 ? static_cast<int>(dist_.heartbeat_ms) : 60000;
+    for (int i = 0; i < workers; ++i) {
+      const int fd = accept_tcp(listen_fd_, timeout_ms);
+      if (fd < 0) {
+        throw DistError("timed out waiting for " + std::to_string(workers) +
+                        " worker connections");
+      }
+      conns_.push_back(std::make_unique<Conn>(next_id_++, -1, fd, fd));
+      ++result_.workers_spawned;
+    }
+  }
+
+  int alive_count() const {
+    int n = 0;
+    for (const auto& c : conns_) n += c->alive ? 1 : 0;
+    return n;
+  }
+
+  bool any_inflight() const {
+    for (const auto& c : conns_) {
+      if (c->alive && c->inflight) return true;
+    }
+    return false;
+  }
+
+  /// Declares a worker lost: tear down its process/transport and put the
+  /// *undone* sub-ranges of its in-flight shard back at the front of the
+  /// queue — committed slots are never recomputed.
+  void lose(Conn& c) {
+    if (!c.alive) return;
+    c.alive = false;
+    close_conn(c);
+    ++result_.workers_lost;
+    if (c.inflight) {
+      const std::vector<SlotRange> gaps = undone_ranges(pop_.done, *c.inflight);
+      for (auto it = gaps.rbegin(); it != gaps.rend(); ++it) {
+        queue_.push_front(*it);
+      }
+      result_.shards_redispatched += gaps.size();
+      c.inflight.reset();
+    }
+  }
+
+  void close_conn(Conn& c) {
+    if (c.pid > 0) {
+      ::kill(c.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(c.pid, &status, 0);
+      c.pid = -1;
+    }
+    if (c.read_fd >= 0) ::close(c.read_fd);
+    if (c.write_fd >= 0 && c.write_fd != c.read_fd) ::close(c.write_fd);
+    c.read_fd = -1;
+    c.write_fd = -1;
+  }
+
+  /// Keeps the fleet at strength while work remains: pool mode forks
+  /// replacements until the respawn budget is spent; an empty fleet with
+  /// work left is fatal either way.
+  void ensure_fleet() {
+    if (queue_.empty() && !any_inflight()) return;
+    int alive = alive_count();
+    if (dist_.listen.empty()) {
+      const int budget = std::max(1, dist_.workers) * kRespawnFactor;
+      while (alive < std::max(1, dist_.workers) &&
+             result_.workers_spawned < budget) {
+        spawn_pool_worker();
+        ++alive;
+      }
+    }
+    if (alive == 0) {
+      throw DistError("every worker lost with " +
+                      std::to_string(queue_.size()) +
+                      " shard(s) still queued");
+    }
+  }
+
+  // -------------------------------------------------------------- loop -----
+
+  void event_loop() {
+    const Deadline deadline(study_.mc.deadline_ms);
+    for (;;) {
+      if (queue_.empty() && !any_inflight()) return;
+      if (deadline.expired()) {
+        deadline_expired_ = true;
+        return;
+      }
+      ensure_fleet();
+      dispatch_ready();
+      poll_once();
+      reap_children();
+      check_heartbeats();
+    }
+  }
+
+  void dispatch_ready() {
+    for (const auto& c : conns_) {
+      if (queue_.empty()) return;
+      if (!c->alive || !c->ready || c->inflight) continue;
+      const SlotRange r = queue_.front();
+      queue_.pop_front();
+      if (!c->stream.send(shard_message(r.begin, r.end))) {
+        queue_.push_front(r);
+        lose(*c);
+        continue;
+      }
+      c->inflight = r;
+      ++result_.shards_dispatched;
+    }
+  }
+
+  void poll_once() {
+    std::vector<pollfd> fds;
+    std::vector<Conn*> who;
+    for (const auto& c : conns_) {
+      if (!c->alive) continue;
+      fds.push_back({c->read_fd, POLLIN, 0});
+      who.push_back(c.get());
+    }
+    if (fds.empty()) return;  // ensure_fleet() deals with an empty fleet
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (rc <= 0) return;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Conn& c = *who[i];
+      if (!c.alive) continue;
+      if (!c.stream.feed()) {
+        lose(c);
+        continue;
+      }
+      while (c.alive) {
+        std::optional<obs::Json> msg = c.stream.next_message();
+        if (!msg) break;
+        handle(c, *msg);
+      }
+    }
+  }
+
+  void handle(Conn& c, const obs::Json& msg) {
+    c.last_heard = Clock::now();
+    const std::string type = message_type(msg);
+    if (type == "hello") {
+      if (!c.stream.send(setup_json_)) {
+        lose(c);
+        return;
+      }
+      c.ready = true;
+      c.started = Clock::now();
+    } else if (type == "block") {
+      handle_block(c, msg);
+    } else if (type == "shard_done") {
+      c.inflight.reset();
+    } else if (type == "bye") {
+      c.has_bye = true;
+      c.bye_registry = msg.at("registry");
+    } else if (type == "error") {
+      // A compute error is deterministic: every re-dispatch would hit it
+      // too. Surface it as the statleak::Error it would have been
+      // single-host (CLI exit 3), not as a transport failure.
+      throw Error("worker " + std::to_string(c.id) + ": " +
+                  msg.at("message").as_string());
+    } else {
+      throw DistError("unexpected message '" + type + "' from worker " +
+                      std::to_string(c.id));
+    }
+  }
+
+  void handle_block(Conn& c, const obs::Json& msg) {
+    Block b = parse_block(msg);
+    validate_checkpoint_range(b.begin, b.delay_ps.size(),
+                              static_cast<std::uint64_t>(
+                                  study_.mc.num_samples));
+    [[maybe_unused]] const std::uint64_t ordinal = result_.blocks_received++;
+    if (STATLEAK_FAULT_FIRES(fault::Point::kWorkerExit, ordinal)) {
+      // Deterministic "worker died mid-send": drop the block and kill the
+      // sender; recovery re-dispatches the undone sub-ranges.
+      lose(c);
+      return;
+    }
+    commit_block(c, b);
+  }
+
+  /// First-committed-wins merge of one block, appending the *fresh*
+  /// contiguous runs to the campaign checkpoint.
+  void commit_block(Conn& c, const Block& b) {
+    std::uint64_t run_begin = 0;
+    std::uint64_t run_len = 0;
+    const auto flush_run = [&] {
+      if (run_len == 0) return;
+      if (writer_) {
+        writer_->append(
+            run_begin,
+            std::span<const double>(&pop_.delay_ps[run_begin], run_len),
+            std::span<const double>(&pop_.leakage_na[run_begin], run_len));
+      }
+      run_len = 0;
+    };
+    for (std::size_t i = 0; i < b.delay_ps.size(); ++i) {
+      const std::uint64_t slot = b.begin + i;
+      if (pop_.done[slot] != 0) {
+        ++result_.slots_recomputed;  // straggler duplicate; first wins
+        flush_run();
+        continue;
+      }
+      pop_.delay_ps[slot] = b.delay_ps[i];
+      pop_.leakage_na[slot] = b.leakage_na[i];
+      pop_.done[slot] = 1;
+      ++c.samples_committed;
+      if (run_len == 0) run_begin = slot;
+      ++run_len;
+    }
+    flush_run();
+  }
+
+  void reap_children() {
+    for (const auto& c : conns_) {
+      if (!c->alive || c->pid <= 0) continue;
+      int status = 0;
+      if (::waitpid(c->pid, &status, WNOHANG) > 0) {
+        c->pid = -1;  // already reaped
+        lose(*c);
+      }
+    }
+  }
+
+  void check_heartbeats() {
+    if (dist_.heartbeat_ms <= 0) return;
+    const Clock::time_point now = Clock::now();
+    for (const auto& c : conns_) {
+      if (!c->alive || !c->inflight) continue;
+      const auto silent_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - c->last_heard)
+              .count();
+      if (silent_ms > dist_.heartbeat_ms) lose(*c);
+    }
+  }
+
+  // ----------------------------------------------------------- teardown ----
+
+  /// Clean shutdown: stop every worker, collect its registry snapshot and
+  /// merge it (prefixed "w<id>.") into the campaign registry.
+  void stop_fleet() {
+    for (const auto& c : conns_) {
+      if (!c->alive || !c->ready) continue;
+      if (!c->stream.send(stop_message())) {
+        lose(*c);
+        continue;
+      }
+      while (!c->has_bye) {
+        std::optional<obs::Json> msg = c->stream.read_message(5000);
+        if (!msg) break;  // late straggler blocks still merge below
+        handle(*c, *msg);
+      }
+      if (obs_ != nullptr && c->has_bye) {
+        const std::string prefix = "w" + std::to_string(c->id) + ".";
+        obs::merge_registry_snapshot(*obs_, c->bye_registry, prefix);
+        const double secs = std::chrono::duration<double>(Clock::now() -
+                                                          c->started)
+                                .count();
+        if (c->samples_committed > 0 && secs > 0.0) {
+          obs_->set_gauge(
+              "dist." + prefix + "samples_per_s",
+              static_cast<double>(c->samples_committed) / secs);
+        }
+      }
+      c->alive = false;
+      close_conn(*c);
+    }
+    kill_fleet();  // anything that never became ready
+  }
+
+  void kill_fleet() {
+    for (const auto& c : conns_) {
+      if (!c->alive) continue;
+      c->alive = false;
+      close_conn(*c);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  void publish_fleet_stats() {
+    if (obs_ == nullptr) return;
+    obs_->note_config("dist.mode", dist_.listen.empty() ? "pool" : "tcp");
+    obs_->note_config_num("dist.workers",
+                          static_cast<std::int64_t>(dist_.workers));
+    obs_->note_config_num("dist.worker_threads",
+                          static_cast<std::int64_t>(dist_.worker_threads));
+    obs_->note_config_num("dist.heartbeat_ms",
+                          static_cast<std::int64_t>(dist_.heartbeat_ms));
+    obs_->add("dist.workers_spawned", result_.workers_spawned);
+    obs_->add("dist.workers_lost", result_.workers_lost);
+    obs_->add("dist.shards_dispatched",
+              static_cast<double>(result_.shards_dispatched));
+    obs_->add("dist.shards_redispatched",
+              static_cast<double>(result_.shards_redispatched));
+    obs_->add("dist.blocks_received",
+              static_cast<double>(result_.blocks_received));
+    obs_->add("dist.slots_recomputed",
+              static_cast<double>(result_.slots_recomputed));
+  }
+
+  DistConfig dist_;
+  obs::Registry* obs_;
+  api::McStudy study_;
+  obs::Json setup_json_;
+  McPopulation pop_;
+  std::unique_ptr<CheckpointWriter> writer_;
+  std::deque<SlotRange> queue_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  int next_id_ = 0;
+  int listen_fd_ = -1;
+  bool deadline_expired_ = false;
+  CampaignResult result_;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const api::McCommandConfig& command,
+                            const DistConfig& dist, obs::Registry* obs) {
+  Campaign campaign(command, dist, obs);
+  return campaign.run();
+}
+
+}  // namespace statleak::dist

@@ -1,0 +1,89 @@
+/// \file coordinator.hpp
+/// \brief The campaign coordinator (`statleak serve`): shard dispatch,
+///        block merge, failure recovery, fleet reporting.
+///
+/// run_campaign() resolves the MC study once (api::prepare_mc_study), cuts
+/// the sample space [0, N) into contiguous shards, and dispatches them to
+/// worker processes — a local pool forked from this binary (the default)
+/// or remote `statleak worker --connect` peers over TCP (`listen`). As
+/// workers stream completed blocks the coordinator commits them into one
+/// slot-indexed population, first-committed-wins per slot, appending fresh
+/// runs to the campaign checkpoint when one is configured. The merged
+/// population goes through the exact finalize path of `statleak mc`
+/// (api::finalize_mc_campaign), so the distributed result is byte-identical
+/// to a single-host run — sample i is a pure function of (seed, i), and the
+/// wire round-trips doubles bit-exactly.
+///
+/// Failure model (docs/DISTRIBUTED.md): a worker that closes its transport
+/// or stays silent past `heartbeat_ms` while owning a shard is declared
+/// lost; the *undone sub-ranges* of its shard go back to the front of the
+/// queue (committed slots are never recomputed) and, in pool mode, a
+/// replacement is forked while the respawn budget lasts. Losing every
+/// worker with work remaining is a DistError (CLI exit 6). The overall
+/// ExecConfig::deadline_ms is owned by the coordinator: on expiry the
+/// fleet is torn down and the partial population is finalized exactly like
+/// a deadline-stopped single-host run (exit 4).
+///
+/// Fault injection: with STATLEAK_FAULT_INJECTION the coordinator queries
+/// fault::Point::kWorkerExit on every received block (address = block
+/// ordinal, 0-based) and SIGKILLs the sender on fire, dropping that block —
+/// the deterministic stand-in for "worker died mid-send" that
+/// tests/dist_test.cpp uses to pin zero recomputation of committed slots.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/driver.hpp"
+#include "obs/registry.hpp"
+
+namespace statleak::dist {
+
+/// Fleet shape and failure-detection knobs of one campaign.
+struct DistConfig {
+  /// Fleet size: pool processes to fork, or TCP connections to wait for.
+  int workers = 2;
+  /// Threads per worker (ExecConfig semantics: 0 = all cores). The
+  /// coordinator itself computes nothing.
+  int worker_threads = 1;
+  /// Empty (default): fork a local pool of `workers` processes speaking
+  /// the protocol over pipes. "host:port": listen there and wait for
+  /// `workers` remote `statleak worker --connect` peers (port 0 picks a
+  /// free port).
+  std::string listen;
+  /// With `listen`, write the bound port (decimal, newline) to this file
+  /// once listening — how test harnesses find a port-0 coordinator.
+  std::string port_file;
+  /// Silence budget per worker while it owns a shard; expiry declares the
+  /// worker lost. <= 0 disables the heartbeat (EOF still detects death).
+  std::int64_t heartbeat_ms = 30000;
+  /// Dispatch granularity: aim for this many shards per worker so the
+  /// fleet load-balances and a lost worker forfeits little work.
+  int shards_per_worker = 4;
+};
+
+/// A finished campaign: the command result (same shape `statleak mc`
+/// produces) plus the fleet accounting, mirrored into obs as dist.*.
+struct CampaignResult {
+  api::McCommandResult command;
+  int workers_spawned = 0;
+  int workers_lost = 0;
+  std::uint64_t shards_dispatched = 0;    ///< includes re-dispatches
+  std::uint64_t shards_redispatched = 0;  ///< recovery dispatches only
+  std::uint64_t blocks_received = 0;
+  /// Slots that arrived again after being committed (straggler duplicates,
+  /// resolved first-committed-wins). Zero in every clean or kill-recovery
+  /// run — pinned by tests.
+  std::uint64_t slots_recomputed = 0;
+};
+
+/// Runs one distributed campaign to completion (or deadline / fatal fleet
+/// loss). Throws DistError when the fleet cannot be set up or every worker
+/// is lost with work remaining; rethrows a worker-reported compute error
+/// as the statleak::Error it would have been single-host.
+CampaignResult run_campaign(const api::McCommandConfig& command,
+                            const DistConfig& dist,
+                            obs::Registry* obs = nullptr);
+
+}  // namespace statleak::dist

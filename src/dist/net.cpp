@@ -1,0 +1,125 @@
+#include "dist/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dist/protocol.hpp"
+
+namespace statleak::dist {
+
+namespace {
+
+[[noreturn]] void net_fail(const std::string& call) {
+  throw DistError("campaign transport: " + call + " failed: " +
+                  std::strerror(errno));
+}
+
+struct HostPort {
+  std::string host;
+  int port = 0;
+};
+
+HostPort split_hostport(const std::string& hostport) {
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= hostport.size()) {
+    throw DistError("campaign transport: address '" + hostport +
+                    "' is not host:port");
+  }
+  HostPort hp;
+  hp.host = hostport.substr(0, colon);
+  hp.port = std::atoi(hostport.c_str() + colon + 1);
+  if (hp.port < 0 || hp.port > 65535) {
+    throw DistError("campaign transport: port out of range in '" + hostport +
+                    "'");
+  }
+  if (hp.host.empty()) hp.host = "127.0.0.1";
+  return hp;
+}
+
+sockaddr_in resolve(const HostPort& hp) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(hp.port));
+  if (inet_pton(AF_INET, hp.host.c_str(), &addr.sin_addr) == 1) return addr;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = getaddrinfo(hp.host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    throw DistError("campaign transport: cannot resolve host '" + hp.host +
+                    "'");
+  }
+  addr.sin_addr =
+      reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  freeaddrinfo(res);
+  return addr;
+}
+
+}  // namespace
+
+int listen_tcp(const std::string& hostport, int* bound_port) {
+  const sockaddr_in addr = resolve(split_hostport(hostport));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) net_fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    net_fail("bind");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    net_fail("listen");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      ::close(fd);
+      net_fail("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+int accept_tcp(int listen_fd, int timeout_ms) {
+  for (;;) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return -1;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0 && (errno == EINTR || errno == ECONNABORTED)) continue;
+    if (fd < 0) net_fail("accept");
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+}
+
+int connect_tcp(const std::string& hostport) {
+  const sockaddr_in addr = resolve(split_hostport(hostport));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) net_fail("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    net_fail("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace statleak::dist

@@ -1,0 +1,27 @@
+/// \file net.hpp
+/// \brief Minimal TCP plumbing for the campaign runner (IPv4, loopback or
+///        LAN): listen/accept on the coordinator, connect on the worker.
+///
+/// Addresses are "host:port" strings; port 0 asks the kernel for a free
+/// port (the bound port is reported back, and `statleak serve --port-file`
+/// publishes it for test harnesses). All failures throw DistError with the
+/// failing call and errno text.
+
+#pragma once
+
+#include <string>
+
+namespace statleak::dist {
+
+/// Creates a listening socket bound to `hostport`. Returns the fd;
+/// `bound_port` (non-null) receives the actual port (useful with port 0).
+int listen_tcp(const std::string& hostport, int* bound_port);
+
+/// Accepts one connection, waiting up to timeout_ms (-1 = forever).
+/// Returns the connected fd, or -1 on timeout.
+int accept_tcp(int listen_fd, int timeout_ms);
+
+/// Connects to a listening coordinator.
+int connect_tcp(const std::string& hostport);
+
+}  // namespace statleak::dist

@@ -1,0 +1,48 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace statleak::dist {
+
+std::vector<SlotRange> partition_samples(std::uint64_t n, int max_shards,
+                                         std::uint64_t min_shard) {
+  std::vector<SlotRange> shards;
+  if (n == 0) return shards;
+  const auto want = static_cast<std::uint64_t>(std::max(1, max_shards));
+  min_shard = std::max<std::uint64_t>(1, min_shard);
+  // Shard count: as many as requested, but never shards smaller than the
+  // floor (the final shard absorbs the remainder instead of undershooting).
+  const std::uint64_t count = std::max<std::uint64_t>(
+      1, std::min(want, n / std::min(n, min_shard)));
+  const std::uint64_t base = n / count;
+  const std::uint64_t extra = n % count;  // first `extra` shards get +1
+  std::uint64_t begin = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t size = base + (i < extra ? 1 : 0);
+    shards.push_back({begin, begin + size});
+    begin += size;
+  }
+  STATLEAK_ASSERT(begin == n, "partition must cover the sample space");
+  return shards;
+}
+
+std::vector<SlotRange> undone_ranges(const std::vector<std::uint8_t>& done,
+                                     const SlotRange& within) {
+  STATLEAK_ASSERT(within.end <= done.size(),
+                  "done mask must cover the queried range");
+  std::vector<SlotRange> runs;
+  std::uint64_t s = within.begin;
+  while (s < within.end) {
+    while (s < within.end && done[s] != 0) ++s;
+    if (s == within.end) break;
+    std::uint64_t e = s;
+    while (e < within.end && done[e] == 0) ++e;
+    runs.push_back({s, e});
+    s = e;
+  }
+  return runs;
+}
+
+}  // namespace statleak::dist

@@ -1,0 +1,38 @@
+/// \file partition.hpp
+/// \brief Slot-range partitioning for the distributed campaign runner.
+///
+/// The sample space [0, N) is cut into contiguous shards, each a durable,
+/// addressable unit of work: sample i is a pure function of (seed, i), so
+/// any worker can compute any shard and the merged population is
+/// byte-identical to a single-host run whatever the cut. Partitioning is
+/// deterministic — same inputs, same shards — so re-running a campaign
+/// dispatches identical work units.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace statleak::dist {
+
+/// A contiguous slot range [begin, end), begin < end.
+struct SlotRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t size() const { return end - begin; }
+  friend bool operator==(const SlotRange&, const SlotRange&) = default;
+};
+
+/// Cuts [0, n) into at most `max_shards` contiguous ranges of at least
+/// `min_shard` slots each (except possibly the last), sized as evenly as
+/// the floor allows. max_shards < 1 and min_shard < 1 are clamped to 1.
+std::vector<SlotRange> partition_samples(std::uint64_t n, int max_shards,
+                                         std::uint64_t min_shard);
+
+/// The maximal runs of not-yet-done slots inside `within`, in slot order —
+/// what a straggler re-dispatch hands out so committed slots are never
+/// recomputed. `done` is indexed by absolute slot and must cover `within`.
+std::vector<SlotRange> undone_ranges(const std::vector<std::uint8_t>& done,
+                                     const SlotRange& within);
+
+}  // namespace statleak::dist

@@ -1,0 +1,41 @@
+/// \file worker.hpp
+/// \brief The campaign worker process body (`statleak worker`).
+///
+/// A worker speaks the dist/protocol.hpp exchange over stdin/stdout
+/// (`--stdio`, how the coordinator's local process pool spawns it) or a
+/// TCP connection (`--connect host:port`). It resolves the study from the
+/// setup message through the same api/driver.hpp facade the CLI uses, then
+/// computes every shard it is handed with mc/monte_carlo.hpp's
+/// run_monte_carlo_shard, streaming completed blocks at the checkpoint
+/// cadence. On stop it ships its obs::Registry snapshot and exits.
+
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace statleak::dist {
+
+struct WorkerOptions {
+  /// Speak the protocol on fd 0 (read) / fd 1 (write). Mutually exclusive
+  /// with `connect`.
+  bool stdio = false;
+  /// "host:port" of a listening coordinator.
+  std::string connect;
+  /// Local override of the setup message's thread count (> 0; the uniform
+  /// `--threads` CLI flag). Results are thread-count invariant, so this is
+  /// a deployment knob, never a correctness one.
+  int threads_override = 0;
+};
+
+/// Runs the worker loop until the coordinator says stop or the transport
+/// closes. Returns the process exit code (0 clean, 3 on a compute error —
+/// the error is also reported to the coordinator when the transport still
+/// stands). Throws DistError when the transport cannot be established.
+/// `obs` (optional) receives the worker-side counters/phases — the same
+/// registry snapshot that ships upstream in the bye message — so
+/// `statleak worker --report-json` can emit a local run report too.
+int run_worker(const WorkerOptions& options, obs::Registry* obs = nullptr);
+
+}  // namespace statleak::dist

@@ -204,6 +204,19 @@ std::uint64_t mc_checkpoint_hash(const Circuit& circuit,
   return h;
 }
 
+void validate_checkpoint_range(std::uint64_t begin, std::uint64_t count,
+                               std::uint64_t num_samples) {
+  if (count == 0) {
+    throw CheckpointError("empty slot range at slot " + std::to_string(begin));
+  }
+  if (begin > num_samples || count > num_samples - begin) {
+    throw CheckpointError("slot range " + std::to_string(begin) + "+" +
+                          std::to_string(count) +
+                          " overruns the population of " +
+                          std::to_string(num_samples) + " samples");
+  }
+}
+
 bool checkpoint_exists(const std::string& path) {
   std::error_code ec;
   return std::filesystem::exists(path, ec) && !ec &&
@@ -365,6 +378,7 @@ void CheckpointWriter::append(std::uint64_t begin,
                   "checkpoint record needs paired delay/leakage spans");
   if (delay.empty()) return;
   Impl& im = *impl_;
+  validate_checkpoint_range(begin, delay.size(), im.num_samples);
   const std::lock_guard<std::mutex> lock(im.mutex);
   if (im.dead) return;  // a dead writer behaves like a dead process
 

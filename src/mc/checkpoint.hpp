@@ -82,6 +82,14 @@ std::uint64_t mc_checkpoint_hash(const Circuit& circuit,
                                  const McConfig& config,
                                  std::span<const double> widths);
 
+/// Validates that a record's slot range [begin, begin + count) is non-empty
+/// and lies inside a population of `num_samples` slots; throws
+/// CheckpointError otherwise. CheckpointWriter::append enforces this on
+/// every record, and the distributed coordinator (src/dist/) applies the
+/// same check to every shard block a worker reports before committing it.
+void validate_checkpoint_range(std::uint64_t begin, std::uint64_t count,
+                               std::uint64_t num_samples);
+
 /// Everything a resuming run restores from a checkpoint.
 struct CheckpointData {
   std::uint64_t num_samples = 0;

@@ -147,11 +147,21 @@ namespace {
 /// Contiguous range of slots one worker computed, in shard order.
 using SlotRun = std::pair<std::size_t, std::size_t>;  // [begin, end)
 
-}  // namespace
+/// Device widths feeding the (optional) Pelgrom scaling of intra-die Vth
+/// sigma; fixed for a whole run and part of the checkpoint fingerprint.
+std::vector<double> device_widths(const Circuit& circuit,
+                                  const CellLibrary& lib) {
+  const std::size_t n = circuit.num_gates();
+  std::vector<double> widths(n, -1.0);
+  for (std::size_t id = 0; id < n; ++id) {
+    const Gate& g = circuit.gate(static_cast<GateId>(id));
+    if (g.kind != CellKind::kInput) widths[id] = lib.area_um(g.kind, g.size);
+  }
+  return widths;
+}
 
-McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
-                         const VariationModel& var, const McConfig& config,
-                         obs::Registry* obs) {
+/// Entry validation shared by the full-run, shard and finalize paths.
+void validate_mc_config(const VariationModel& var, const McConfig& config) {
   STATLEAK_CHECK(config.num_samples > 0, "need at least one sample");
   var.validate();
   STATLEAK_CHECK(!(config.control_variate && config.is_shift.active()),
@@ -171,8 +181,22 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
                    "importance shift on dVth requires a nonzero inter-die "
                    "Vth sigma");
   }
-  obs::ScopedTimer timer(obs, "mc.samples");
+}
 
+/// Computes slots [first, last) of the population, writing slot s to
+/// delay_out[s - first] / leak_out[s - first]. `restored` (nullable,
+/// local-indexed like the outputs) marks slots to skip. `flush(worker,
+/// begin, end)` reports computed *global*-slot runs at
+/// McConfig::checkpoint_every cadence and at shard boundaries; the range
+/// is itself sharded over config.num_threads. Slot values depend only on
+/// (seed, slot), never on the range cut, thread count, batch size or
+/// engine — the property every distributed-merge guarantee rests on.
+void run_sample_range(
+    const Circuit& circuit, const CellLibrary& lib, const VariationModel& var,
+    const McConfig& config, std::size_t first, std::size_t last,
+    const std::uint8_t* restored, double* delay_out, double* leak_out,
+    const std::function<void(int, std::size_t, std::size_t)>& flush,
+    obs::Registry* obs) {
   // Scrambled-Sobol points for the two global dimensions; the intra-die
   // draws always stay on the per-sample pseudo-random streams. Point s is a
   // pure function of (seed, s), same determinism contract as Rng::stream.
@@ -204,49 +228,10 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
   LeakageAnalyzer leakage(circuit, lib, var);
 
   const std::size_t n = circuit.num_gates();
-
-  // Device widths feed the (optional) Pelgrom scaling of intra-die Vth
-  // sigma; widths are fixed for the whole run.
-  std::vector<double> widths(n, -1.0);
-  for (std::size_t id = 0; id < n; ++id) {
-    const Gate& g = circuit.gate(static_cast<GateId>(id));
-    if (g.kind != CellKind::kInput) widths[id] = lib.area_um(g.kind, g.size);
-  }
-
-  const auto num_samples = static_cast<std::size_t>(config.num_samples);
-  McResult result;
-  result.samples_requested = num_samples;
-  result.delay_ps.assign(num_samples, 0.0);
-  result.leakage_na.assign(num_samples, 0.0);
-
-  // --- checkpoint restore ---------------------------------------------------
-  // `restored[s] != 0` marks slots whose values came from the checkpoint;
-  // the loop skips them and the finalize pass counts them as done. Restored
-  // values are bitwise what this run would compute (the config hash pins
-  // every input to the sample), so a resumed run equals an uninterrupted
-  // one exactly.
-  std::vector<std::uint8_t> restored(num_samples, 0);
-  std::unique_ptr<CheckpointWriter> writer;
-  const bool checkpointing = !config.checkpoint_path.empty();
-  if (checkpointing) {
-    const std::uint64_t hash = mc_checkpoint_hash(circuit, var, config, widths);
-    if (checkpoint_exists(config.checkpoint_path)) {
-      CheckpointData data =
-          load_checkpoint(config.checkpoint_path, hash, num_samples);
-      restored = std::move(data.done);
-      result.delay_ps = std::move(data.delay_ps);
-      result.leakage_na = std::move(data.leakage_na);
-      result.samples_restored = data.done_count;
-      writer = CheckpointWriter::resume(config.checkpoint_path, hash,
-                                        num_samples);
-    } else {
-      writer = CheckpointWriter::create(config.checkpoint_path, hash,
-                                        num_samples);
-    }
-  }
+  const std::vector<double> widths = device_widths(circuit, lib);
+  const std::size_t range = last - first;
   const std::size_t flush_every = static_cast<std::size_t>(
       std::max(1, config.checkpoint_every));
-
   const int workers = resolve_num_threads(config.num_threads);
 
   // --- fault-tolerant loop plumbing ----------------------------------------
@@ -254,32 +239,15 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
   std::atomic<bool> stop{false};
   const bool fail_fast = config.health_policy == HealthPolicy::kFail;
 
-  // Each worker records the contiguous slot ranges it actually computed
-  // (restored slots break ranges); the same ranges drive checkpoint record
-  // appends. Indexed by worker — no locking.
-  std::vector<std::vector<SlotRun>> computed_runs(
-      static_cast<std::size_t>(workers));
-
-  // Appends [run_begin, run_end) to the worker's log and — when
-  // checkpointing — to the file. Spans point into the slot-indexed result
-  // vectors, which stay full-size until the finalize pass compacts them.
-  const auto flush_run = [&](int worker, std::size_t run_begin,
-                             std::size_t run_end) {
+  // Reports [run_begin, run_end) (in local coordinates) as global slots.
+  const auto flush_run = [&flush, first](int worker, std::size_t run_begin,
+                                         std::size_t run_end) {
     if (run_end <= run_begin) return;
-    computed_runs[static_cast<std::size_t>(worker)].emplace_back(run_begin,
-                                                                 run_end);
-    if (writer != nullptr) {
-      const std::size_t count = run_end - run_begin;
-      writer->append(run_begin,
-                     std::span<const double>(result.delay_ps)
-                         .subspan(run_begin, count),
-                     std::span<const double>(result.leakage_na)
-                         .subspan(run_begin, count));
-    }
+    flush(worker, first + run_begin, first + run_end);
   };
 
   // Sample i draws exclusively from its counter-derived stream and writes
-  // slots i of the result vectors, so shard boundaries (and hence the
+  // slot i of the output arrays, so shard boundaries (and hence the
   // thread count) cannot change a single bit of the output. In the batched
   // engine, lanes of one block are just consecutive samples evaluated
   // together — they never interact — so the batch size cannot either.
@@ -304,7 +272,7 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
         static_cast<std::size_t>(workers));
 
     parallel_for(
-        config.num_threads, num_samples,
+        config.num_threads, range,
         [&](std::size_t begin, std::size_t end, int worker) {
           obs::LocalCounter evals(obs, "mc.sta_evals");
           obs::LocalCounter batches(obs, "mc.batches");
@@ -323,7 +291,7 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
             // restored blocks (possible when a checkpoint record ends
             // mid-block) are recomputed whole — the recomputed values are
             // bitwise identical, so correctness never depends on the cut.
-            bool all_restored = true;
+            bool all_restored = restored != nullptr;
             for (std::size_t lane = 0; lane < lanes && all_restored; ++lane) {
               all_restored = restored[s0 + lane] != 0;
             }
@@ -333,15 +301,15 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
               covered = s0 + lanes;
               continue;
             }
-            STATLEAK_FAULT_STALL(fault::Point::kShardStall, s0);
+            STATLEAK_FAULT_STALL(fault::Point::kShardStall, first + s0);
             // Draws stay sample-major (lane by lane, the exact call
             // sequence of the scalar path) and are transposed into the
             // gate-major blocks as they land.
             for (std::size_t lane = 0; lane < lanes; ++lane) {
-              Rng rng = Rng::stream(config.seed, s0 + lane);
-              GlobalSample die = draw_global(s0 + lane, rng);
-              if (STATLEAK_FAULT_FIRES(fault::Point::kNanDeviate,
-                                       s0 + lane)) {
+              const std::size_t slot = first + s0 + lane;
+              Rng rng = Rng::stream(config.seed, slot);
+              GlobalSample die = draw_global(slot, rng);
+              if (STATLEAK_FAULT_FIRES(fault::Point::kNanDeviate, slot)) {
                 die.dvth_v = std::numeric_limits<double>::quiet_NaN();
               }
               for (std::size_t id = 0; id < n; ++id) {
@@ -356,14 +324,14 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
             leak_kernel.total_block(sc.dl.data(), sc.dv.data(), block, lanes,
                                     nullptr, sc.leak_out.data());
             for (std::size_t lane = 0; lane < lanes; ++lane) {
-              result.delay_ps[s0 + lane] = sc.delay_out[lane];
-              result.leakage_na[s0 + lane] = sc.leak_out[lane];
+              delay_out[s0 + lane] = sc.delay_out[lane];
+              leak_out[s0 + lane] = sc.leak_out[lane];
               if (fail_fast) {
                 const std::uint8_t cause = classify_health(
                     sc.delay_out[lane], sc.leak_out[lane]);
                 if (cause != 0) {
                   stop.store(true, std::memory_order_relaxed);
-                  throw_sample_health(s0 + lane, cause);
+                  throw_sample_health(first + s0 + lane, cause);
                 }
               }
             }
@@ -386,7 +354,7 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
         static_cast<std::size_t>(workers));
 
     parallel_for(
-        config.num_threads, num_samples,
+        config.num_threads, range,
         [&](std::size_t begin, std::size_t end, int worker) {
           // Per-thread accumulation: one registry merge per shard, so the
           // workers never contend on the registry mutex inside the loop.
@@ -404,30 +372,31 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
               stop.store(true, std::memory_order_relaxed);
               break;
             }
-            if (restored[s] != 0) {
+            if (restored != nullptr && restored[s] != 0) {
               flush_run(worker, run_begin, s);
               run_begin = s + 1;
               covered = s + 1;
               continue;
             }
-            STATLEAK_FAULT_STALL(fault::Point::kShardStall, s);
-            Rng rng = Rng::stream(config.seed, s);
-            GlobalSample die = draw_global(s, rng);
-            if (STATLEAK_FAULT_FIRES(fault::Point::kNanDeviate, s)) {
+            const std::size_t slot = first + s;
+            STATLEAK_FAULT_STALL(fault::Point::kShardStall, slot);
+            Rng rng = Rng::stream(config.seed, slot);
+            GlobalSample die = draw_global(slot, rng);
+            if (STATLEAK_FAULT_FIRES(fault::Point::kNanDeviate, slot)) {
               die.dvth_v = std::numeric_limits<double>::quiet_NaN();
             }
             for (std::size_t id = 0; id < n; ++id) {
               samples[id] = sample_gate(var, die, rng, widths[id]);
             }
-            result.delay_ps[s] = sta.critical_delay_sample_ps(
+            delay_out[s] = sta.critical_delay_sample_ps(
                 samples, config.exact_delay, scratch);
-            result.leakage_na[s] = leakage.total_sample_na(samples);
+            leak_out[s] = leakage.total_sample_na(samples);
             if (fail_fast) {
-              const std::uint8_t cause = classify_health(
-                  result.delay_ps[s], result.leakage_na[s]);
+              const std::uint8_t cause =
+                  classify_health(delay_out[s], leak_out[s]);
               if (cause != 0) {
                 stop.store(true, std::memory_order_relaxed);
-                throw_sample_health(s, cause);
+                throw_sample_health(slot, cause);
               }
             }
             evals.add();
@@ -440,17 +409,161 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
           flush_run(worker, run_begin, covered);
         });
   }
+}
 
-  // --- finalize (serial) ----------------------------------------------------
-  // Done mask = restored slots + everything the workers logged. Ranges may
-  // overlap restored slots (recomputed partial blocks); the mask dedups.
-  std::vector<std::uint8_t> done = std::move(restored);
-  for (const auto& runs : computed_runs) {
-    for (const SlotRun& r : runs) {
-      std::fill(done.begin() + static_cast<std::ptrdiff_t>(r.first),
-                done.begin() + static_cast<std::ptrdiff_t>(r.second), 1);
+}  // namespace
+
+std::vector<double> mc_device_widths(const Circuit& circuit,
+                                     const CellLibrary& lib) {
+  return device_widths(circuit, lib);
+}
+
+McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
+                         const VariationModel& var, const McConfig& config,
+                         obs::Registry* obs) {
+  validate_mc_config(var, config);
+  obs::ScopedTimer timer(obs, "mc.samples");
+
+  const auto num_samples = static_cast<std::size_t>(config.num_samples);
+  McPopulation pop;
+  pop.delay_ps.assign(num_samples, 0.0);
+  pop.leakage_na.assign(num_samples, 0.0);
+
+  // --- checkpoint restore ---------------------------------------------------
+  // `restored[s] != 0` marks slots whose values came from the checkpoint;
+  // the loop skips them and the finalize pass counts them as done. Restored
+  // values are bitwise what this run would compute (the config hash pins
+  // every input to the sample), so a resumed run equals an uninterrupted
+  // one exactly.
+  std::vector<std::uint8_t> restored(num_samples, 0);
+  std::unique_ptr<CheckpointWriter> writer;
+  if (!config.checkpoint_path.empty()) {
+    const std::vector<double> widths = device_widths(circuit, lib);
+    const std::uint64_t hash = mc_checkpoint_hash(circuit, var, config, widths);
+    if (checkpoint_exists(config.checkpoint_path)) {
+      CheckpointData data =
+          load_checkpoint(config.checkpoint_path, hash, num_samples);
+      restored = std::move(data.done);
+      pop.delay_ps = std::move(data.delay_ps);
+      pop.leakage_na = std::move(data.leakage_na);
+      pop.samples_restored = data.done_count;
+      writer = CheckpointWriter::resume(config.checkpoint_path, hash,
+                                        num_samples);
+    } else {
+      writer = CheckpointWriter::create(config.checkpoint_path, hash,
+                                        num_samples);
     }
   }
+
+  const int workers = resolve_num_threads(config.num_threads);
+
+  // Each worker records the contiguous slot ranges it actually computed
+  // (restored slots break ranges); the same ranges drive checkpoint record
+  // appends. Indexed by worker — no locking.
+  std::vector<std::vector<SlotRun>> computed_runs(
+      static_cast<std::size_t>(workers));
+
+  // Appends [run_begin, run_end) to the worker's log and — when
+  // checkpointing — to the file. Spans point into the slot-indexed
+  // population vectors, which stay full-size until finalize compacts them.
+  const auto flush_run = [&](int worker, std::size_t run_begin,
+                             std::size_t run_end) {
+    computed_runs[static_cast<std::size_t>(worker)].emplace_back(run_begin,
+                                                                 run_end);
+    if (writer != nullptr) {
+      const std::size_t count = run_end - run_begin;
+      writer->append(run_begin,
+                     std::span<const double>(pop.delay_ps)
+                         .subspan(run_begin, count),
+                     std::span<const double>(pop.leakage_na)
+                         .subspan(run_begin, count));
+    }
+  };
+
+  run_sample_range(circuit, lib, var, config, 0, num_samples, restored.data(),
+                   pop.delay_ps.data(), pop.leakage_na.data(), flush_run, obs);
+
+  // Done mask = restored slots + everything the workers logged. Ranges may
+  // overlap restored slots (recomputed partial blocks); the mask dedups.
+  pop.done = std::move(restored);
+  for (const auto& runs : computed_runs) {
+    for (const SlotRun& r : runs) {
+      std::fill(pop.done.begin() + static_cast<std::ptrdiff_t>(r.first),
+                pop.done.begin() + static_cast<std::ptrdiff_t>(r.second), 1);
+    }
+  }
+  return finalize_mc_population(circuit, lib, var, config, std::move(pop),
+                                obs);
+}
+
+McShardResult run_monte_carlo_shard(const Circuit& circuit,
+                                    const CellLibrary& lib,
+                                    const VariationModel& var,
+                                    const McConfig& config,
+                                    std::uint64_t begin, std::uint64_t end,
+                                    const McBlockSink& sink,
+                                    obs::Registry* obs) {
+  validate_mc_config(var, config);
+  const auto num_samples = static_cast<std::uint64_t>(config.num_samples);
+  STATLEAK_CHECK(begin < end && end <= num_samples,
+                 "shard range [" + std::to_string(begin) + ", " +
+                     std::to_string(end) + ") must be a non-empty range in " +
+                     std::to_string(num_samples) + " samples");
+  obs::ScopedTimer timer(obs, "mc.samples");
+
+  McShardResult res;
+  res.begin = begin;
+  res.end = end;
+  const std::size_t range = static_cast<std::size_t>(end - begin);
+  res.delay_ps.assign(range, 0.0);
+  res.leakage_na.assign(range, 0.0);
+  res.done.assign(range, 0);
+
+  // Concurrent flushes touch disjoint slot ranges of `done` and the value
+  // arrays, so no lock is needed for them; only the caller's sink must be
+  // thread-safe (documented on McBlockSink).
+  const auto flush_run = [&](int /*worker*/, std::size_t gbegin,
+                             std::size_t gend) {
+    const std::size_t lo = static_cast<std::size_t>(gbegin - begin);
+    const std::size_t count = gend - gbegin;
+    std::fill(res.done.begin() + static_cast<std::ptrdiff_t>(lo),
+              res.done.begin() + static_cast<std::ptrdiff_t>(lo + count), 1);
+    if (sink) {
+      sink(gbegin,
+           std::span<const double>(res.delay_ps).subspan(lo, count),
+           std::span<const double>(res.leakage_na).subspan(lo, count));
+    }
+  };
+
+  run_sample_range(circuit, lib, var, config, begin, end, nullptr,
+                   res.delay_ps.data(), res.leakage_na.data(), flush_run,
+                   obs);
+
+  std::size_t done_count = 0;
+  for (std::uint8_t d : res.done) done_count += d;
+  res.samples_done = done_count;
+  res.completed = done_count == range;
+  return res;
+}
+
+McResult finalize_mc_population(const Circuit& circuit, const CellLibrary& lib,
+                                const VariationModel& var,
+                                const McConfig& config, McPopulation&& pop,
+                                obs::Registry* obs) {
+  validate_mc_config(var, config);
+  const auto num_samples = static_cast<std::size_t>(config.num_samples);
+  STATLEAK_CHECK(pop.delay_ps.size() == num_samples &&
+                     pop.leakage_na.size() == num_samples &&
+                     pop.done.size() == num_samples,
+                 "population vectors must be slot-indexed over num_samples");
+
+  McResult result;
+  result.samples_requested = num_samples;
+  result.samples_restored = pop.samples_restored;
+  result.delay_ps = std::move(pop.delay_ps);
+  result.leakage_na = std::move(pop.leakage_na);
+  const std::vector<std::uint8_t> done = std::move(pop.done);
+
   std::size_t done_count = 0;
   for (std::uint8_t d : done) done_count += d;
   result.samples_done = done_count;
@@ -458,8 +571,9 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
 
   // Health scan over every done slot — covers restored values too (a
   // checkpoint may carry poisoned samples from a quarantining producer).
-  // Under kFail the loop already threw for freshly computed samples, so
-  // this only fires for restored ones.
+  // Under kFail the sample loop already threw for freshly computed samples,
+  // so this only fires for restored or merged-in ones.
+  const bool fail_fast = config.health_policy == HealthPolicy::kFail;
   for (std::size_t s = 0; s < num_samples; ++s) {
     if (done[s] == 0) continue;
     const std::uint8_t cause =
@@ -477,7 +591,11 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
   // loops untouched, makes this pass bit-identical for any thread count,
   // batch size, or resume history, and spares the checkpoint format from
   // storing weights at all. Both vectors are built survivor-aligned.
+  const IsShift shift = config.is_shift;
   if (shift.active() || config.control_variate) {
+    std::optional<SobolSequence> sobol_seq;
+    if (config.sampler == McSampler::kSobol) sobol_seq.emplace(config.seed);
+    const SobolSequence* qmc = sobol_seq ? &*sobol_seq : nullptr;
     std::optional<CvLeakageModel> cv;
     if (config.control_variate) {
       cv.emplace(circuit, lib, var);

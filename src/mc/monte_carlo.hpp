@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -177,5 +178,81 @@ struct McResult {
 McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
                          const VariationModel& var, const McConfig& config,
                          obs::Registry* obs = nullptr);
+
+// --- shard-level building blocks (the distributed campaign runner) ---------
+//
+// Sample i is a pure function of (seed, i), so any process can compute any
+// contiguous slot range independently and a coordinator can reassemble the
+// population in any order — the merged result is byte-identical to a
+// single-host run by construction. run_monte_carlo itself is implemented on
+// the same two primitives: compute a range, then finalize the population.
+
+/// Per-gate device widths (kInput slots hold -1), the Pelgrom scaling
+/// input that is part of mc_checkpoint_hash's fingerprint. Exposed so the
+/// distributed coordinator computes the same hash as the engine.
+std::vector<double> mc_device_widths(const Circuit& circuit,
+                                     const CellLibrary& lib);
+
+/// A slot-indexed population under assembly. run_monte_carlo builds one
+/// locally; the distributed coordinator (src/dist/) assembles one from
+/// worker shard blocks. Vectors are full population size; `done[s]` marks
+/// slots whose values are trusted.
+struct McPopulation {
+  std::vector<double> delay_ps;
+  std::vector<double> leakage_na;
+  std::vector<std::uint8_t> done;
+  std::uint64_t samples_restored = 0;  ///< slots restored from a checkpoint
+};
+
+/// Turns an assembled population into the McResult: done accounting, the
+/// per-slot health scan (kFail throws, kQuarantine excises), the estimator
+/// side-channels (importance weights / control-variate proxies, recomputed
+/// from slot indices), survivor compaction and the obs gauges + progress
+/// milestones. This is the single definition of "finalize" — the
+/// single-host path and the distributed merge call the same function, so
+/// their statistics cannot drift.
+McResult finalize_mc_population(const Circuit& circuit, const CellLibrary& lib,
+                                const VariationModel& var,
+                                const McConfig& config, McPopulation&& pop,
+                                obs::Registry* obs = nullptr);
+
+/// Completed-block callback of run_monte_carlo_shard: slots
+/// [begin, begin + delay.size()) with their final values. Invoked
+/// concurrently from shard workers at McConfig::checkpoint_every cadence —
+/// implementations must be thread-safe (CheckpointWriter::append and the
+/// distributed worker's message send both are).
+using McBlockSink = std::function<void(
+    std::uint64_t begin, std::span<const double> delay,
+    std::span<const double> leak)>;
+
+/// One computed shard: values for slots [begin, end), locally indexed
+/// (slot s lives at index s - begin). `done` marks computed slots — all of
+/// them unless the deadline expired mid-shard.
+struct McShardResult {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::vector<double> delay_ps;
+  std::vector<double> leakage_na;
+  std::vector<std::uint8_t> done;
+  std::uint64_t samples_done = 0;
+  bool completed = true;  ///< false when ExecConfig::deadline_ms expired
+};
+
+/// Computes slots [begin, end) of the config's population — the shard-range
+/// entry point of the distributed runner. `config.num_samples` is still the
+/// *total* population size (it pins the checkpoint hash and, with QMC, the
+/// sample values are indexed by global slot); the range must lie inside it.
+/// The shard is itself sharded over config.num_threads, honours the
+/// deadline and health policy, and reports completed blocks through `sink`
+/// (when set) exactly as they would be checkpointed. Values are
+/// bit-identical to the same slots of a full run for any range cut, thread
+/// count, batch size, or engine.
+McShardResult run_monte_carlo_shard(const Circuit& circuit,
+                                    const CellLibrary& lib,
+                                    const VariationModel& var,
+                                    const McConfig& config,
+                                    std::uint64_t begin, std::uint64_t end,
+                                    const McBlockSink& sink = {},
+                                    obs::Registry* obs = nullptr);
 
 }  // namespace statleak

@@ -37,16 +37,17 @@ void Registry::set_gauge(std::string_view gauge, double value) {
   }
 }
 
-void Registry::add_phase_s(std::string_view phase, double seconds) {
+void Registry::add_phase_s(std::string_view phase, double seconds,
+                           std::int64_t calls) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (PhaseTime& p : phases_) {
     if (p.name == phase) {
       p.seconds += seconds;
-      ++p.calls;
+      p.calls += calls;
       return;
     }
   }
-  phases_.push_back(PhaseTime{std::string(phase), seconds, 1});
+  phases_.push_back(PhaseTime{std::string(phase), seconds, calls});
 }
 
 void Registry::trace(std::string_view stream, TraceEvent event) {

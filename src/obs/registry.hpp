@@ -69,7 +69,11 @@ class Registry {
   void set_gauge(std::string_view gauge, double value);
   /// Adds one timed scope to the named phase. Phases keep first-seen
   /// order, so repeated scopes (e.g. boost rounds) accumulate in place.
-  void add_phase_s(std::string_view phase, double seconds);
+  /// `calls` is how many scopes the contribution represents — 1 for a
+  /// ScopedTimer; snapshot merges (obs/snapshot.hpp) pass the remote call
+  /// count through.
+  void add_phase_s(std::string_view phase, double seconds,
+                   std::int64_t calls = 1);
   /// Appends an event to the named trace stream.
   void trace(std::string_view stream, TraceEvent event);
 

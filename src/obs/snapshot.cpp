@@ -1,0 +1,142 @@
+#include "obs/snapshot.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace statleak::obs {
+
+namespace {
+
+Json trace_event_json(const TraceEvent& e) {
+  Json obj = Json::object();
+  obj.set("step", static_cast<double>(e.step));
+  obj.set("phase", e.phase);
+  obj.set("objective", e.objective);
+  obj.set("yield", e.yield);
+  obj.set("delay_ps", e.delay_ps);
+  obj.set("commits", static_cast<double>(e.commits));
+  obj.set("rejected", static_cast<double>(e.rejected));
+  return obj;
+}
+
+TraceEvent trace_event_from_json(const Json& obj) {
+  TraceEvent e;
+  e.step = static_cast<std::int64_t>(obj.at("step").as_number());
+  e.phase = obj.at("phase").as_string();
+  e.objective = obj.at("objective").as_number();
+  e.yield = obj.at("yield").as_number();
+  e.delay_ps = obj.at("delay_ps").as_number();
+  e.commits = static_cast<std::int64_t>(obj.at("commits").as_number());
+  e.rejected = static_cast<std::int64_t>(obj.at("rejected").as_number());
+  return e;
+}
+
+}  // namespace
+
+Json registry_snapshot(const Registry& registry) {
+  Json snap = Json::object();
+  snap.set("completed", registry.completed());
+  snap.set("incomplete_reason", registry.incomplete_reason());
+
+  Json config = Json::object();
+  for (const auto& [key, value] : registry.config()) {
+    const auto& [text, bare] = value;
+    config.set(key, bare ? Json::parse(text) : Json(text));
+  }
+  snap.set("config", std::move(config));
+
+  Json phases = Json::array();
+  for (const PhaseTime& p : registry.phases()) {
+    Json entry = Json::object();
+    entry.set("name", p.name);
+    entry.set("seconds", p.seconds);
+    entry.set("calls", static_cast<double>(p.calls));
+    phases.push_back(std::move(entry));
+  }
+  snap.set("phases", std::move(phases));
+
+  Json counters = Json::object();
+  for (const auto& [name, value] : registry.counters()) {
+    counters.set(name, value);
+  }
+  snap.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (const auto& [name, value] : registry.gauges()) {
+    gauges.set(name, value);
+  }
+  snap.set("gauges", std::move(gauges));
+
+  Json traces = Json::object();
+  for (const std::string& stream : registry.trace_streams()) {
+    Json events = Json::array();
+    for (const TraceEvent& e : registry.trace_events(stream)) {
+      events.push_back(trace_event_json(e));
+    }
+    traces.set(stream, std::move(events));
+  }
+  snap.set("traces", std::move(traces));
+  return snap;
+}
+
+void merge_registry_snapshot(Registry& into, const Json& snapshot,
+                             std::string_view prefix) {
+  STATLEAK_CHECK(snapshot.is_object(),
+                 "registry snapshot must be a JSON object");
+  const std::string pre(prefix);
+
+  if (const Json* counters = snapshot.find("counters")) {
+    for (const auto& [name, value] : counters->as_object()) {
+      into.add(pre + name, value.as_number());
+    }
+  }
+  if (const Json* gauges = snapshot.find("gauges")) {
+    for (const auto& [name, value] : gauges->as_object()) {
+      into.set_gauge(pre + name, value.as_number());
+    }
+  }
+  if (const Json* phases = snapshot.find("phases")) {
+    for (const Json& entry : phases->as_array()) {
+      into.add_phase_s(
+          pre + entry.at("name").as_string(),
+          entry.at("seconds").as_number(),
+          static_cast<std::int64_t>(entry.at("calls").as_number()));
+    }
+  }
+  if (const Json* traces = snapshot.find("traces")) {
+    for (const auto& [stream, events] : traces->as_object()) {
+      for (const Json& e : events.as_array()) {
+        into.trace(pre + stream, trace_event_from_json(e));
+      }
+    }
+  }
+  if (const Json* config = snapshot.find("config")) {
+    for (const auto& [key, value] : config->as_object()) {
+      if (value.is_string()) {
+        into.note_config(pre + key, value.as_string());
+      } else if (value.is_bool()) {
+        into.note_config_num(pre + key, value.as_bool());
+      } else if (value.is_number()) {
+        into.note_config_num(pre + key, value.as_number());
+      } else {
+        // null (a non-finite number on the wire) — echo as a string so
+        // nothing is silently dropped.
+        into.note_config(pre + key, "null");
+      }
+    }
+  }
+  if (const Json* completed = snapshot.find("completed")) {
+    if (!completed->as_bool()) {
+      std::string reason = "remote";
+      if (const Json* r = snapshot.find("incomplete_reason")) {
+        if (r->is_string() && !r->as_string().empty()) reason = r->as_string();
+      }
+      into.mark_incomplete(pre + reason);
+    }
+  }
+}
+
+}  // namespace statleak::obs

@@ -1,0 +1,39 @@
+/// \file snapshot.hpp
+/// \brief Registry serialization + merge for the distributed runner.
+///
+/// A worker process serializes everything its local Registry collected
+/// into a JSON snapshot and ships it over the campaign protocol
+/// (docs/DISTRIBUTED.md); the coordinator merges each snapshot into the
+/// fleet registry under a per-worker prefix ("w3."), so the fleet-level
+/// run report carries every worker's counters, phase times and config
+/// echo next to the coordinator's own. Merging is deterministic: it only
+/// uses Registry's public writers, and numbers round-trip exactly
+/// (obs::Json renders shortest-form via std::to_chars and parses with
+/// std::from_chars).
+
+#pragma once
+
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace statleak::obs {
+
+/// Serializes the registry's full state: {"completed", "incomplete_reason",
+/// "config", "phases", "counters", "gauges", "traces"} — the run-report
+/// sections without the report envelope (schema/tool keys).
+Json registry_snapshot(const Registry& registry);
+
+/// Merges a registry_snapshot() document into `into`, prepending `prefix`
+/// to every counter, gauge, phase, trace-stream and config key (pass e.g.
+/// "w0." — the separator is the caller's). Counters add, gauges overwrite,
+/// phases accumulate seconds and call counts, trace events append in
+/// snapshot order. An incomplete snapshot marks `into` incomplete with
+/// prefix + reason (Registry's first-reason-wins rule applies). Unknown or
+/// missing sections are ignored; malformed section types throw
+/// statleak::Error.
+void merge_registry_snapshot(Registry& into, const Json& snapshot,
+                             std::string_view prefix = {});
+
+}  // namespace statleak::obs

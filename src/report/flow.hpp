@@ -48,11 +48,6 @@ struct FlowConfig : ExecConfig {
   /// Kernel block size of the batched MC cross-check (0 = auto; results
   /// are bit-identical either way — see McConfig::batch_size).
   int mc_batch_size = 0;
-
-  /// Deprecated pre-ExecConfig spelling of `seed`; gone next release.
-  [[deprecated("use FlowConfig::seed")]] std::uint64_t& mc_seed() {
-    return seed;
-  }
 };
 
 struct McCheck {

@@ -23,6 +23,8 @@
 ///   mlv/      minimum-leakage input-vector search
 ///   opt/      deterministic + statistical dual-Vth/sizing optimizers
 ///   report/   the shared det-vs-stat experiment flow
+///   api/      the command facade every front end drives
+///   dist/     distributed sharded Monte-Carlo campaign runner
 ///   obs/      observability: registries, traces, JSON run reports
 ///   util/     shared math + execution utilities
 
@@ -92,10 +94,20 @@
 // report/
 #include "report/flow.hpp"
 
+// api/
+#include "api/driver.hpp"
+
+// dist/
+#include "dist/coordinator.hpp"
+#include "dist/partition.hpp"
+#include "dist/protocol.hpp"
+#include "dist/worker.hpp"
+
 // obs/
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/snapshot.hpp"
 
 // util/
 #include "util/clark.hpp"

@@ -12,10 +12,6 @@
 ///     source-compatible accessor guarantee for this release), and
 ///   * engine entry points can slice `const ExecConfig&` off any config
 ///     to plumb execution knobs without knowing the concrete type.
-///
-/// FlowConfig's former `mc_seed` field is the one spelling change: it is
-/// now plain `seed` (a deprecated `mc_seed()` accessor remains for one
-/// release).
 
 #pragma once
 

@@ -31,8 +31,10 @@ enum class Point : int {
   kNanDeviate = 0,  ///< poison one sample's dVth draw with NaN (address = slot)
   kShortWrite = 1,  ///< truncate one checkpoint record flush (address = record)
   kShardStall = 2,  ///< sleep at one shard block boundary (address = block start)
+  kWorkerExit = 3,  ///< campaign coordinator kills the worker that sent the
+                    ///< Nth committed block (address = block ordinal)
 };
-inline constexpr int kNumPoints = 3;
+inline constexpr int kNumPoints = 4;
 
 /// "on" / "off" — whether this build compiled the injection machinery.
 const char* build_mode();

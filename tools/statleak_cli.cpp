@@ -11,6 +11,8 @@
 ///   mc <netlist.bench> [options]          Monte-Carlo report
 ///   mlv <netlist.bench> [options]         minimum-leakage input vector
 ///   flow <netlist.bench> [options]        full det-vs-stat comparison
+///   serve <netlist.bench> [options]       distributed Monte-Carlo campaign
+///   worker [options]                      campaign worker process
 ///
 /// Circuits for `gen`: any ISCAS85 proxy name (c432 .. c7552), or
 /// rca<N> / cla<N> / csel<N> / ks<N> / mult<N> / wal<N> / alu<N> /
@@ -19,7 +21,14 @@
 /// Every subcommand accepts `--report-json <path>` (write a versioned JSON
 /// run report: config echo, phase wall times, counters, convergence traces)
 /// and `--trace` (dump the trace streams as JSON to stdout). Execution
-/// knobs are spelled the same everywhere: `--seed s`, `--threads n`.
+/// knobs come from one shared flag table, so they are spelled the same
+/// everywhere they apply: `--seed s`, `--threads n`, `--deadline ms`.
+///
+/// The command bodies live in the api/driver.hpp facade; this file only
+/// parses flags, forwards to the facade, and prints. The distributed
+/// worker drives the same facade, so `statleak mc` and a `statleak serve`
+/// campaign share every line of engine and statistics code (see
+/// docs/DISTRIBUTED.md).
 ///
 /// The optimize/analyze/mc commands compose through .impl sidecars:
 ///
@@ -37,7 +46,10 @@
 ///   4  deadline expired (--deadline budget ran out; partial results and
 ///      the run report — flagged "completed": false — are still written)
 ///   5  corrupt or mismatched checkpoint (--checkpoint rejected)
+///   6  distributed campaign failure (fleet could not be set up, or every
+///      worker was lost with shards still queued)
 
+#include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -76,18 +88,85 @@ const std::vector<FlagSpec>& common_flags() {
   return kCommon;
 }
 
+/// The shared execution-knob table (ExecConfig spellings). Every command
+/// that runs an engine splices these in — including the serve/worker pair —
+/// so `--seed/--threads/--deadline` mean the same thing everywhere.
+const FlagSpec& exec_flag(const char* name) {
+  static const std::vector<FlagSpec> kExec = {
+      {"--seed", true, "s", "RNG seed"},
+      {"--threads", true, "n",
+       "worker threads, 0 = all cores (default 0); "
+       "results are thread-count invariant"},
+      {"--deadline", true, "ms",
+       "wall-clock budget in ms, 0 = none (default); "
+       "a clean early stop exits with code 4"},
+  };
+  for (const FlagSpec& f : kExec) {
+    if (std::string(f.name) == name) return f;
+  }
+  std::cerr << "internal: unknown exec flag " << name << "\n";
+  std::abort();
+}
+
+/// The Monte-Carlo engine flags, shared verbatim between `mc` (single
+/// host) and `serve` (distributed): the two commands accept the same study
+/// and must produce byte-identical populations.
+std::vector<FlagSpec> mc_engine_flags() {
+  return {
+      {"--impl", true, "f.impl",
+       "apply an implementation sidecar before running"},
+      {"--tmax", true, "ps", "delay target (default 1.1 * nominal)"},
+      {"--samples", true, "n", "number of dies (default 5000)"},
+      {"--batch", true, "b",
+       "samples per kernel block, 0 = auto (default; results identical)"},
+      exec_flag("--seed"),
+      exec_flag("--threads"),
+      exec_flag("--deadline"),
+      {"--checkpoint", true, "path",
+       "append-only checkpoint file; resumes it when it already exists"},
+      {"--checkpoint-every", true, "n",
+       "checkpoint flush cadence in samples per worker (default 4096)"},
+      {"--health", true, "fail|quarantine",
+       "non-finite sample policy (default fail)"},
+      {"--sampler", true, "pseudo|sobol",
+       "global-dimension sampler (default pseudo); sobol = scrambled QMC"},
+      {"--importance", true, "auto|off",
+       "importance-sample the timing tail at --tmax (default off); "
+       "estimates stay unbiased via exact likelihood weights"},
+      {"--cv", false, "", "SSTA control variate for leakage mean/quantiles"},
+      {"--node", true, "100|70", "technology node (default 100)"},
+      {"--dump-samples", true, "path",
+       "write surviving per-sample 'delay leakage' pairs as exact "
+       "round-trip text (byte-comparable across hosts/threads/shards)"},
+  };
+}
+
 std::vector<CommandSpec> command_specs() {
   const FlagSpec impl = {"--impl", true, "f.impl",
                          "apply an implementation sidecar before running"};
   const FlagSpec node = {"--node", true, "100|70",
                          "technology node (default 100)"};
-  const FlagSpec seed = {"--seed", true, "s", "RNG seed"};
-  const FlagSpec threads = {"--threads", true, "n",
-                            "worker threads, 0 = all cores (default 0); "
-                            "results are thread-count invariant"};
-  const FlagSpec deadline = {"--deadline", true, "ms",
-                             "wall-clock budget in ms, 0 = none (default); "
-                             "a clean early stop exits with code 4"};
+
+  std::vector<FlagSpec> serve_flags = mc_engine_flags();
+  const std::vector<FlagSpec> dist_flags = {
+      {"--workers", true, "n",
+       "fleet size: pool processes to fork, or TCP peers to wait for "
+       "(default 2)"},
+      {"--worker-threads", true, "n",
+       "threads per worker (default: the --threads value, else 1)"},
+      {"--listen", true, "host:port",
+       "wait for remote workers there instead of forking a local pool "
+       "(port 0 = pick a free port)"},
+      {"--port-file", true, "path",
+       "with --listen, write the bound port here once listening"},
+      {"--heartbeat", true, "ms",
+       "per-worker silence budget before re-dispatching its shard "
+       "(default 30000; 0 disables)"},
+      {"--shards-per-worker", true, "n",
+       "dispatch granularity (default 4 shards per worker)"},
+  };
+  serve_flags.insert(serve_flags.end(), dist_flags.begin(), dist_flags.end());
+
   return {
       {"gen", "<circuit>", "generate a benchmark circuit",
        {{"--out", true, "out.bench", "output netlist (-o works too)"},
@@ -107,38 +186,17 @@ std::vector<CommandSpec> command_specs() {
         {"--corner", true, "k",
          "deterministic guard-band in sigmas (default 3)"},
         node,
-        seed,
-        threads,
-        deadline,
+        exec_flag("--seed"),
+        exec_flag("--threads"),
+        exec_flag("--deadline"),
         {"--out", true, "out.impl", "implementation sidecar (-o works too)"},
         {"--write-bench", true, "out.bench", "also write the netlist"}}},
       {"mc", "<netlist.bench>", "Monte-Carlo delay/leakage report",
-       {impl,
-        {"--tmax", true, "ps", "delay target (default 1.1 * nominal)"},
-        {"--samples", true, "n", "number of dies (default 5000)"},
-        {"--batch", true, "b",
-         "samples per kernel block, 0 = auto (default; results identical)"},
-        seed,
-        threads,
-        deadline,
-        {"--checkpoint", true, "path",
-         "append-only checkpoint file; resumes it when it already exists"},
-        {"--checkpoint-every", true, "n",
-         "checkpoint flush cadence in samples per worker (default 4096)"},
-        {"--health", true, "fail|quarantine",
-         "non-finite sample policy (default fail)"},
-        {"--sampler", true, "pseudo|sobol",
-         "global-dimension sampler (default pseudo); sobol = scrambled QMC"},
-        {"--importance", true, "auto|off",
-         "importance-sample the timing tail at --tmax (default off); "
-         "estimates stay unbiased via exact likelihood weights"},
-        {"--cv", false, "",
-         "SSTA control variate for leakage mean/quantiles"},
-        node}},
+       mc_engine_flags()},
       {"mlv", "<netlist.bench>", "minimum-leakage standby vector search",
        {impl,
         {"--trials", true, "n", "random probes (default 128)"},
-        seed,
+        exec_flag("--seed"),
         node}},
       {"flow", "<netlist.bench>", "full deterministic-vs-statistical flow",
        {impl,
@@ -153,10 +211,19 @@ std::vector<CommandSpec> command_specs() {
          "Monte-Carlo cross-check dies, 0 = skip (default 0)"},
         {"--batch", true, "b",
          "MC samples per kernel block, 0 = auto (default; results identical)"},
-        seed,
-        threads,
-        deadline,
+        exec_flag("--seed"),
+        exec_flag("--threads"),
+        exec_flag("--deadline"),
         node}},
+      {"serve", "<netlist.bench>",
+       "distributed Monte-Carlo campaign (byte-identical to mc)",
+       serve_flags},
+      {"worker", "",
+       "campaign worker (spawned by serve, or connected via --connect)",
+       {{"--stdio", false, "",
+         "speak the protocol on stdin/stdout (how serve's pool spawns it)"},
+        {"--connect", true, "host:port", "connect to a listening serve"},
+        exec_flag("--threads")}},
   };
 }
 
@@ -307,7 +374,9 @@ class ObsSession {
   }
 
   /// Writes the report file and/or dumps traces, after the command body.
-  void finish() {
+  /// `os` is where the trace JSON and the confirmation line go — stdout
+  /// normally, stderr for the worker (its stdout is the protocol channel).
+  void finish(std::ostream& os = std::cout) {
     if (trace_) {
       obs::Json traces = obs::Json::object();
       for (const std::string& stream : registry_.trace_streams()) {
@@ -325,11 +394,11 @@ class ObsSession {
         }
         traces.set(stream, std::move(events));
       }
-      std::cout << traces.dump(2);
+      os << traces.dump(2);
     }
     if (report_path_) {
       obs::write_run_report(*report_path_, registry_);
-      std::cout << "wrote report " << *report_path_ << "\n";
+      os << "wrote report " << *report_path_ << "\n";
     }
   }
 
@@ -418,6 +487,27 @@ Circuit load_circuit(const Args& args) {
   return c;
 }
 
+/// Facade-driven commands resolve their input through StudyInput; the
+/// "applied N implementation entries" line the file-loading commands print
+/// is reproduced from the facade's count for stdout parity.
+api::StudyInput study_input(const Args& args) {
+  if (args.positional().empty()) {
+    throw UsageError("missing netlist argument");
+  }
+  api::StudyInput in;
+  in.bench_path = args.positional()[0];
+  in.impl_path = args.get("--impl").value_or("");
+  in.node_nm = static_cast<int>(args.get_long("--node", 100));
+  return in;
+}
+
+void report_impl(const Args& args, std::size_t entries) {
+  if (const auto impl = args.get("--impl")) {
+    std::cout << "applied " << entries << " implementation entries from "
+              << *impl << "\n";
+  }
+}
+
 int cmd_gen(const Args& args, ObsSession& session) {
   if (args.positional().empty()) {
     throw UsageError("gen needs a circuit spec");
@@ -475,58 +565,56 @@ int cmd_analyze(const Args& args, ObsSession& session) {
 }
 
 int cmd_optimize(const Args& args, ObsSession& session) {
-  Circuit c = load_circuit(args);
-  const CellLibrary lib = make_library(args);
-  const VariationModel var = VariationModel::typical_100nm();
-
-  OptConfig cfg;
-  if (const auto tmax = args.get("--tmax")) {
-    cfg.t_max_ps = std::atof(tmax->c_str());
-  } else {
-    const double factor = args.get_double("--tmax-factor", 1.15);
-    cfg.t_max_ps = factor * min_achievable_delay_ps(c, lib);
-  }
-  cfg.yield_target = args.get_double("--eta", 0.99);
-  cfg.corner_k_sigma = args.get_double("--corner", 3.0);
-  cfg.seed = static_cast<std::uint64_t>(args.get_long("--seed", 42));
-  // 0 = all hardware threads; results are thread-count invariant.
-  cfg.num_threads = static_cast<int>(args.get_long("--threads", 0));
-  cfg.deadline_ms = args.get_long("--deadline", 0);
-
+  api::OptimizeCommandConfig cfg;
   const std::string flow = args.get("--flow").value_or("stat");
-  OptResult result;
   if (flow == "stat") {
-    result = StatisticalOptimizer(lib, var, cfg).run(c, session.reg());
+    cfg.flow = api::OptimizeFlow::kStat;
   } else if (flow == "det") {
-    result = DeterministicOptimizer(lib, var, cfg).run(c, session.reg());
+    cfg.flow = api::OptimizeFlow::kDet;
   } else {
     throw UsageError("--flow must be 'stat' or 'det'");
   }
+  cfg.input = study_input(args);
+  cfg.opt.t_max_ps = args.get_double("--tmax", 0.0);  // <= 0: factor * D_min
+  cfg.t_max_factor = args.get_double("--tmax-factor", 1.15);
+  cfg.opt.yield_target = args.get_double("--eta", 0.99);
+  cfg.opt.corner_k_sigma = args.get_double("--corner", 3.0);
+  cfg.opt.seed = static_cast<std::uint64_t>(args.get_long("--seed", 42));
+  // 0 = all hardware threads; results are thread-count invariant.
+  cfg.opt.num_threads = static_cast<int>(args.get_long("--threads", 0));
+  cfg.opt.deadline_ms = args.get_long("--deadline", 0);
 
-  std::cout << flow << " flow on " << c.name() << ": " << result.note
-            << " (" << result.sizing_commits << " upsizes, "
-            << result.hvt_commits << " HVT swaps, "
-            << result.downsize_commits << " downsizes)\n\n";
-  print_metrics(measure_metrics(c, lib, var, cfg.t_max_ps), cfg.t_max_ps);
+  const api::OptimizeCommandResult r =
+      api::run_optimize_command(cfg, session.reg());
+  report_impl(args, r.impl_entries);
 
-  const std::string out = args.get("--out").value_or(c.name() + ".impl");
-  write_impl_file(out, c);
+  std::cout << flow << " flow on " << r.circuit.name() << ": "
+            << r.result.note << " (" << r.result.sizing_commits
+            << " upsizes, " << r.result.hvt_commits << " HVT swaps, "
+            << r.result.downsize_commits << " downsizes)\n\n";
+  print_metrics(r.metrics, r.t_max_ps);
+
+  const std::string out =
+      args.get("--out").value_or(r.circuit.name() + ".impl");
+  write_impl_file(out, r.circuit);
   std::cout << "\nwrote " << out << "\n";
   if (const auto bench_out = args.get("--write-bench")) {
     std::ofstream file(*bench_out);
     STATLEAK_CHECK(file.good(), "cannot write " + *bench_out);
-    write_bench(file, c);
+    write_bench(file, r.circuit);
     std::cout << "wrote " << *bench_out << "\n";
   }
   // The partial implementation above is still valid and was written; the
   // exit code tells scripts the budget ran out before convergence.
-  return result.completed ? 0 : 4;
+  return r.exit_code();
 }
 
-int cmd_mc(const Args& args, ObsSession& session) {
-  // Flag validation precedes any file I/O: a bad spelling is a usage error
-  // (exit 2) even when the netlist is also missing.
-  McConfig mc;
+/// The shared mc/serve flag decoding: flag validation precedes any file
+/// I/O, so a bad spelling is a usage error (exit 2) even when the netlist
+/// is also missing.
+api::McCommandConfig parse_mc_config(const Args& args) {
+  api::McCommandConfig cfg;
+  McConfig& mc = cfg.mc;
   const std::string health = args.get("--health").value_or("fail");
   if (health == "fail") {
     mc.health_policy = HealthPolicy::kFail;
@@ -551,9 +639,7 @@ int cmd_mc(const Args& args, ObsSession& session) {
   if (mc.control_variate && importance == "auto") {
     throw UsageError("--cv cannot be combined with --importance auto");
   }
-  Circuit c = load_circuit(args);
-  const CellLibrary lib = make_library(args);
-  const VariationModel var = VariationModel::typical_100nm();
+  cfg.importance_auto = importance == "auto";
   mc.num_samples = static_cast<int>(args.get_long("--samples", 5000));
   // 0 = auto; any value yields bit-identical results (performance knob).
   mc.batch_size = static_cast<int>(args.get_long("--batch", 0));
@@ -565,75 +651,86 @@ int cmd_mc(const Args& args, ObsSession& session) {
   mc.checkpoint_path = args.get("--checkpoint").value_or("");
   mc.checkpoint_every =
       static_cast<int>(args.get_long("--checkpoint-every", 4096));
-  const double t_max = args.get_double(
-      "--tmax", 1.1 * StaEngine(c, lib).critical_delay_ps());
-  if (importance == "auto") {
-    // Shift the global distribution toward the timing-failure region at
-    // the delay target; inactive (plain MC) when the target is not in the
-    // tail. Exact likelihood weights keep every estimate unbiased.
-    mc.is_shift = compute_timing_is_shift(c, lib, var, t_max);
-  }
+  cfg.t_max_ps = args.get_double("--tmax", 0.0);  // <= 0: 1.1 * nominal
+  cfg.input = study_input(args);
+  return cfg;
+}
 
-  const McResult res = run_monte_carlo(c, lib, var, mc, session.reg());
-  if (res.samples_restored > 0) {
-    std::cout << "resumed " << res.samples_restored << " of "
-              << res.samples_requested << " samples from checkpoint "
-              << mc.checkpoint_path << "\n";
+/// --dump-samples: the surviving per-sample values in slot order, one
+/// "delay leakage" pair per line, printed with std::to_chars shortest
+/// round-trip form — the byte-comparison artifact of the distributed
+/// acceptance tests (a serve campaign must reproduce `mc` exactly).
+void dump_samples(const Args& args, const api::McCommandResult& r) {
+  const auto path = args.get("--dump-samples");
+  if (!path) return;
+  std::ofstream out(*path, std::ios::binary);
+  STATLEAK_CHECK(out.good(), "cannot write " + *path);
+  char buf[64];
+  const auto write_num = [&](double v) {
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.write(buf, res.ptr - buf);
+  };
+  for (std::size_t i = 0; i < r.result.delay_ps.size(); ++i) {
+    write_num(r.result.delay_ps[i]);
+    out.put(' ');
+    write_num(r.result.leakage_na[i]);
+    out.put('\n');
   }
-  if (!res.quarantined.empty()) {
-    std::cout << "quarantined " << res.quarantined.size()
-              << " non-finite sample(s) (first: slot "
-              << res.quarantined.front().slot << ", "
-              << to_string(res.quarantined.front().cause) << ")\n";
+  STATLEAK_CHECK(out.good(), "failed writing " + *path);
+  std::cout << "wrote " << r.result.delay_ps.size() << " samples to "
+            << *path << "\n";
+}
+
+int cmd_mc(const Args& args, ObsSession& session) {
+  const api::McCommandConfig cfg = parse_mc_config(args);
+  const api::McCommandResult r = api::run_mc_command(cfg, session.reg());
+  report_impl(args, r.impl_entries);
+  std::cout << api::mc_summary_text(r);
+  dump_samples(args, r);
+  return r.exit_code();
+}
+
+int cmd_serve(const Args& args, ObsSession& session) {
+  const api::McCommandConfig cfg = parse_mc_config(args);
+  dist::DistConfig dc;
+  dc.workers = static_cast<int>(args.get_long("--workers", 2));
+  if (dc.workers < 1) throw UsageError("--workers must be >= 1");
+  dc.worker_threads = static_cast<int>(
+      args.get_long("--worker-threads", args.get_long("--threads", 1)));
+  dc.listen = args.get("--listen").value_or("");
+  dc.port_file = args.get("--port-file").value_or("");
+  dc.heartbeat_ms = args.get_long("--heartbeat", 30000);
+  dc.shards_per_worker =
+      static_cast<int>(args.get_long("--shards-per-worker", 4));
+
+  const dist::CampaignResult r = dist::run_campaign(cfg, dc, session.reg());
+  report_impl(args, r.command.impl_entries);
+  std::cout << "campaign: " << r.workers_spawned << " worker(s), "
+            << r.shards_dispatched << " shard(s) dispatched";
+  if (r.shards_redispatched > 0) {
+    std::cout << ", " << r.shards_redispatched << " re-dispatched";
   }
-  if (res.delay_ps.empty()) {
-    std::cout << "no samples completed within the budget\n";
-    return res.completed ? 0 : 4;
+  if (r.workers_lost > 0) {
+    std::cout << ", " << r.workers_lost << " worker(s) lost";
   }
-  const SampleSummary d = res.delay_summary();
-  const SampleSummary l = res.leakage_summary();
-  std::cout << res.delay_ps.size() << " dies of " << c.name() << ":\n"
-            << "  delay   mean " << format_fixed(d.mean, 1) << " ps, sigma "
-            << format_fixed(d.stddev, 1) << " ps, p99 "
-            << format_fixed(d.p99, 1) << " ps\n"
-            << "  leakage mean " << format_si(l.mean * 1e-9, "A")
-            << ", p99 " << format_si(l.p99 * 1e-9, "A") << "\n"
-            << "  timing yield at " << format_fixed(t_max, 1) << " ps: "
-            << format_fixed(res.timing_yield(t_max), 4) << " +/- "
-            << format_fixed(res.yield_stderr(t_max), 4) << "\n"
-            << "  mean 95% CI: delay +/- "
-            << format_fixed(res.delay_mean_ci_ps(), 2) << " ps, leakage +/- "
-            << format_si(res.leakage_mean_ci_na() * 1e-9, "A") << "\n";
-  if (mc.sampler != McSampler::kPseudo) {
-    std::cout << "  sampler: " << to_string(mc.sampler) << "\n";
+  std::cout << "\n";
+  std::cout << api::mc_summary_text(r.command);
+  dump_samples(args, r.command);
+  return r.command.exit_code();
+}
+
+int cmd_worker(const Args& args, ObsSession& session) {
+  dist::WorkerOptions wo;
+  wo.stdio = args.has("--stdio");
+  wo.connect = args.get("--connect").value_or("");
+  wo.threads_override = static_cast<int>(args.get_long("--threads", 0));
+  if (wo.stdio && !wo.connect.empty()) {
+    throw UsageError("--stdio and --connect are mutually exclusive");
   }
-  if (mc.is_shift.active()) {
-    std::cout << "  importance shift (" << format_fixed(mc.is_shift.l_sigma, 2)
-              << ", " << format_fixed(mc.is_shift.v_sigma, 2)
-              << ") sigma, effective samples " << format_fixed(res.ess(), 1)
-              << " of " << res.delay_ps.size() << "\n";
+  if (!wo.stdio && wo.connect.empty()) {
+    throw UsageError("worker needs --stdio or --connect host:port");
   }
-  if (mc.control_variate) {
-    std::cout << "  control variate: beta " << format_fixed(res.cv_beta(), 3)
-              << ", corrected leakage mean "
-              << format_si(res.cv_leakage_mean_na() * 1e-9, "A") << "\n";
-  }
-  if (obs::Registry* obs = session.reg()) {
-    obs->set_gauge("mc.delay_mean_ps", d.mean);
-    obs->set_gauge("mc.delay_p99_ps", d.p99);
-    obs->set_gauge("mc.leakage_mean_na", l.mean);
-    obs->set_gauge("mc.leakage_p99_na", l.p99);
-    obs->set_gauge("mc.timing_yield", res.timing_yield(t_max));
-  }
-  if (!res.completed) {
-    std::cout << "deadline expired after " << res.samples_done << " of "
-              << res.samples_requested << " samples"
-              << (mc.checkpoint_path.empty()
-                      ? ""
-                      : "; progress saved, rerun to resume")
-              << "\n";
-  }
-  return res.completed ? 0 : 4;
+  return dist::run_worker(wo, session.reg());
 }
 
 int cmd_mlv(const Args& args, ObsSession& session) {
@@ -664,22 +761,21 @@ int cmd_mlv(const Args& args, ObsSession& session) {
 }
 
 int cmd_flow(const Args& args, ObsSession& session) {
-  Circuit c = load_circuit(args);
-  const CellLibrary lib = make_library(args);
-  const VariationModel var = VariationModel::typical_100nm();
+  api::FlowCommandConfig cfg;
+  cfg.input = study_input(args);
+  cfg.flow.t_max_factor = args.get_double("--tmax-factor", 1.15);
+  cfg.flow.yield_target = args.get_double("--eta", 0.99);
+  cfg.flow.det_corner_k = args.get_double("--corner", 0.0);
+  cfg.flow.det_auto_corner = args.has("--auto-corner");
+  cfg.flow.mc_samples = static_cast<int>(args.get_long("--mc-samples", 0));
+  cfg.flow.mc_batch_size = static_cast<int>(args.get_long("--batch", 0));
+  cfg.flow.seed = static_cast<std::uint64_t>(args.get_long("--seed", 7));
+  cfg.flow.num_threads = static_cast<int>(args.get_long("--threads", 0));
+  cfg.flow.deadline_ms = args.get_long("--deadline", 0);
 
-  FlowConfig cfg;
-  cfg.t_max_factor = args.get_double("--tmax-factor", 1.15);
-  cfg.yield_target = args.get_double("--eta", 0.99);
-  cfg.det_corner_k = args.get_double("--corner", 0.0);
-  cfg.det_auto_corner = args.has("--auto-corner");
-  cfg.mc_samples = static_cast<int>(args.get_long("--mc-samples", 0));
-  cfg.mc_batch_size = static_cast<int>(args.get_long("--batch", 0));
-  cfg.seed = static_cast<std::uint64_t>(args.get_long("--seed", 7));
-  cfg.num_threads = static_cast<int>(args.get_long("--threads", 0));
-  cfg.deadline_ms = args.get_long("--deadline", 0);
-
-  const FlowOutcome out = run_flow(c, lib, var, cfg, session.reg());
+  const api::FlowCommandResult r = api::run_flow_command(cfg, session.reg());
+  report_impl(args, r.impl_entries);
+  const FlowOutcome& out = r.outcome;
 
   Table t({"", "deterministic", "statistical"});
   const auto row = [&](const std::string& k, const std::string& det,
@@ -722,7 +818,7 @@ int cmd_flow(const Args& args, ObsSession& session) {
     std::cout << "\ndeadline expired mid-flow: the numbers above are from "
                  "cleanly stopped partial phases\n";
   }
-  return out.completed ? 0 : 4;
+  return r.exit_code();
 }
 
 }  // namespace
@@ -761,9 +857,14 @@ int main(int argc, char** argv) {
     if (cmd == "mc") rc = cmd_mc(args, session);
     if (cmd == "mlv") rc = cmd_mlv(args, session);
     if (cmd == "flow") rc = cmd_flow(args, session);
+    if (cmd == "serve") rc = cmd_serve(args, session);
+    if (cmd == "worker") rc = cmd_worker(args, session);
     // A deadline-expired run (rc 4) still writes its report — flagged
-    // "completed": false — so partial progress is observable.
-    if (rc == 0 || rc == 4) session.finish();
+    // "completed": false — so partial progress is observable. The worker's
+    // stdout is its protocol channel, so its session output goes to stderr.
+    if (rc == 0 || rc == 4) {
+      session.finish(cmd == "worker" ? std::cerr : std::cout);
+    }
     return rc;
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n\n";
@@ -772,6 +873,9 @@ int main(int argc, char** argv) {
   } catch (const CheckpointError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 5;
+  } catch (const dist::DistError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 6;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 3;
