@@ -18,6 +18,7 @@
 #include "gen/random_dag.hpp"
 #include "leakage/leakage.hpp"
 #include "mc/monte_carlo.hpp"
+#include "mc/sweep.hpp"
 #include "opt/deterministic.hpp"
 #include "opt/statistical.hpp"
 #include "ssta/ssta.hpp"
@@ -242,6 +243,58 @@ BENCHMARK(BM_MonteCarloBatched)
     ->Args({0, 1})
     ->Args({1, 0})
     ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+// ------------------------- corner sweep: reuse vs cold (acceptance) -------
+
+// A 3-temperature x 2-Vdd sweep grid on c880p: the corner-major sweep
+// engine (one McArena carrying the FlatCircuit/kernel/scratch state across
+// cells) vs naive per-cell cold runs that pay the full setup for every
+// corner. First arg: samples per cell (the setup cost amortizes as it
+// grows, so the reuse win is largest on thin cells); second arg: 1 = sweep
+// engine, 0 = cold loop. The populations are bit-identical
+// (tests/sweep_test.cpp); only the setup reuse moves the clock.
+// items_per_second is samples/s across the whole grid.
+void BM_CornerSweep(benchmark::State& state) {
+  const Circuit c = iscas85_proxy("c880p");
+  SweepGrid grid;
+  grid.temperatures_k = {0.0, 398.15, 423.15};
+  grid.vdds_v = {0.0, 1.1};
+  McConfig cfg;
+  cfg.num_samples = static_cast<int>(state.range(0));
+  cfg.num_threads = 1;
+  const bool reuse = state.range(1) != 0;
+  for (auto _ : state) {
+    if (reuse) {
+      const SweepResult r = run_corner_sweep(c, grid, cfg);
+      benchmark::DoNotOptimize(r.cells.back().result.delay_ps.back());
+    } else {
+      // The equivalent standalone runs: per-corner library, target
+      // resolution and a cold engine start, exactly what a shell loop
+      // over `statleak mc --temp ... --vdd ...` pays.
+      for (const SweepCorner& corner : grid.corners()) {
+        const CellLibrary corner_lib(corner.resolve_node());
+        const double t_max =
+            1.1 * StaEngine(c, corner_lib).critical_delay_ps();
+        benchmark::DoNotOptimize(t_max);
+        const McResult r =
+            run_monte_carlo(c, corner_lib, corner.resolve_variation(), cfg);
+        benchmark::DoNotOptimize(r.delay_ps.back());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_samples *
+                          static_cast<std::int64_t>(grid.num_cells()));
+  state.counters["reuse"] = reuse ? 1.0 : 0.0;
+  state.counters["grid_cells"] = static_cast<double>(grid.num_cells());
+}
+BENCHMARK(BM_CornerSweep)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({500, 0})
+    ->Args({500, 1})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1)
     ->UseRealTime();

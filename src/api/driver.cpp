@@ -8,6 +8,7 @@
 #include "opt/deterministic.hpp"
 #include "opt/statistical.hpp"
 #include "sta/sta.hpp"
+#include "tech/process.hpp"
 #include "util/error.hpp"
 #include "util/health.hpp"
 #include "util/table.hpp"
@@ -48,14 +49,26 @@ McCommandResult make_mc_result(const McStudy& study, McResult&& res,
 LoadedStudy load_study(const StudyInput& input) {
   STATLEAK_CHECK(input.bench_path.empty() != input.bench_text.empty(),
                  "study input needs exactly one of bench_path / bench_text");
-  STATLEAK_CHECK(input.node_nm == 100 || input.node_nm == 70,
-                 "technology node must be 100 or 70");
+  ProcessNode node;
+  if (!input.node_name.empty()) {
+    node = process_node_by_name(input.node_name);
+  } else {
+    STATLEAK_CHECK(input.node_nm == 100 || input.node_nm == 70,
+                   "technology node must be 100 or 70");
+    node = input.node_nm == 100 ? generic_100nm() : generic_70nm();
+  }
+  // Same corner-resolution path as every sweep-grid cell (SweepCorner::
+  // resolve_node/resolve_variation), so a standalone run at a corner and
+  // the sweep cell at that corner build identical models.
+  node = at_corner(std::move(node), input.temperature_k, input.vdd_v);
+  VariationModel var = VariationModel::typical_100nm();
+  STATLEAK_CHECK(input.sigma_scale > 0.0, "sigma scale must be positive");
+  if (input.sigma_scale != 1.0) var = var.scaled(input.sigma_scale);
   LoadedStudy study{
       input.bench_path.empty()
           ? read_bench_string(input.bench_text, input.circuit_name)
           : read_bench_file(input.bench_path),
-      CellLibrary(input.node_nm == 100 ? generic_100nm() : generic_70nm()),
-      VariationModel::typical_100nm()};
+      CellLibrary(node), var};
   STATLEAK_CHECK(input.impl_path.empty() || input.impl_text.empty(),
                  "study input allows at most one of impl_path / impl_text");
   if (!input.impl_path.empty()) {
@@ -155,6 +168,88 @@ std::string mc_summary_text(const McCommandResult& r) {
         << (r.mc.checkpoint_path.empty()
                 ? ""
                 : "; progress saved, rerun to resume")
+        << "\n";
+  }
+  return out.str();
+}
+
+// --- sweep ------------------------------------------------------------------
+
+SweepCommandResult run_sweep_command(const SweepCommandConfig& config,
+                                     obs::Registry* obs) {
+  const LoadedStudy study = load_study(config.input);
+
+  SweepCommandResult out;
+  out.grid = config.grid;
+  out.mc = config.mc;
+  out.t_max_ps = config.t_max_ps;
+  out.circuit_name = study.circuit.name();
+  out.impl_entries = study.impl_entries;
+  out.sweep = run_corner_sweep(study.circuit, config.grid, config.mc,
+                               config.t_max_ps, obs);
+
+  if (obs != nullptr) {
+    obs->set_gauge("sweep.cells",
+                   static_cast<double>(out.sweep.cells.size()));
+    obs->set_gauge("sweep.cells_requested",
+                   static_cast<double>(out.sweep.cells_requested));
+    obs->set_gauge("sweep.grid_nodes",
+                   static_cast<double>(config.grid.nodes.size()));
+    obs->set_gauge("sweep.grid_temperatures",
+                   static_cast<double>(config.grid.temperatures_k.size()));
+    obs->set_gauge("sweep.grid_vdds",
+                   static_cast<double>(config.grid.vdds_v.size()));
+    obs->set_gauge("sweep.grid_sigma_scales",
+                   static_cast<double>(config.grid.sigma_scales.size()));
+    for (std::size_t i = 0; i < out.sweep.cells.size(); ++i) {
+      const SweepCellResult& cell = out.sweep.cells[i];
+      const std::string prefix = "sweep.cell" + std::to_string(i) + ".";
+      obs->set_gauge(prefix + "t_max_ps", cell.t_max_ps);
+      if (cell.result.delay_ps.empty()) continue;
+      const SampleSummary d = cell.result.delay_summary();
+      const SampleSummary l = cell.result.leakage_summary();
+      obs->set_gauge(prefix + "delay_mean_ps", d.mean);
+      obs->set_gauge(prefix + "delay_p99_ps", d.p99);
+      obs->set_gauge(prefix + "leakage_mean_na", l.mean);
+      obs->set_gauge(prefix + "leakage_p99_na", l.p99);
+      obs->set_gauge(prefix + "timing_yield",
+                     cell.result.timing_yield(cell.t_max_ps));
+    }
+    if (!out.sweep.completed) obs->mark_incomplete("deadline");
+  }
+  return out;
+}
+
+std::string sweep_summary_text(const SweepCommandResult& r) {
+  std::ostringstream out;
+  out << "sweep of " << r.circuit_name << ": " << r.sweep.cells.size()
+      << " of " << r.sweep.cells_requested << " corners ("
+      << r.grid.nodes.size() << " node x " << r.grid.temperatures_k.size()
+      << " T x " << r.grid.vdds_v.size() << " Vdd x "
+      << r.grid.sigma_scales.size() << " sigma)\n";
+  for (std::size_t i = 0; i < r.sweep.cells.size(); ++i) {
+    const SweepCellResult& cell = r.sweep.cells[i];
+    out << "  [" << i << "] " << cell.corner.label() << ": ";
+    if (cell.result.delay_ps.empty()) {
+      out << "no samples completed within the budget\n";
+      continue;
+    }
+    const SampleSummary d = cell.result.delay_summary();
+    const SampleSummary l = cell.result.leakage_summary();
+    out << cell.result.delay_ps.size() << " dies, delay mean "
+        << format_fixed(d.mean, 1) << " ps, leakage mean "
+        << format_si(l.mean * 1e-9, "A") << ", p99 "
+        << format_si(l.p99 * 1e-9, "A") << ", yield at "
+        << format_fixed(cell.t_max_ps, 1) << " ps "
+        << format_fixed(cell.result.timing_yield(cell.t_max_ps), 4)
+        << (cell.result.completed ? "" : " (partial)") << "\n";
+  }
+  if (!r.sweep.completed) {
+    out << "deadline expired: surface is partial ("
+        << r.sweep.cells.size() << " of " << r.sweep.cells_requested
+        << " corners)"
+        << (r.mc.checkpoint_path.empty() ? ""
+                                         : "; progress saved, rerun to resume")
         << "\n";
   }
   return out.str();

@@ -28,6 +28,7 @@
 #include "cells/library.hpp"
 #include "mc/estimator.hpp"
 #include "mc/monte_carlo.hpp"
+#include "mc/sweep.hpp"
 #include "netlist/circuit.hpp"
 #include "obs/registry.hpp"
 #include "opt/config.hpp"
@@ -49,8 +50,20 @@ struct StudyInput {
   std::string circuit_name = "inline";
   std::string impl_path;
   std::string impl_text;
-  /// Technology node in nm: 100 or 70 (library selection).
+  /// Technology node in nm: 100 or 70 (library selection). Ignored when
+  /// `node_name` is set.
   int node_nm = 100;
+  /// Preset name (tech/process.hpp registry; accepts the "100"/"70"
+  /// aliases). Empty: fall back to `node_nm`.
+  std::string node_name;
+  /// Environment corner, resolved through at_corner(): non-positive values
+  /// mean "the node's calibrated default". A sweep cell and a standalone
+  /// run at the same corner resolve through this same path, which is what
+  /// makes their populations bit-identical.
+  double temperature_k = 0.0;  ///< analysis temperature [K]
+  double vdd_v = 0.0;          ///< supply [V]
+  /// VariationModel sigma multiplier (1.0 = the typical model, untouched).
+  double sigma_scale = 1.0;
 };
 
 /// A loaded study: the circuit with any sidecar applied, the node's cell
@@ -105,6 +118,43 @@ struct McCommandResult {
 /// path is byte-compared against.
 McCommandResult run_mc_command(const McCommandConfig& config,
                                obs::Registry* obs = nullptr);
+
+// --- sweep ------------------------------------------------------------------
+
+struct SweepCommandConfig {
+  /// Circuit + implementation source. The input's own corner fields
+  /// (node_name/node_nm, temperature_k, vdd_v, sigma_scale) are ignored:
+  /// the grid owns every cell's corner.
+  StudyInput input;
+  SweepGrid grid;
+  /// Per-cell engine config. `deadline_ms` budgets the whole grid;
+  /// `checkpoint_path` is a per-cell file prefix (see mc/sweep.hpp).
+  McConfig mc;
+  /// Timing constraint [ps] for every cell's yield; <= 0 resolves each
+  /// cell to 1.1 x that corner's nominal critical delay.
+  double t_max_ps = 0.0;
+};
+
+struct SweepCommandResult {
+  SweepResult sweep;
+  SweepGrid grid;
+  McConfig mc;
+  double t_max_ps = 0.0;  ///< as configured (0 = per-corner resolution)
+  std::string circuit_name;
+  std::size_t impl_entries = 0;
+  int exit_code() const { return sweep.completed ? 0 : 4; }
+};
+
+/// The `statleak sweep` command body: load the study once, evaluate the
+/// corner grid corner-major with batched-engine state reuse, publish the
+/// sweep.* gauges (grid dimensions, per-cell yield/leakage surface) and a
+/// "sweep" trace row per cell. Marks the registry incomplete with reason
+/// "deadline" on a partial surface.
+SweepCommandResult run_sweep_command(const SweepCommandConfig& config,
+                                     obs::Registry* obs = nullptr);
+
+/// The human-readable surface table `statleak sweep` prints.
+std::string sweep_summary_text(const SweepCommandResult& r);
 
 /// Turns an assembled population (the coordinator's merge of worker
 /// shards) into the command result via finalize_mc_population, recording

@@ -125,6 +125,10 @@ class Campaign {
       setup.input.impl_text = slurp_file(command.input.impl_path);
     }
     setup.input.node_nm = command.input.node_nm;
+    setup.input.node_name = command.input.node_name;
+    setup.input.temperature_k = command.input.temperature_k;
+    setup.input.vdd_v = command.input.vdd_v;
+    setup.input.sigma_scale = command.input.sigma_scale;
     setup.mc = study_.mc;  // resolved once; workers never re-resolve
     setup.t_max_ps = study_.t_max_ps;
     setup.threads = dist_.worker_threads;
@@ -140,7 +144,8 @@ class Campaign {
     if (path.empty()) return;
     const std::uint64_t hash = mc_checkpoint_hash(
         study_.study.circuit, study_.study.var, study_.mc,
-        mc_device_widths(study_.study.circuit, study_.study.lib));
+        mc_device_widths(study_.study.circuit, study_.study.lib),
+        study_.study.lib.node());
     if (checkpoint_exists(path)) {
       CheckpointData data = load_checkpoint(path, hash, n);
       pop_.delay_ps = std::move(data.delay_ps);

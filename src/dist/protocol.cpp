@@ -129,6 +129,10 @@ obs::Json setup_message(const WorkerSetup& setup) {
   msg.set("circuit", setup.input.circuit_name);
   msg.set("impl", setup.input.impl_text);
   msg.set("node", setup.input.node_nm);
+  msg.set("node_name", setup.input.node_name);
+  msg.set("temp_k", setup.input.temperature_k);
+  msg.set("vdd_v", setup.input.vdd_v);
+  msg.set("sigma_scale", setup.input.sigma_scale);
   msg.set("threads", setup.threads);
   msg.set("t_max_ps", setup.t_max_ps);
   msg.set("mc", std::move(mc));
@@ -147,6 +151,10 @@ WorkerSetup parse_setup(const obs::Json& msg) {
   setup.input.circuit_name = msg.at("circuit").as_string();
   setup.input.impl_text = msg.at("impl").as_string();
   setup.input.node_nm = static_cast<int>(msg.at("node").as_number());
+  setup.input.node_name = msg.at("node_name").as_string();
+  setup.input.temperature_k = msg.at("temp_k").as_number();
+  setup.input.vdd_v = msg.at("vdd_v").as_number();
+  setup.input.sigma_scale = msg.at("sigma_scale").as_number();
   setup.threads = static_cast<int>(msg.at("threads").as_number());
   setup.t_max_ps = msg.at("t_max_ps").as_number();
 

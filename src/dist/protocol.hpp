@@ -52,7 +52,10 @@ class DistError : public Error {
   using Error::Error;
 };
 
-inline constexpr int kProtocolVersion = 1;
+/// v2 added the environment corner (node_name/temp/vdd/sigma_scale) to the
+/// setup message, so mixed-version fleets reject the handshake rather than
+/// silently sampling at different corners.
+inline constexpr int kProtocolVersion = 2;
 
 // --- framing ----------------------------------------------------------------
 

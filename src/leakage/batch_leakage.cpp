@@ -9,6 +9,16 @@ namespace statleak {
 
 BatchLeakageKernel::BatchLeakageKernel(const FlatCircuit& flat,
                                        const CellLibrary& lib) {
+  rebind(flat, lib);
+}
+
+void BatchLeakageKernel::rebind(const FlatCircuit& flat,
+                                const CellLibrary& lib) {
+  active_.clear();
+  nominal_na_.clear();
+  cl_.clear();
+  cv_.clear();
+  q_.clear();
   for (GateId g = 0; g < flat.num_gates; ++g) {
     if (flat.is_input[g]) continue;
     active_.push_back(g);

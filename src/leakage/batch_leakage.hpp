@@ -25,6 +25,11 @@ class BatchLeakageKernel {
   /// Snapshots the implementation point (rebuild after size/Vth changes).
   BatchLeakageKernel(const FlatCircuit& flat, const CellLibrary& lib);
 
+  /// Re-snapshots against a (possibly different) flat circuit or library,
+  /// reusing the table allocations. All derived constants are recomputed,
+  /// so a rebind()-ed kernel matches a freshly constructed one exactly.
+  void rebind(const FlatCircuit& flat, const CellLibrary& lib);
+
   /// Accumulates total leakage [nA] of `lanes` samples: `dl`/`dv` are the
   /// gate-major deviation blocks ([g * stride + s]), `out[s]` receives lane
   /// s's total. `dvth_shift` as in BatchDelayKernel::critical_delay_block.

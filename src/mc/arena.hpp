@@ -1,0 +1,44 @@
+/// \file arena.hpp
+/// \brief Reusable batched-engine state for back-to-back Monte-Carlo runs.
+///
+/// A cold run_monte_carlo call pays three fixed costs before the first
+/// sample: flattening the circuit into SoA form (FlatCircuit::build),
+/// deriving the per-gate kernel constant tables, and allocating the
+/// per-worker BatchScratch blocks. A corner sweep evaluates the same frozen
+/// circuit dozens of times under different CellLibrary instances, so those
+/// costs are pure overhead after the first cell. An McArena carries them
+/// across calls: the FlatCircuit is rebuilt only when the circuit changes,
+/// the kernels are rebind()-ed (constants recomputed, allocations kept),
+/// and the scratch blocks keep their capacity.
+///
+/// Reuse never changes a sampled bit: rebind() recomputes every derived
+/// constant from the current library, and scratch contents are dead between
+/// blocks. tests/sweep_test.cpp pins arena-reused populations bit-for-bit
+/// against cold standalone runs.
+///
+/// Contract: a circuit shared through an arena must not be mutated between
+/// runs — the cached FlatCircuit is keyed on the circuit's address only.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "leakage/batch_leakage.hpp"
+#include "mc/batch.hpp"
+#include "netlist/flat_circuit.hpp"
+#include "sta/batch_delay.hpp"
+
+namespace statleak {
+
+class Circuit;
+
+struct McArena {
+  const Circuit* circuit = nullptr;  ///< identity key of the cached snapshot
+  std::optional<FlatCircuit> flat;
+  std::optional<BatchDelayKernel> delay;
+  std::optional<BatchLeakageKernel> leak;
+  std::vector<BatchScratch> scratch;
+};
+
+}  // namespace statleak

@@ -164,7 +164,8 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
 std::uint64_t mc_checkpoint_hash(const Circuit& circuit,
                                  const VariationModel& var,
                                  const McConfig& config,
-                                 std::span<const double> widths) {
+                                 std::span<const double> widths,
+                                 const ProcessNode& node) {
   std::uint64_t h = 0x53544C4Bu;  // "STLK"
   const auto mix = [&h](std::uint64_t x) { h = mix64(h ^ x); };
   const auto mix_f64 = [&mix](double x) {
@@ -201,6 +202,28 @@ std::uint64_t mc_checkpoint_hash(const Circuit& circuit,
 
   mix(widths.size());
   for (double w : widths) mix_f64(w);
+
+  // Every physical constant of the node changes the sampled values, so a
+  // checkpoint is pinned to its environment corner (temperature, Vdd, node
+  // flavor). The name is deliberately not mixed — only physics matters.
+  mix_f64(node.vdd);
+  mix_f64(node.leff_nm);
+  mix_f64(node.temperature_k);
+  mix_f64(node.vth_low);
+  mix_f64(node.vth_high);
+  mix_f64(node.subthreshold_slope);
+  mix_f64(node.i0_na_per_um);
+  mix_f64(node.vth_rolloff_v_per_nm);
+  mix_f64(node.leak_quadratic_per_nm2);
+  mix_f64(node.alpha);
+  mix_f64(node.k_drive_ua_per_um);
+  mix_f64(node.k_delay);
+  mix_f64(node.cg_ff_per_um);
+  mix_f64(node.cj_ff_per_um);
+  mix_f64(node.cw_fixed_ff);
+  mix_f64(node.cw_per_fanout_ff);
+  mix_f64(node.wn_unit_um);
+  mix_f64(node.pn_ratio);
   return h;
 }
 

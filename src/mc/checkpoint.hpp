@@ -45,6 +45,7 @@
 
 #include "mc/monte_carlo.hpp"
 #include "netlist/circuit.hpp"
+#include "tech/process.hpp"
 #include "tech/variation.hpp"
 #include "util/error.hpp"
 
@@ -71,16 +72,19 @@ std::uint32_t crc32(const void* data, std::size_t size,
 /// master seed, the population size, the delay mode, the sampler kind and
 /// importance shift (a Sobol or shifted run draws different values than a
 /// pseudo one, so cross-resume is rejected), the implementation point
-/// (per-gate kind/vth/size), the variation model, and the per-gate device
+/// (per-gate kind/vth/size), the variation model, the per-gate device
 /// widths (which fold in the cell library's area tables via the Pelgrom
-/// path). Thread count, batch size, engine choice and the control-variate
-/// flag are deliberately excluded — results are invariant to them, so a
-/// checkpoint written by a batched 8-thread run resumes under a scalar
-/// single-thread run and vice versa.
+/// path), and the process node's physical constants (so a checkpoint from
+/// one environment corner — temperature, Vdd, node flavor — is rejected at
+/// any other). Thread count, batch size, engine choice and the
+/// control-variate flag are deliberately excluded — results are invariant
+/// to them, so a checkpoint written by a batched 8-thread run resumes under
+/// a scalar single-thread run and vice versa.
 std::uint64_t mc_checkpoint_hash(const Circuit& circuit,
                                  const VariationModel& var,
                                  const McConfig& config,
-                                 std::span<const double> widths);
+                                 std::span<const double> widths,
+                                 const ProcessNode& node);
 
 /// Validates that a record's slot range [begin, begin + count) is non-empty
 /// and lies inside a population of `num_samples` slots; throws

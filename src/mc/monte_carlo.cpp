@@ -10,6 +10,7 @@
 
 #include "leakage/batch_leakage.hpp"
 #include "leakage/leakage.hpp"
+#include "mc/arena.hpp"
 #include "mc/batch.hpp"
 #include "mc/checkpoint.hpp"
 #include "netlist/flat_circuit.hpp"
@@ -196,7 +197,7 @@ void run_sample_range(
     const McConfig& config, std::size_t first, std::size_t last,
     const std::uint8_t* restored, double* delay_out, double* leak_out,
     const std::function<void(int, std::size_t, std::size_t)>& flush,
-    obs::Registry* obs) {
+    obs::Registry* obs, McArena* arena = nullptr) {
   // Scrambled-Sobol points for the two global dimensions; the intra-die
   // draws always stay on the per-sample pseudo-random streams. Point s is a
   // pure function of (seed, s), same determinism contract as Rng::stream.
@@ -253,23 +254,46 @@ void run_sample_range(
   // together — they never interact — so the batch size cannot either.
   if (config.use_batched) {
     // Freeze the implementation point into SoA form and hoist every
-    // per-gate model constant out of the sample loop.
-    const auto t0 = std::chrono::steady_clock::now();
-    const FlatCircuit flat = FlatCircuit::build(circuit);
-    const BatchDelayKernel delay_kernel(flat, lib, sta.loads());
-    const BatchLeakageKernel leak_kernel(flat, lib);
-    const auto t1 = std::chrono::steady_clock::now();
-    if (obs != nullptr) {
-      obs->add("flat.build_ns",
-               static_cast<double>(
-                   std::chrono::duration_cast<std::chrono::nanoseconds>(
-                       t1 - t0)
-                       .count()));
+    // per-gate model constant out of the sample loop. With a caller-owned
+    // arena the snapshot survives across calls: the FlatCircuit is rebuilt
+    // only when the circuit changes, and the kernels are rebind()-ed —
+    // constants recomputed from the current library, table allocations
+    // kept. A rebind()-ed kernel computes the exact bits of a fresh one,
+    // so arena reuse is invisible in the output.
+    McArena local_arena;
+    McArena& ar = arena != nullptr ? *arena : local_arena;
+    if (ar.circuit != &circuit || !ar.flat.has_value()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ar.circuit = &circuit;
+      ar.flat.emplace(FlatCircuit::build(circuit));
+      const auto t1 = std::chrono::steady_clock::now();
+      if (obs != nullptr) {
+        obs->add("flat.build_ns",
+                 static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         t1 - t0)
+                         .count()));
+      }
     }
+    const FlatCircuit& flat = *ar.flat;
+    if (ar.delay.has_value()) {
+      ar.delay->rebind(flat, lib, sta.loads());
+    } else {
+      ar.delay.emplace(flat, lib, sta.loads());
+    }
+    if (ar.leak.has_value()) {
+      ar.leak->rebind(flat, lib);
+    } else {
+      ar.leak.emplace(flat, lib);
+    }
+    const BatchDelayKernel& delay_kernel = *ar.delay;
+    const BatchLeakageKernel& leak_kernel = *ar.leak;
 
     const std::size_t block = resolve_batch_size(config.batch_size, n);
-    std::vector<BatchScratch> scratch_pool(
-        static_cast<std::size_t>(workers));
+    if (ar.scratch.size() < static_cast<std::size_t>(workers)) {
+      ar.scratch.resize(static_cast<std::size_t>(workers));
+    }
+    std::vector<BatchScratch>& scratch_pool = ar.scratch;
 
     parallel_for(
         config.num_threads, range,
@@ -420,7 +444,7 @@ std::vector<double> mc_device_widths(const Circuit& circuit,
 
 McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
                          const VariationModel& var, const McConfig& config,
-                         obs::Registry* obs) {
+                         obs::Registry* obs, McArena* arena) {
   validate_mc_config(var, config);
   obs::ScopedTimer timer(obs, "mc.samples");
 
@@ -439,7 +463,8 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
   std::unique_ptr<CheckpointWriter> writer;
   if (!config.checkpoint_path.empty()) {
     const std::vector<double> widths = device_widths(circuit, lib);
-    const std::uint64_t hash = mc_checkpoint_hash(circuit, var, config, widths);
+    const std::uint64_t hash =
+        mc_checkpoint_hash(circuit, var, config, widths, lib.node());
     if (checkpoint_exists(config.checkpoint_path)) {
       CheckpointData data =
           load_checkpoint(config.checkpoint_path, hash, num_samples);
@@ -481,7 +506,8 @@ McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
   };
 
   run_sample_range(circuit, lib, var, config, 0, num_samples, restored.data(),
-                   pop.delay_ps.data(), pop.leakage_na.data(), flush_run, obs);
+                   pop.delay_ps.data(), pop.leakage_na.data(), flush_run, obs,
+                   arena);
 
   // Done mask = restored slots + everything the workers logged. Ranges may
   // overlap restored slots (recomputed partial blocks); the mask dedups.

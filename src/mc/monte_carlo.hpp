@@ -39,6 +39,8 @@
 
 namespace statleak {
 
+struct McArena;  // mc/arena.hpp — reusable batched-engine state
+
 /// How the *global* (inter-die) variation dimensions are sampled. The
 /// intra-die draws always come from the counter-based pseudo-random
 /// streams; the global dimensions carry most of the estimator variance of
@@ -175,9 +177,16 @@ struct McResult {
 /// Quarantine adds "mc.quarantined*" counters; a deadline stop adds
 /// "mc.samples_done" and marks the registry incomplete. Sample values are
 /// bit-identical with and without a registry.
+///
+/// `arena` (nullable) carries batched-engine state — the FlatCircuit
+/// snapshot, kernel constant tables, and per-worker scratch — across calls
+/// evaluating the same frozen circuit (see mc/arena.hpp). Passing one is a
+/// pure allocation optimization: sample values are bit-identical with and
+/// without it.
 McResult run_monte_carlo(const Circuit& circuit, const CellLibrary& lib,
                          const VariationModel& var, const McConfig& config,
-                         obs::Registry* obs = nullptr);
+                         obs::Registry* obs = nullptr,
+                         McArena* arena = nullptr);
 
 // --- shard-level building blocks (the distributed campaign runner) ---------
 //

@@ -1,0 +1,157 @@
+#include "mc/sweep.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "mc/arena.hpp"
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+
+namespace {
+
+// Compact axis-value formatting for corner labels ("398.15" not
+// "398.150000").
+std::string trim_number(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string SweepCorner::label() const {
+  std::string out = node;
+  if (temperature_k > 0.0) out += " T=" + trim_number(temperature_k) + "K";
+  if (vdd_v > 0.0) out += " Vdd=" + trim_number(vdd_v) + "V";
+  if (sigma_scale != 1.0) out += " sigma=x" + trim_number(sigma_scale);
+  return out;
+}
+
+ProcessNode SweepCorner::resolve_node() const {
+  return at_corner(process_node_by_name(node), temperature_k, vdd_v);
+}
+
+VariationModel SweepCorner::resolve_variation() const {
+  VariationModel var = VariationModel::typical_100nm();
+  // Guarded so the x1.0 corner uses the exact object a standalone run
+  // builds (no `sigma * 1.0` rewrite anywhere near the sample math).
+  if (sigma_scale != 1.0) var = var.scaled(sigma_scale);
+  return var;
+}
+
+void SweepGrid::validate() const {
+  STATLEAK_CHECK(!nodes.empty(), "sweep grid needs at least one node");
+  STATLEAK_CHECK(!temperatures_k.empty(),
+                 "sweep grid needs at least one temperature");
+  STATLEAK_CHECK(!vdds_v.empty(), "sweep grid needs at least one vdd");
+  STATLEAK_CHECK(!sigma_scales.empty(),
+                 "sweep grid needs at least one sigma scale");
+  for (const std::string& name : nodes) {
+    (void)process_node_by_name(name);  // throws with the known-name list
+  }
+  for (const double t : temperatures_k) {
+    STATLEAK_CHECK(std::isfinite(t), "sweep temperature must be finite");
+  }
+  for (const double v : vdds_v) {
+    STATLEAK_CHECK(std::isfinite(v), "sweep vdd must be finite");
+  }
+  for (const double s : sigma_scales) {
+    STATLEAK_CHECK(std::isfinite(s) && s > 0.0,
+                   "sweep sigma scale must be positive");
+  }
+}
+
+std::vector<SweepCorner> SweepGrid::corners() const {
+  std::vector<SweepCorner> out;
+  out.reserve(num_cells());
+  for (const std::string& node : nodes) {
+    for (const double sigma : sigma_scales) {
+      for (const double t : temperatures_k) {
+        for (const double v : vdds_v) {
+          SweepCorner corner;
+          corner.node = node;
+          corner.temperature_k = t;
+          corner.vdd_v = v;
+          corner.sigma_scale = sigma;
+          out.push_back(std::move(corner));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SweepResult run_corner_sweep(const Circuit& circuit, const SweepGrid& grid,
+                             const McConfig& base, double t_max_ps,
+                             obs::Registry* obs) {
+  grid.validate();
+  obs::ScopedTimer timer(obs, "sweep.cells");
+
+  const std::vector<SweepCorner> corners = grid.corners();
+  SweepResult out;
+  out.cells_requested = corners.size();
+  out.cells.reserve(corners.size());
+
+  // The base deadline budgets the whole grid; each cell gets the remaining
+  // slice. Deadline (util/exec.hpp) only answers expired(), so the sweep
+  // tracks the budget itself on the same steady clock.
+  const auto start = std::chrono::steady_clock::now();
+  McArena arena;
+  bool out_of_budget = false;
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    const SweepCorner& corner = corners[i];
+    McConfig cfg = base;
+    if (base.deadline_ms > 0) {
+      const std::int64_t elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const std::int64_t remaining_ms = base.deadline_ms - elapsed_ms;
+      if (remaining_ms <= 0) {
+        out_of_budget = true;
+        break;
+      }
+      cfg.deadline_ms = remaining_ms;
+    }
+    // Each cell persists to its own file; re-running the sweep restores
+    // finished cells wholesale and resumes the interrupted one.
+    if (!base.checkpoint_path.empty()) {
+      cfg.checkpoint_path = base.checkpoint_path + ".cell" + std::to_string(i);
+    }
+
+    SweepCellResult cell;
+    cell.corner = corner;
+    const ProcessNode node = corner.resolve_node();
+    const CellLibrary lib(node);
+    const VariationModel var = corner.resolve_variation();
+    cell.t_max_ps = t_max_ps > 0.0
+                        ? t_max_ps
+                        : 1.1 * StaEngine(circuit, lib).critical_delay_ps();
+    // No per-cell registry: the sweep's own keys are the report surface,
+    // and sample values are registry-invariant by the MC contract.
+    cell.result = run_monte_carlo(circuit, lib, var, cfg, nullptr, &arena);
+    const bool cell_done = cell.result.completed;
+
+    if (obs != nullptr && !cell.result.delay_ps.empty()) {
+      obs::TraceEvent e;
+      e.step = static_cast<std::int64_t>(i);
+      e.phase = cell.corner.label();
+      e.objective = cell.result.leakage_summary().mean;
+      e.yield = cell.result.timing_yield(cell.t_max_ps);
+      e.delay_ps = cell.result.delay_summary().mean;
+      obs->trace("sweep", std::move(e));
+    }
+    out.cells.push_back(std::move(cell));
+    if (!cell_done) break;  // deadline hit mid-cell: partial surface
+  }
+
+  out.completed = !out_of_budget && out.cells.size() == corners.size() &&
+                  (out.cells.empty() || out.cells.back().result.completed);
+  return out;
+}
+
+}  // namespace statleak

@@ -1,0 +1,108 @@
+/// \file sweep.hpp
+/// \brief Corner/temperature sweep engine over one frozen circuit.
+///
+/// A sweep evaluates the same implementation point across a grid of
+/// environment corners: process node flavor x temperature x supply x
+/// variation-sigma scale. Each grid cell is a complete Monte-Carlo
+/// population under a CellLibrary built for that corner — the exact library
+/// a standalone `statleak mc` run configured at the corner would build, via
+/// the same at_corner() resolution path, so every cell's population is
+/// bit-identical to the standalone run (tests/sweep_test.cpp pins this).
+///
+/// The loop is corner-major: all samples of one cell run before the next
+/// corner, and one McArena (mc/arena.hpp) carries the FlatCircuit snapshot,
+/// kernel tables and per-worker scratch across cells, so every cell after
+/// the first skips the cold-start costs (bench_fig5_runtime measures the
+/// win over naive per-cell cold runs).
+///
+/// Fault tolerance composes per cell: the sweep deadline is the whole-grid
+/// budget, and each cell receives the remaining slice; a cell stopped
+/// mid-flight marks the sweep incomplete (partial surface, exit code 4 at
+/// the CLI). With a checkpoint prefix, cell i persists to
+/// "<prefix>.cell<i>" — re-running the same sweep restores finished cells
+/// from their files and resumes the interrupted one, bit-identically.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/circuit.hpp"
+#include "obs/registry.hpp"
+#include "tech/process.hpp"
+#include "tech/variation.hpp"
+
+namespace statleak {
+
+/// One environment corner of the grid. Non-positive temperature/Vdd mean
+/// "the node's calibrated value" (at_corner() semantics).
+struct SweepCorner {
+  std::string node;            ///< preset name (process_node_by_name)
+  double temperature_k = 0.0;  ///< analysis temperature [K]; <= 0: preset
+  double vdd_v = 0.0;          ///< supply [V]; <= 0: preset
+  double sigma_scale = 1.0;    ///< VariationModel sigma multiplier
+
+  /// Human-readable corner tag, e.g. "generic-100nm T=398K Vdd=1.1V".
+  std::string label() const;
+
+  /// The fully resolved process node of this corner.
+  ProcessNode resolve_node() const;
+
+  /// The variation model of this corner (typical_100nm scaled). The
+  /// `scaled(1.0)` path is skipped so the default corner uses the exact
+  /// model object a standalone run uses.
+  VariationModel resolve_variation() const;
+};
+
+/// The sweep grid: the cross product of the four axes, corner-major order
+/// node (slowest) x sigma x temperature x Vdd (fastest).
+struct SweepGrid {
+  std::vector<std::string> nodes = {"generic-100nm"};
+  std::vector<double> temperatures_k = {0.0};
+  std::vector<double> vdds_v = {0.0};
+  std::vector<double> sigma_scales = {1.0};
+
+  /// Throws statleak::Error on empty axes, unknown node names, or
+  /// non-physical values (negative sigma scale; NaN anywhere).
+  void validate() const;
+
+  std::size_t num_cells() const {
+    return nodes.size() * temperatures_k.size() * vdds_v.size() *
+           sigma_scales.size();
+  }
+
+  /// The flattened cell list in evaluation order.
+  std::vector<SweepCorner> corners() const;
+};
+
+/// One evaluated grid cell.
+struct SweepCellResult {
+  SweepCorner corner;
+  double t_max_ps = 0.0;  ///< timing constraint used for this cell's yield
+  McResult result;
+};
+
+struct SweepResult {
+  std::vector<SweepCellResult> cells;  ///< evaluation order; last may be partial
+  std::size_t cells_requested = 0;
+  bool completed = false;  ///< every cell ran its full population
+};
+
+/// Evaluates the grid over one frozen circuit. `base` supplies the
+/// per-cell Monte-Carlo configuration (samples, seed, engine, sampler,
+/// deadline as the whole-sweep budget, checkpoint_path as a per-cell file
+/// prefix). `t_max_ps <= 0` resolves each cell's timing constraint to
+/// 1.1x that corner's nominal critical delay — the standalone-run default.
+///
+/// With a registry attached, records the "sweep.cells" phase and a "sweep"
+/// trace row per cell; cells run with no registry of their own so the
+/// surrounding report carries only sweep.* keys (per-sample values are
+/// registry-invariant by the MC contract).
+SweepResult run_corner_sweep(const Circuit& circuit, const SweepGrid& grid,
+                             const McConfig& base, double t_max_ps = 0.0,
+                             obs::Registry* obs = nullptr);
+
+}  // namespace statleak

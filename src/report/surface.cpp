@@ -1,0 +1,78 @@
+#include "report/surface.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace statleak {
+
+namespace {
+
+obs::Json number_array(const std::vector<double>& values) {
+  obs::Json arr = obs::Json::array();
+  for (const double v : values) arr.push_back(obs::Json(v));
+  return arr;
+}
+
+obs::Json string_array(const std::vector<std::string>& values) {
+  obs::Json arr = obs::Json::array();
+  for (const std::string& v : values) arr.push_back(obs::Json(v));
+  return arr;
+}
+
+}  // namespace
+
+obs::Json sweep_surface_json(const std::string& circuit_name,
+                             const SweepGrid& grid, const SweepResult& sweep) {
+  obs::Json grid_json = obs::Json::object();
+  grid_json.set("nodes", string_array(grid.nodes));
+  grid_json.set("temperatures_k", number_array(grid.temperatures_k));
+  grid_json.set("vdds_v", number_array(grid.vdds_v));
+  grid_json.set("sigma_scales", number_array(grid.sigma_scales));
+
+  obs::Json cells = obs::Json::array();
+  for (const SweepCellResult& cell : sweep.cells) {
+    obs::Json c = obs::Json::object();
+    c.set("label", obs::Json(cell.corner.label()));
+    c.set("node", obs::Json(cell.corner.node));
+    c.set("temperature_k", obs::Json(cell.corner.temperature_k));
+    c.set("vdd_v", obs::Json(cell.corner.vdd_v));
+    c.set("sigma_scale", obs::Json(cell.corner.sigma_scale));
+    c.set("t_max_ps", obs::Json(cell.t_max_ps));
+    c.set("completed", obs::Json(cell.result.completed));
+    c.set("samples",
+          obs::Json(static_cast<double>(cell.result.delay_ps.size())));
+    if (!cell.result.delay_ps.empty()) {
+      c.set("delay_mean_ps", obs::Json(cell.result.delay_summary().mean));
+      c.set("delay_p99_ps", obs::Json(cell.result.delay_quantile_ps(0.99)));
+      c.set("leakage_mean_na", obs::Json(cell.result.leakage_summary().mean));
+      c.set("leakage_p99_na",
+            obs::Json(cell.result.leakage_quantile_na(0.99)));
+      c.set("timing_yield", obs::Json(cell.result.timing_yield(cell.t_max_ps)));
+    }
+    cells.push_back(std::move(c));
+  }
+
+  obs::Json doc = obs::Json::object();
+  doc.set("surface_version", obs::Json(kSurfaceSchemaVersion));
+  doc.set("tool", obs::Json(std::string("statleak")));
+  doc.set("circuit", obs::Json(circuit_name));
+  doc.set("grid", std::move(grid_json));
+  doc.set("cells_requested",
+          obs::Json(static_cast<double>(sweep.cells_requested)));
+  doc.set("completed", obs::Json(sweep.completed));
+  doc.set("cells", std::move(cells));
+  return doc;
+}
+
+void write_sweep_surface(const std::string& path,
+                         const std::string& circuit_name,
+                         const SweepGrid& grid, const SweepResult& sweep) {
+  std::ofstream out(path);
+  STATLEAK_CHECK(out.good(), "cannot open surface file '" + path + "'");
+  out << sweep_surface_json(circuit_name, grid, sweep).dump(2);
+  STATLEAK_CHECK(out.good(), "failed writing surface file '" + path + "'");
+}
+
+}  // namespace statleak

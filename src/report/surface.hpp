@@ -1,0 +1,31 @@
+/// \file surface.hpp
+/// \brief Standalone JSON emission of a sweep's yield/leakage surface.
+///
+/// The v2 run report (obs/report.hpp) carries the sweep's scalar gauges;
+/// this artifact is the full surface — one record per grid cell with its
+/// resolved corner and population statistics — in a shape plotting scripts
+/// consume directly (the CI sweep smoke job uploads it). Statistics only:
+/// per-sample populations stay in --dump-samples files.
+
+#pragma once
+
+#include <string>
+
+#include "mc/sweep.hpp"
+#include "obs/json.hpp"
+
+namespace statleak {
+
+inline constexpr int kSurfaceSchemaVersion = 1;
+
+/// Builds the surface document for one evaluated sweep.
+obs::Json sweep_surface_json(const std::string& circuit_name,
+                             const SweepGrid& grid, const SweepResult& sweep);
+
+/// Writes sweep_surface_json() to `path` (pretty-printed); throws
+/// statleak::Error on I/O failure.
+void write_sweep_surface(const std::string& path,
+                         const std::string& circuit_name,
+                         const SweepGrid& grid, const SweepResult& sweep);
+
+}  // namespace statleak

@@ -9,8 +9,14 @@ namespace statleak {
 
 BatchDelayKernel::BatchDelayKernel(const FlatCircuit& flat,
                                    const CellLibrary& lib,
-                                   const LoadCache& loads)
-    : flat_(flat), lib_(lib) {
+                                   const LoadCache& loads) {
+  rebind(flat, lib, loads);
+}
+
+void BatchDelayKernel::rebind(const FlatCircuit& flat, const CellLibrary& lib,
+                              const LoadCache& loads) {
+  flat_ = &flat;
+  lib_ = &lib;
   const std::uint32_t n = flat.num_gates;
   nominal_ps_.assign(n, 0.0);
   sl_.assign(n, 0.0);
@@ -35,9 +41,9 @@ void BatchDelayKernel::block_impl(const double* dl, const double* dv,
   // Gate-major: finish all lanes of a gate before moving on. `topo` is a
   // valid topological order (level buckets concatenated), so every fanin's
   // arrival block is complete when a gate is reached.
-  for (const GateId g : flat_.topo) {
+  for (const GateId g : flat_->topo) {
     double* STATLEAK_RESTRICT arr_g = arrival + g * stride;
-    if (flat_.is_input[g]) {
+    if (flat_->is_input[g]) {
       // Scalar path: no fanins, zero delay => arrival 0.0 exactly.
       for (std::size_t s = 0; s < lanes; ++s) arr_g[s] = 0.0;
       continue;
@@ -45,11 +51,11 @@ void BatchDelayKernel::block_impl(const double* dl, const double* dv,
     // Arrival max over fanins, pin order outer / lanes inner. Per lane this
     // is the same left-to-right max chain the scalar loop performs.
     for (std::size_t s = 0; s < lanes; ++s) arr_g[s] = 0.0;
-    const std::uint32_t fi_begin = flat_.fanin_offset[g];
-    const std::uint32_t fi_end = flat_.fanin_offset[g + 1];
+    const std::uint32_t fi_begin = flat_->fanin_offset[g];
+    const std::uint32_t fi_end = flat_->fanin_offset[g + 1];
     for (std::uint32_t fi = fi_begin; fi < fi_end; ++fi) {
       const double* STATLEAK_RESTRICT arr_f =
-          arrival + flat_.fanin[fi] * stride;
+          arrival + flat_->fanin[fi] * stride;
       STATLEAK_VEC_LOOP
       for (std::size_t s = 0; s < lanes; ++s) {
         arr_g[s] = std::max(arr_g[s], arr_f[s]);
@@ -58,13 +64,13 @@ void BatchDelayKernel::block_impl(const double* dl, const double* dv,
     const double* STATLEAK_RESTRICT dl_g = dl + g * stride;
     const double* STATLEAK_RESTRICT dv_g = dv + g * stride;
     if constexpr (kExact) {
-      const CellKind kind = flat_.kind[g];
-      const Vth vth = flat_.vth[g];
-      const double size = flat_.size[g];
+      const CellKind kind = flat_->kind[g];
+      const Vth vth = flat_->vth[g];
+      const double size = flat_->size[g];
       const double load = load_ff_[g];
       for (std::size_t s = 0; s < lanes; ++s) {
         const double dvv = kShift ? dv_g[s] + shift : dv_g[s];
-        arr_g[s] += lib_.delay_ps(kind, vth, size, load, dl_g[s], dvv);
+        arr_g[s] += lib_->delay_ps(kind, vth, size, load, dl_g[s], dvv);
       }
     } else {
       // Identical expression shape to the scalar engine:
@@ -82,7 +88,7 @@ void BatchDelayKernel::block_impl(const double* dl, const double* dv,
   }
   // Critical delay: max over primary outputs in declaration order.
   for (std::size_t s = 0; s < lanes; ++s) out[s] = 0.0;
-  for (const GateId o : flat_.outputs) {
+  for (const GateId o : flat_->outputs) {
     const double* STATLEAK_RESTRICT arr_o = arrival + o * stride;
     STATLEAK_VEC_LOOP
     for (std::size_t s = 0; s < lanes; ++s) {

@@ -17,9 +17,12 @@
 /// independent of the block size; tests/mc_batched_test.cpp pins this
 /// against the scalar engine bit-for-bit.
 ///
-/// The kernel snapshots one implementation point: it holds the FlatCircuit
-/// by reference and copies the per-gate constants, so it must be rebuilt
-/// after any set_size/set_vth/load change (cheap, O(n)).
+/// The kernel snapshots one implementation point: it points at the
+/// FlatCircuit and copies the per-gate constants, so it must be rebuilt —
+/// or rebind()-ed, which reuses the table allocations — after any
+/// set_size/set_vth/load change (cheap, O(n)). rebind() is what lets a
+/// corner sweep re-derive the constants per environment corner without
+/// reallocating; see mc/arena.hpp.
 
 #pragma once
 
@@ -38,6 +41,13 @@ class BatchDelayKernel {
   /// point as `loads` (i.e. snapshot after the last resize).
   BatchDelayKernel(const FlatCircuit& flat, const CellLibrary& lib,
                    const LoadCache& loads);
+
+  /// Re-snapshots the kernel against a (possibly different) flat circuit,
+  /// library, or load cache, reusing the constant-table allocations. The
+  /// derived constants are recomputed from scratch, so a rebind()-ed kernel
+  /// is indistinguishable from a freshly constructed one.
+  void rebind(const FlatCircuit& flat, const CellLibrary& lib,
+              const LoadCache& loads);
 
   /// Evaluates `lanes` samples at once. `dl`/`dv` are gate-major blocks of
   /// per-gate total deviations: lane s of gate g sits at [g * stride + s]
@@ -58,8 +68,8 @@ class BatchDelayKernel {
                   std::size_t lanes, double shift, double* arrival,
                   double* out) const;
 
-  const FlatCircuit& flat_;
-  const CellLibrary& lib_;
+  const FlatCircuit* flat_ = nullptr;
+  const CellLibrary* lib_ = nullptr;
   // Indexed by GateId; inputs carry zeros.
   std::vector<double> nominal_ps_;  ///< nominal gate delay (first-order base)
   std::vector<double> sl_;          ///< delay_sl_per_nm of the gate's class

@@ -65,8 +65,10 @@
 #include "leakage/leakage.hpp"
 
 // mc/
+#include "mc/arena.hpp"
 #include "mc/checkpoint.hpp"
 #include "mc/monte_carlo.hpp"
+#include "mc/sweep.hpp"
 
 // spatial/
 #include "spatial/placement.hpp"
@@ -93,6 +95,7 @@
 
 // report/
 #include "report/flow.hpp"
+#include "report/surface.hpp"
 
 // api/
 #include "api/driver.hpp"

@@ -1,5 +1,7 @@
 #include "tech/process.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace statleak {
@@ -9,6 +11,15 @@ const char* to_string(Vth vth) { return vth == Vth::kLow ? "LVT" : "HVT"; }
 void ProcessNode::validate() const {
   STATLEAK_CHECK(vdd > 0.0, "vdd must be positive");
   STATLEAK_CHECK(leff_nm > 0.0, "leff must be positive");
+  STATLEAK_CHECK(temperature_k > 0.0, "temperature must be positive");
+  // The sub-threshold slope, Ioff prefactor, Vth corners and drive constant
+  // are all functions of temperature; they are only meaningful at the
+  // temperature they were calibrated for. Editing temperature_k alone would
+  // silently keep 100 C constants — force the at_temperature() path instead.
+  STATLEAK_CHECK(std::abs(temperature_k - calib_temperature_k) <= 1e-9,
+                 "temperature_k differs from calib_temperature_k: constants "
+                 "are calibrated per temperature; retarget with "
+                 "at_temperature() instead of editing temperature_k");
   STATLEAK_CHECK(vth_low > 0.0 && vth_high > vth_low,
                  "need 0 < vth_low < vth_high");
   STATLEAK_CHECK(vth_high < vdd, "vth_high must be below vdd");
@@ -23,6 +34,10 @@ void ProcessNode::validate() const {
                  "capacitances must be positive");
   STATLEAK_CHECK(wn_unit_um > 0.0 && pn_ratio > 0.0,
                  "unit geometry must be positive");
+  STATLEAK_CHECK(vth_tc_v_per_k >= 0.0, "Vth temperature coeff must be >= 0");
+  STATLEAK_CHECK(mobility_exponent >= 0.0 && mobility_exponent <= 3.0,
+                 "mobility exponent must be in [0, 3]");
+  STATLEAK_CHECK(dibl_v_per_v >= 0.0, "DIBL coefficient must be >= 0");
 }
 
 ProcessNode generic_100nm() {
@@ -50,7 +65,131 @@ ProcessNode generic_70nm() {
   node.cw_fixed_ff = 0.45;
   node.cw_per_fanout_ff = 0.20;
   node.wn_unit_um = 0.35;
+  node.dibl_v_per_v = 0.10;  // shorter channel, stronger drain coupling
   node.validate();
+  return node;
+}
+
+ProcessNode generic_130nm() {
+  ProcessNode node;
+  node.name = "generic-130nm";
+  node.vdd = 1.5;
+  node.leff_nm = 80.0;
+  node.vth_low = 0.22;
+  node.vth_high = 0.35;
+  node.subthreshold_slope = 0.095;   // longer channel, better electrostatics
+  node.i0_na_per_um = 1200.0;
+  node.vth_rolloff_v_per_nm = 0.0007;
+  node.alpha = 1.35;
+  node.k_drive_ua_per_um = 520.0;
+  node.cg_ff_per_um = 1.70;
+  node.cj_ff_per_um = 1.15;
+  node.cw_fixed_ff = 0.75;
+  node.cw_per_fanout_ff = 0.30;
+  node.wn_unit_um = 0.60;
+  node.dibl_v_per_v = 0.06;
+  node.validate();
+  return node;
+}
+
+ProcessNode generic_100nm_lp() {
+  ProcessNode node = generic_100nm();
+  node.name = "generic-100nm-lp";
+  node.vth_low = 0.26;               // raised corners trade drive for Ioff
+  node.vth_high = 0.40;
+  node.subthreshold_slope = 0.095;
+  node.i0_na_per_um = 900.0;
+  node.k_drive_ua_per_um = 520.0;
+  node.validate();
+  return node;
+}
+
+ProcessNode generic_70nm_lp() {
+  ProcessNode node = generic_70nm();
+  node.name = "generic-70nm-lp";
+  node.vth_low = 0.24;
+  node.vth_high = 0.36;
+  node.subthreshold_slope = 0.100;
+  node.i0_na_per_um = 1800.0;
+  node.k_drive_ua_per_um = 640.0;
+  node.validate();
+  return node;
+}
+
+namespace {
+
+using NodeFactory = ProcessNode (*)();
+
+struct NodeEntry {
+  const char* name;
+  NodeFactory make;
+};
+
+constexpr NodeEntry kNodeRegistry[] = {
+    {"generic-100nm", &generic_100nm},
+    {"generic-70nm", &generic_70nm},
+    {"generic-130nm", &generic_130nm},
+    {"generic-100nm-lp", &generic_100nm_lp},
+    {"generic-70nm-lp", &generic_70nm_lp},
+};
+
+}  // namespace
+
+std::vector<std::string> process_node_names() {
+  std::vector<std::string> names;
+  for (const NodeEntry& entry : kNodeRegistry) names.emplace_back(entry.name);
+  return names;
+}
+
+ProcessNode process_node_by_name(const std::string& name) {
+  // Numeric aliases keep the original `--node 100|70` CLI contract working.
+  const std::string resolved = name == "100"  ? "generic-100nm"
+                               : name == "70" ? "generic-70nm"
+                                              : name;
+  for (const NodeEntry& entry : kNodeRegistry) {
+    if (resolved == entry.name) return entry.make();
+  }
+  std::string known;
+  for (const NodeEntry& entry : kNodeRegistry) {
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  throw Error("unknown process node '" + name + "' (known: " + known +
+              "; aliases: 100, 70)");
+}
+
+ProcessNode at_temperature(ProcessNode node, double t_k) {
+  STATLEAK_CHECK(t_k > 0.0, "temperature must be positive");
+  if (t_k == node.temperature_k) return node;
+  const double t0 = node.calib_temperature_k;
+  const double ratio = t_k / t0;
+  node.subthreshold_slope *= ratio;              // S = n*kT/q * ln10 ~ T
+  node.i0_na_per_um *= ratio * ratio;            // Ioff prefactor ~ T^2
+  const double dvth = node.vth_tc_v_per_k * (t_k - t0);
+  node.vth_low -= dvth;                          // barriers drop when hot
+  node.vth_high -= dvth;
+  node.k_drive_ua_per_um *=
+      std::pow(ratio, -node.mobility_exponent);  // phonon-limited mobility
+  node.temperature_k = t_k;
+  node.calib_temperature_k = t_k;  // constants now describe the new T
+  node.validate();
+  return node;
+}
+
+ProcessNode at_vdd(ProcessNode node, double vdd_v) {
+  STATLEAK_CHECK(vdd_v > 0.0, "vdd must be positive");
+  if (vdd_v == node.vdd) return node;
+  const double dvth = node.dibl_v_per_v * (node.vdd - vdd_v);
+  node.vth_low += dvth;   // less drain-induced barrier lowering at low Vdd
+  node.vth_high += dvth;
+  node.vdd = vdd_v;
+  node.validate();
+  return node;
+}
+
+ProcessNode at_corner(ProcessNode node, double t_k, double vdd_v) {
+  if (t_k > 0.0) node = at_temperature(std::move(node), t_k);
+  if (vdd_v > 0.0) node = at_vdd(std::move(node), vdd_v);
   return node;
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace statleak {
 
@@ -35,6 +36,12 @@ struct ProcessNode {
   double vdd = 1.2;              ///< supply voltage [V]
   double leff_nm = 60.0;         ///< nominal effective channel length [nm]
   double temperature_k = 373.0;  ///< analysis temperature [K] (100 C)
+  /// Temperature [K] at which `subthreshold_slope`, `i0_na_per_um`, the Vth
+  /// corners and `k_drive_ua_per_um` were calibrated. validate() rejects a
+  /// node whose `temperature_k` was edited away from this without re-deriving
+  /// the constants — use at_temperature() to retarget a node, which scales
+  /// the constants and moves both fields together.
+  double calib_temperature_k = 373.0;
 
   // --- dual-Vth corners -----------------------------------------------
   double vth_low = 0.20;   ///< low (fast, leaky) threshold [V]
@@ -69,6 +76,16 @@ struct ProcessNode {
   double wn_unit_um = 0.5;  ///< NMOS width of the unit (size-1) inverter [um]
   double pn_ratio = 1.8;    ///< PMOS/NMOS width ratio of all cells
 
+  // --- first-order environment scaling ------------------------------------
+  /// Vth temperature coefficient [V/K]: Vth(T) = Vth(T0) - tc*(T - T0).
+  /// ~0.5-1 mV/K for bulk CMOS of this era.
+  double vth_tc_v_per_k = 0.0007;
+  /// Mobility temperature exponent m: k_drive(T) = k_drive(T0)*(T/T0)^-m.
+  double mobility_exponent = 1.5;
+  /// DIBL-style Vdd sensitivity of Vth [V/V]: derating Vdd raises Vth by
+  /// dibl*(Vdd_old - Vdd_new) (lower drain field -> less barrier lowering).
+  double dibl_v_per_v = 0.08;
+
   /// Threshold voltage of the given class [V].
   double vth_of(Vth vth) const {
     return vth == Vth::kLow ? vth_low : vth_high;
@@ -85,5 +102,45 @@ ProcessNode generic_100nm();
 /// Generic 70 nm-class node: scaled Vdd/Leff, steeper roll-off, leakier.
 /// Used to show trends across nodes.
 ProcessNode generic_70nm();
+
+/// Generic 130 nm-class node: the previous generation — higher Vdd, longer
+/// channel, gentler roll-off, an order of magnitude less leaky.
+ProcessNode generic_130nm();
+
+/// Low-power flavor of the 100 nm node: raised Vth corners and a smaller
+/// Ioff prefactor trade drive for leakage.
+ProcessNode generic_100nm_lp();
+
+/// Low-power flavor of the 70 nm node.
+ProcessNode generic_70nm_lp();
+
+/// Names of all shipped presets, in registry order.
+std::vector<std::string> process_node_names();
+
+/// Look up a shipped preset by name. Accepts the numeric aliases "100" and
+/// "70" for the two original nodes. Throws statleak::Error for unknown
+/// names, listing the valid ones.
+ProcessNode process_node_by_name(const std::string& name);
+
+/// Retarget a node to temperature `t_k` [K] by first-order scaling of the
+/// calibrated constants: S ~ T (thermal voltage), i0 ~ T^2 (sub-threshold
+/// prefactor), Vth down by `vth_tc_v_per_k` per kelvin, drive mobility down
+/// as (T/T0)^-m. Moves `temperature_k` and `calib_temperature_k` together
+/// so the result validates. Returns the input unchanged (bit-identical)
+/// when `t_k` equals the node's current temperature.
+ProcessNode at_temperature(ProcessNode node, double t_k);
+
+/// Derate the supply to `vdd_v` [V]. The Vth corners shift by
+/// `dibl_v_per_v * (vdd_old - vdd_v)` (lower Vdd -> higher barrier).
+/// Returns the input unchanged (bit-identical) when `vdd_v` equals the
+/// node's current supply.
+ProcessNode at_vdd(ProcessNode node, double vdd_v);
+
+/// Apply an environment corner: temperature then supply. Non-positive
+/// `t_k` / `vdd_v` mean "leave at the node's calibrated value". This is the
+/// single resolution path shared by `statleak mc --temp/--vdd` and every
+/// sweep-grid cell, which is what makes a sweep cell's population
+/// bit-identical to the equivalent standalone run.
+ProcessNode at_corner(ProcessNode node, double t_k, double vdd_v);
 
 }  // namespace statleak

@@ -279,21 +279,21 @@ TEST_F(CheckpointTest, ConfigHashCoversSamplerAndImportanceShift) {
     }
   }
   const McConfig cfg = base_config();
-  const std::uint64_t base = mc_checkpoint_hash(circuit_, var_, cfg, widths);
+  const std::uint64_t base = mc_checkpoint_hash(circuit_, var_, cfg, widths, lib_.node());
 
   McConfig sobol = cfg;
   sobol.sampler = McSampler::kSobol;
   const std::uint64_t sobol_hash =
-      mc_checkpoint_hash(circuit_, var_, sobol, widths);
+      mc_checkpoint_hash(circuit_, var_, sobol, widths, lib_.node());
   EXPECT_NE(sobol_hash, base);
 
   McConfig shifted = cfg;
   shifted.is_shift = {0.5, 0.0};
   const std::uint64_t shift_l =
-      mc_checkpoint_hash(circuit_, var_, shifted, widths);
+      mc_checkpoint_hash(circuit_, var_, shifted, widths, lib_.node());
   shifted.is_shift = {0.0, 0.5};
   const std::uint64_t shift_v =
-      mc_checkpoint_hash(circuit_, var_, shifted, widths);
+      mc_checkpoint_hash(circuit_, var_, shifted, widths, lib_.node());
   EXPECT_NE(shift_l, base);
   EXPECT_NE(shift_v, base);
   EXPECT_NE(shift_l, shift_v);
@@ -301,7 +301,18 @@ TEST_F(CheckpointTest, ConfigHashCoversSamplerAndImportanceShift) {
 
   McConfig cv = cfg;
   cv.control_variate = true;
-  EXPECT_EQ(mc_checkpoint_hash(circuit_, var_, cv, widths), base);
+  EXPECT_EQ(mc_checkpoint_hash(circuit_, var_, cv, widths, lib_.node()), base);
+
+  // An environment corner (temperature, Vdd, node flavor) changes every
+  // sampled value through the device constants, so it is fingerprinted too:
+  // a 125 C or derated-Vdd run must not resume a nominal checkpoint.
+  const std::uint64_t hot = mc_checkpoint_hash(
+      circuit_, var_, cfg, widths, at_temperature(lib_.node(), 398.15));
+  const std::uint64_t derated =
+      mc_checkpoint_hash(circuit_, var_, cfg, widths, at_vdd(lib_.node(), 1.1));
+  EXPECT_NE(hot, base);
+  EXPECT_NE(derated, base);
+  EXPECT_NE(hot, derated);
 }
 
 TEST_F(CheckpointTest, KillResumeBitIdenticalAcrossEnginesAndThreads) {

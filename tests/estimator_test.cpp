@@ -309,7 +309,7 @@ TEST_F(EstimatorTest, SobolKillResumeBitIdentical) {
       widths[id] = lib_.area_um(g.kind, g.size);
     }
   }
-  const std::uint64_t hash = mc_checkpoint_hash(c, var_, cfg, widths);
+  const std::uint64_t hash = mc_checkpoint_hash(c, var_, cfg, widths, lib_.node());
   const CheckpointData full = load_checkpoint(probe.path(), hash, n);
   ASSERT_EQ(full.done_count, n);
 

@@ -1,0 +1,334 @@
+// Differential tests for the corner/temperature sweep engine (mc/sweep.hpp)
+// and its facade command (api::run_sweep_command): every grid cell's
+// population must be bit-identical to a standalone single-corner MC run
+// configured through the same StudyInput corner fields — whatever the batch
+// size or thread count — and the fault-tolerance contracts (whole-grid
+// deadline, per-cell checkpoint resume) must compose without changing a
+// sampled bit.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/driver.hpp"
+#include "gen/arithmetic.hpp"
+#include "mc/checkpoint.hpp"
+#include "mc/monte_carlo.hpp"
+#include "mc/sweep.hpp"
+#include "netlist/bench_io.hpp"
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+namespace {
+
+std::string bench_text(const Circuit& c) {
+  std::ostringstream out;
+  write_bench(out, c);
+  return out.str();
+}
+
+/// Removes "<prefix>.cell<i>" files on scope exit.
+class CellFiles {
+ public:
+  CellFiles(std::string prefix, std::size_t cells)
+      : prefix_(std::move(prefix)), cells_(cells) {
+    cleanup();
+  }
+  ~CellFiles() { cleanup(); }
+  const std::string& prefix() const { return prefix_; }
+  std::string cell(std::size_t i) const {
+    return prefix_ + ".cell" + std::to_string(i);
+  }
+
+ private:
+  void cleanup() {
+    for (std::size_t i = 0; i < cells_; ++i) {
+      std::remove(cell(i).c_str());
+    }
+  }
+  std::string prefix_;
+  std::size_t cells_;
+};
+
+void expect_bitwise_equal(const McResult& a, const McResult& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.delay_ps.size(), b.delay_ps.size()) << what;
+  for (std::size_t i = 0; i < a.delay_ps.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a.delay_ps[i]),
+              std::bit_cast<std::uint64_t>(b.delay_ps[i]))
+        << what << " delay slot " << i;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a.leakage_na[i]),
+              std::bit_cast<std::uint64_t>(b.leakage_na[i]))
+        << what << " leakage slot " << i;
+  }
+}
+
+/// The standalone references run through StudyInput (a bench parse), so the
+/// sweep side must see the same parsed circuit — the generator's in-memory
+/// object carries sizing the .bench format does not.
+Circuit round_tripped(int bits) {
+  api::StudyInput in;
+  in.bench_text = bench_text(make_ripple_carry_adder(bits));
+  return api::load_study(in).circuit;
+}
+
+class SweepTest : public ::testing::Test {
+ protected:
+  Circuit circuit_ = round_tripped(12);
+};
+
+// ---------------------------------------------------------------- grid ----
+
+TEST_F(SweepTest, GridEnumeratesCornerMajor) {
+  SweepGrid grid;
+  grid.nodes = {"generic-100nm", "generic-70nm"};
+  grid.temperatures_k = {0.0, 398.15};
+  grid.vdds_v = {0.0, 1.1};
+  grid.sigma_scales = {1.0};
+  EXPECT_EQ(grid.num_cells(), 8u);
+
+  const std::vector<SweepCorner> corners = grid.corners();
+  ASSERT_EQ(corners.size(), 8u);
+  // Node slowest, Vdd fastest: the first four cells share the first node.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(corners[i].node, "generic-100nm");
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(corners[i].node, "generic-70nm");
+  EXPECT_EQ(corners[0].vdd_v, 0.0);
+  EXPECT_EQ(corners[1].vdd_v, 1.1);
+  EXPECT_EQ(corners[1].temperature_k, 0.0);
+  EXPECT_EQ(corners[2].temperature_k, 398.15);
+}
+
+TEST_F(SweepTest, GridValidateRejectsBadAxes) {
+  SweepGrid grid;
+  grid.nodes.clear();
+  EXPECT_THROW(grid.validate(), Error);
+
+  grid = SweepGrid{};
+  grid.nodes = {"not-a-node"};
+  EXPECT_THROW(grid.validate(), Error);
+
+  grid = SweepGrid{};
+  grid.sigma_scales = {0.0};
+  EXPECT_THROW(grid.validate(), Error);
+
+  grid = SweepGrid{};
+  grid.temperatures_k = {std::nan("")};
+  EXPECT_THROW(grid.validate(), Error);
+
+  // The default grid (one calibrated cell per axis) is valid.
+  EXPECT_NO_THROW(SweepGrid{}.validate());
+}
+
+TEST_F(SweepTest, CornerLabelNamesTheAxes) {
+  SweepCorner corner;
+  corner.node = "generic-100nm";
+  EXPECT_EQ(corner.label(), "generic-100nm");
+  corner.temperature_k = 398.15;
+  corner.vdd_v = 1.1;
+  corner.sigma_scale = 1.5;
+  const std::string label = corner.label();
+  EXPECT_NE(label.find("T=398.15K"), std::string::npos) << label;
+  EXPECT_NE(label.find("Vdd=1.1V"), std::string::npos) << label;
+  EXPECT_NE(label.find("sigma=x1.5"), std::string::npos) << label;
+}
+
+// -------------------------------------------- sweep-vs-standalone core ----
+
+// The tentpole contract: every cell of a sweep, run at any batch size and
+// thread count, is bit-identical to a standalone `mc` run configured at
+// that corner through the StudyInput fields (the exact path the CLI uses).
+TEST_F(SweepTest, EveryCellMatchesStandaloneMcBitwise) {
+  SweepGrid grid;
+  grid.nodes = {"generic-100nm", "generic-70nm-lp"};
+  grid.temperatures_k = {0.0, 398.15};
+  grid.vdds_v = {0.0, 1.1};
+  grid.sigma_scales = {1.0, 1.5};
+  const std::vector<SweepCorner> corners = grid.corners();
+
+  McConfig base;
+  base.num_samples = 64;
+  base.seed = 9;
+
+  // One standalone reference per corner, via the facade StudyInput path.
+  std::vector<McResult> reference;
+  for (const SweepCorner& corner : corners) {
+    api::McCommandConfig cfg;
+    cfg.input.bench_text = bench_text(circuit_);
+    cfg.input.node_name = corner.node;
+    cfg.input.temperature_k = corner.temperature_k;
+    cfg.input.vdd_v = corner.vdd_v;
+    cfg.input.sigma_scale = corner.sigma_scale;
+    cfg.mc = base;
+    reference.push_back(api::run_mc_command(cfg).result);
+  }
+
+  // The sweep must reproduce every reference at every engine shape.
+  for (const int batch : {1, 0}) {
+    for (const int threads : {1, 8}) {
+      McConfig cfg = base;
+      cfg.batch_size = batch;
+      cfg.num_threads = threads;
+      const SweepResult sweep = run_corner_sweep(circuit_, grid, cfg);
+      EXPECT_TRUE(sweep.completed);
+      ASSERT_EQ(sweep.cells.size(), corners.size());
+      for (std::size_t i = 0; i < corners.size(); ++i) {
+        expect_bitwise_equal(
+            sweep.cells[i].result, reference[i],
+            "batch=" + std::to_string(batch) +
+                " threads=" + std::to_string(threads) + " cell " +
+                std::to_string(i) + " (" + corners[i].label() + ")");
+      }
+    }
+  }
+}
+
+TEST_F(SweepTest, CellTimingTargetMatchesStandaloneResolution) {
+  // t_max_ps <= 0 resolves per corner exactly like a standalone run.
+  SweepGrid grid;
+  grid.temperatures_k = {0.0, 398.15};
+  McConfig base;
+  base.num_samples = 16;
+  const SweepResult sweep = run_corner_sweep(circuit_, grid, base);
+  ASSERT_EQ(sweep.cells.size(), 2u);
+
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    api::McCommandConfig cfg;
+    cfg.input.bench_text = bench_text(circuit_);
+    cfg.input.temperature_k = grid.temperatures_k[i];
+    cfg.mc = base;
+    const api::McCommandResult solo = api::run_mc_command(cfg);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(sweep.cells[i].t_max_ps),
+              std::bit_cast<std::uint64_t>(solo.t_max_ps));
+  }
+  // The hot corner is slower, so its resolved target is strictly larger.
+  EXPECT_GT(sweep.cells[1].t_max_ps, sweep.cells[0].t_max_ps);
+}
+
+// ------------------------------------------------------------- facade ----
+
+TEST_F(SweepTest, RunSweepCommandMatchesEngineAndRecordsGauges) {
+  api::SweepCommandConfig cfg;
+  cfg.input.bench_text = bench_text(circuit_);
+  cfg.grid.temperatures_k = {0.0, 398.15};
+  cfg.mc.num_samples = 48;
+  cfg.mc.seed = 11;
+
+  obs::Registry obs;
+  const api::SweepCommandResult r = api::run_sweep_command(cfg, &obs);
+  EXPECT_EQ(r.exit_code(), 0);
+  EXPECT_TRUE(r.sweep.completed);
+  ASSERT_EQ(r.sweep.cells.size(), 2u);
+
+  const SweepResult direct = run_corner_sweep(circuit_, cfg.grid, cfg.mc);
+  for (std::size_t i = 0; i < direct.cells.size(); ++i) {
+    expect_bitwise_equal(r.sweep.cells[i].result, direct.cells[i].result,
+                         "facade cell " + std::to_string(i));
+  }
+
+  EXPECT_EQ(obs.gauge_value("sweep.cells"), 2.0);
+  EXPECT_EQ(obs.gauge_value("sweep.cells_requested"), 2.0);
+  EXPECT_EQ(obs.gauge_value("sweep.grid_temperatures"), 2.0);
+  EXPECT_GT(obs.gauge_value("sweep.cell0.leakage_mean_na"), 0.0);
+  EXPECT_GT(obs.gauge_value("sweep.cell1.timing_yield"), 0.0);
+  // The hot cell leaks more — the surface really is per-corner.
+  EXPECT_GT(obs.gauge_value("sweep.cell1.leakage_mean_na"),
+            obs.gauge_value("sweep.cell0.leakage_mean_na"));
+  EXPECT_TRUE(obs.completed());
+}
+
+TEST_F(SweepTest, SweepSummaryTextNamesEveryCorner) {
+  api::SweepCommandConfig cfg;
+  cfg.input.bench_text = bench_text(circuit_);
+  cfg.grid.vdds_v = {0.0, 1.1};
+  cfg.mc.num_samples = 32;
+  const api::SweepCommandResult r = api::run_sweep_command(cfg);
+  const std::string text = api::sweep_summary_text(r);
+  EXPECT_NE(text.find("2 of 2 corners"), std::string::npos) << text;
+  EXPECT_NE(text.find("Vdd=1.1V"), std::string::npos) << text;
+  EXPECT_NE(text.find("leakage mean"), std::string::npos) << text;
+}
+
+// -------------------------------------------------- deadline + resume ----
+
+TEST_F(SweepTest, DeadlineMidSweepYieldsPartialSurfaceAndExit4) {
+  api::SweepCommandConfig cfg;
+  cfg.input.bench_text = bench_text(make_ripple_carry_adder(32));
+  cfg.grid.temperatures_k = {0.0, 398.15, 423.15};
+  cfg.mc.num_samples = 2000000;  // cannot finish inside 1 ms
+  cfg.mc.deadline_ms = 1;
+
+  obs::Registry obs;
+  const api::SweepCommandResult r = api::run_sweep_command(cfg, &obs);
+  EXPECT_FALSE(r.sweep.completed);
+  EXPECT_EQ(r.exit_code(), 4);
+  EXPECT_EQ(r.sweep.cells_requested, 3u);
+  // The grid stops at the interrupted cell; nothing after it ran.
+  EXPECT_LE(r.sweep.cells.size(), 3u);
+  if (!r.sweep.cells.empty()) {
+    EXPECT_FALSE(r.sweep.cells.back().result.completed);
+  }
+  EXPECT_FALSE(obs.completed());
+  EXPECT_EQ(obs.incomplete_reason(), "deadline");
+
+  const std::string text = api::sweep_summary_text(r);
+  EXPECT_NE(text.find("deadline"), std::string::npos) << text;
+}
+
+TEST_F(SweepTest, CheckpointResumeReproducesUninterruptedSweepBitwise) {
+  SweepGrid grid;
+  grid.temperatures_k = {0.0, 398.15};
+  McConfig base;
+  base.num_samples = 256;
+  base.seed = 5;
+  base.checkpoint_every = 32;
+
+  // The uninterrupted reference, no checkpoints involved.
+  const SweepResult reference = run_corner_sweep(circuit_, grid, base);
+  ASSERT_TRUE(reference.completed);
+
+  CellFiles files("sweep_test_resume", grid.num_cells());
+  McConfig interrupted = base;
+  interrupted.checkpoint_path = files.prefix();
+  interrupted.deadline_ms = 1;  // may or may not get anywhere; both valid
+  (void)run_corner_sweep(circuit_, grid, interrupted);
+
+  // Re-run with the budget lifted: finished cells restore from their own
+  // files, the interrupted one resumes, and the surface is bit-identical.
+  McConfig resumed = base;
+  resumed.checkpoint_path = files.prefix();
+  const SweepResult second = run_corner_sweep(circuit_, grid, resumed);
+  ASSERT_TRUE(second.completed);
+  ASSERT_EQ(second.cells.size(), reference.cells.size());
+  for (std::size_t i = 0; i < reference.cells.size(); ++i) {
+    expect_bitwise_equal(second.cells[i].result, reference.cells[i].result,
+                         "resumed cell " + std::to_string(i));
+  }
+}
+
+TEST_F(SweepTest, CheckpointRejectsCrossCornerResume) {
+  // A checkpoint written at one corner must not seed another: the config
+  // hash fingerprints the resolved node physics, so handing cell files
+  // from a hot sweep to a nominal one is a structured CheckpointError.
+  SweepGrid hot;
+  hot.temperatures_k = {398.15};
+  McConfig base;
+  base.num_samples = 64;
+  CellFiles files("sweep_test_cross", 1);
+  McConfig cfg = base;
+  cfg.checkpoint_path = files.prefix();
+  ASSERT_TRUE(run_corner_sweep(circuit_, hot, cfg).completed);
+
+  SweepGrid nominal;  // default: the calibrated corner
+  EXPECT_THROW((void)run_corner_sweep(circuit_, nominal, cfg),
+               CheckpointError);
+}
+
+}  // namespace
+}  // namespace statleak

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "tech/device.hpp"
 #include "tech/process.hpp"
@@ -175,6 +178,143 @@ TEST(Device, Capacitances) {
   const ProcessNode node = generic_100nm();
   EXPECT_NEAR(gate_cap_ff(node, 2.0), 2.0 * node.cg_ff_per_um, 1e-12);
   EXPECT_NEAR(junction_cap_ff(node, 2.0), 2.0 * node.cj_ff_per_um, 1e-12);
+}
+
+// ------------------------------------------- presets + corner scaling ----
+
+TEST(ProcessNode, RegistryListsEveryPresetAndResolvesAliases) {
+  const std::vector<std::string> names = process_node_names();
+  ASSERT_EQ(names.size(), 5u);
+  for (const std::string& name : names) {
+    EXPECT_NO_THROW(process_node_by_name(name).validate()) << name;
+    EXPECT_EQ(process_node_by_name(name).name, name);
+  }
+  // The numeric aliases resolve to the classic factories.
+  EXPECT_EQ(process_node_by_name("100").name, generic_100nm().name);
+  EXPECT_EQ(process_node_by_name("70").name, generic_70nm().name);
+  EXPECT_THROW(process_node_by_name("generic-65nm"), Error);
+}
+
+// Golden values pin each new preset's calibration: a drive-by edit to the
+// constants shows up as a concrete number change here, not as a silent
+// shift in every downstream experiment.
+TEST(ProcessNode, NewPresetGoldenValues) {
+  const auto check = [](const char* name, double lvt_leak, double hvt_leak,
+                        double lvt_drive) {
+    const ProcessNode node = process_node_by_name(name);
+    EXPECT_NEAR(subthreshold_current_na(node, Vth::kLow, 1.0), lvt_leak,
+                1e-5 * lvt_leak)
+        << name;
+    EXPECT_NEAR(subthreshold_current_na(node, Vth::kHigh, 1.0), hvt_leak,
+                1e-5 * hvt_leak)
+        << name;
+    EXPECT_NEAR(drive_current_ua(node, Vth::kLow, 1.0), lvt_drive,
+                1e-5 * lvt_drive)
+        << name;
+  };
+  check("generic-130nm", 5.799516, 0.248297, 725.666046);
+  check("generic-100nm-lp", 1.649683, 0.055426, 479.810285);
+  check("generic-70nm-lp", 7.165929, 0.452140, 454.147538);
+}
+
+TEST(ProcessNode, ValidateRejectsTemperatureEditWithoutRetarget) {
+  // temperature_k is baked into the calibrated constants: editing it in
+  // place would silently keep the old-temperature calibration, so
+  // validate() demands the at_temperature() retarget path instead.
+  ProcessNode node = generic_100nm();
+  node.temperature_k = 398.15;
+  EXPECT_THROW(node.validate(), Error);
+  EXPECT_NO_THROW(at_temperature(generic_100nm(), 398.15).validate());
+}
+
+TEST(ProcessNode, AtTemperatureAppliesFirstOrderScaling) {
+  const ProcessNode base = generic_100nm();
+  const ProcessNode hot = at_temperature(base, 398.15);
+  const double ratio = 398.15 / base.temperature_k;
+  EXPECT_NEAR(hot.subthreshold_slope, base.subthreshold_slope * ratio, 1e-12);
+  EXPECT_NEAR(hot.i0_na_per_um, base.i0_na_per_um * ratio * ratio, 1e-9);
+  EXPECT_NEAR(hot.vth_low,
+              base.vth_low - base.vth_tc_v_per_k * (398.15 - base.temperature_k),
+              1e-12);
+  EXPECT_NEAR(hot.k_drive_ua_per_um,
+              base.k_drive_ua_per_um * std::pow(ratio, -base.mobility_exponent),
+              1e-9);
+  EXPECT_EQ(hot.temperature_k, 398.15);
+  EXPECT_EQ(hot.calib_temperature_k, 398.15);
+  // Retargeting to the calibration temperature is the identity, bitwise.
+  const ProcessNode same = at_temperature(base, base.temperature_k);
+  EXPECT_EQ(same.subthreshold_slope, base.subthreshold_slope);
+  EXPECT_EQ(same.i0_na_per_um, base.i0_na_per_um);
+}
+
+TEST(ProcessNode, AtVddDeratesThroughDibl) {
+  const ProcessNode base = generic_100nm();
+  const ProcessNode derated = at_vdd(base, 1.1);
+  const double dvth = base.dibl_v_per_v * (base.vdd - 1.1);
+  EXPECT_NEAR(derated.vth_low, base.vth_low + dvth, 1e-12);
+  EXPECT_NEAR(derated.vth_high, base.vth_high + dvth, 1e-12);
+  EXPECT_EQ(derated.vdd, 1.1);
+  // Lower Vdd -> higher Vth -> less leakage.
+  EXPECT_LT(subthreshold_current_na(derated, Vth::kLow, 1.0),
+            subthreshold_current_na(base, Vth::kLow, 1.0));
+}
+
+TEST(ProcessNode, LeakageMonotonicallyIncreasesInTemperature) {
+  for (const std::string& name : process_node_names()) {
+    const ProcessNode base = process_node_by_name(name);
+    for (Vth vth : {Vth::kLow, Vth::kHigh}) {
+      double prev = -1.0;
+      for (const double t : {313.15, 343.15, 373.0, 398.15, 423.15}) {
+        const double leak =
+            subthreshold_current_na(at_temperature(base, t), vth, 1.0);
+        EXPECT_GT(leak, prev) << name << " at " << t << " K";
+        prev = leak;
+      }
+    }
+  }
+}
+
+TEST(ProcessNode, LeakageMonotonicallyDecreasesInVth) {
+  // Across every shipped node, raising the threshold (LVT -> HVT, and any
+  // positive dVth excursion on top) can only reduce subthreshold current.
+  for (const std::string& name : process_node_names()) {
+    const ProcessNode node = process_node_by_name(name);
+    const double lvt = subthreshold_current_na(node, Vth::kLow, 1.0);
+    const double hvt = subthreshold_current_na(node, Vth::kHigh, 1.0);
+    EXPECT_GT(lvt, hvt) << name;
+    EXPECT_GT(hvt, subthreshold_current_na(node, Vth::kHigh, 1.0, 0.0, 0.02))
+        << name;
+  }
+}
+
+TEST(ProcessNode, DelayMonotonicallyDecreasesInVdd) {
+  // Alpha-power delay ~ C * Vdd / Id(Vdd): more supply always helps at
+  // every shipped corner (DIBL raises Vth as Vdd derates, compounding it).
+  for (const std::string& name : process_node_names()) {
+    const ProcessNode base = process_node_by_name(name);
+    for (Vth vth : {Vth::kLow, Vth::kHigh}) {
+      double prev = std::numeric_limits<double>::infinity();
+      for (const double f : {0.90, 0.95, 1.0, 1.05, 1.10}) {
+        const ProcessNode node = at_vdd(base, f * base.vdd);
+        const double delay = node.vdd / drive_current_ua(node, vth, 1.0);
+        EXPECT_LT(delay, prev) << name << " at " << f << " x Vdd";
+        prev = delay;
+      }
+    }
+  }
+}
+
+TEST(ProcessNode, AtCornerComposesTemperatureAndVdd) {
+  const ProcessNode base = generic_70nm();
+  const ProcessNode corner = at_corner(base, 398.15, 0.9);
+  const ProcessNode manual = at_vdd(at_temperature(base, 398.15), 0.9);
+  EXPECT_EQ(corner.vth_low, manual.vth_low);
+  EXPECT_EQ(corner.subthreshold_slope, manual.subthreshold_slope);
+  EXPECT_EQ(corner.vdd, manual.vdd);
+  // Non-positive axes leave the calibrated values untouched (bitwise).
+  const ProcessNode untouched = at_corner(base, 0.0, 0.0);
+  EXPECT_EQ(untouched.vth_low, base.vth_low);
+  EXPECT_EQ(untouched.i0_na_per_um, base.i0_na_per_um);
 }
 
 // ----------------------------------------------------------- variation ----

@@ -9,6 +9,7 @@
 ///   analyze <netlist.bench> [options]     STA + SSTA + leakage report
 ///   optimize <netlist.bench> [options]    run an optimizer, write .impl
 ///   mc <netlist.bench> [options]          Monte-Carlo report
+///   sweep <netlist.bench> [options]       corner/temperature sweep surface
 ///   mlv <netlist.bench> [options]         minimum-leakage input vector
 ///   flow <netlist.bench> [options]        full det-vs-stat comparison
 ///   serve <netlist.bench> [options]       distributed Monte-Carlo campaign
@@ -134,18 +135,73 @@ std::vector<FlagSpec> mc_engine_flags() {
        "importance-sample the timing tail at --tmax (default off); "
        "estimates stay unbiased via exact likelihood weights"},
       {"--cv", false, "", "SSTA control variate for leakage mean/quantiles"},
-      {"--node", true, "100|70", "technology node (default 100)"},
+      {"--node", true, "preset",
+       "technology node preset name, or 100|70 (default generic-100nm)"},
+      {"--temp", true, "K",
+       "analysis temperature in kelvin (default: the node's calibration "
+       "temperature)"},
+      {"--vdd", true, "V", "supply voltage (default: the node's nominal Vdd)"},
+      {"--sigma-scale", true, "x",
+       "variation sigma multiplier (default 1.0 = typical model)"},
       {"--dump-samples", true, "path",
        "write surviving per-sample 'delay leakage' pairs as exact "
        "round-trip text (byte-comparable across hosts/threads/shards)"},
   };
 }
 
+/// The `sweep` flag table: the mc engine knobs minus the single-corner
+/// flags (--node/--temp/--vdd/--sigma-scale — the grid owns every cell's
+/// corner) plus the grid axes and the surface output.
+std::vector<FlagSpec> sweep_flags() {
+  std::vector<FlagSpec> flags = {
+      {"--impl", true, "f.impl",
+       "apply an implementation sidecar before running"},
+      {"--tmax", true, "ps",
+       "delay target for every cell (default: 1.1 * that corner's nominal)"},
+      {"--nodes", true, "a,b",
+       "comma-separated node presets (default generic-100nm)"},
+      {"--temps", true, "K,K",
+       "comma-separated temperatures in kelvin (0 = calibrated default)"},
+      {"--vdds", true, "V,V",
+       "comma-separated supplies in volts (0 = nominal Vdd)"},
+      {"--sigmas", true, "x,x",
+       "comma-separated variation sigma multipliers (default 1)"},
+      {"--surface-json", true, "path",
+       "write the per-cell yield/leakage surface as versioned JSON"},
+      {"--dump-samples", true, "prefix",
+       "write each cell's per-sample pairs to <prefix>.cell<i> "
+       "(byte-comparable against a standalone mc run at that corner)"},
+  };
+  for (const FlagSpec& f : mc_engine_flags()) {
+    const std::string name = f.name;
+    if (name == "--impl" || name == "--tmax" || name == "--node" ||
+        name == "--temp" || name == "--vdd" || name == "--sigma-scale" ||
+        name == "--importance" || name == "--dump-samples") {
+      continue;  // replaced above, or owned by the grid axes
+    }
+    if (name == "--deadline") {
+      flags.push_back({"--deadline", true, "ms",
+                       "wall-clock budget for the whole grid, 0 = none; "
+                       "a clean early stop keeps finished cells (exit 4)"});
+      continue;
+    }
+    if (name == "--checkpoint") {
+      flags.push_back({"--checkpoint", true, "prefix",
+                       "per-cell checkpoint prefix: cell i resumes "
+                       "<prefix>.cell<i> when it exists"});
+      continue;
+    }
+    flags.push_back(f);
+  }
+  return flags;
+}
+
 std::vector<CommandSpec> command_specs() {
   const FlagSpec impl = {"--impl", true, "f.impl",
                          "apply an implementation sidecar before running"};
-  const FlagSpec node = {"--node", true, "100|70",
-                         "technology node (default 100)"};
+  const FlagSpec node = {"--node", true, "preset",
+                         "technology node preset name, or 100|70 "
+                         "(default generic-100nm)"};
 
   std::vector<FlagSpec> serve_flags = mc_engine_flags();
   const std::vector<FlagSpec> dist_flags = {
@@ -193,6 +249,10 @@ std::vector<CommandSpec> command_specs() {
         {"--write-bench", true, "out.bench", "also write the netlist"}}},
       {"mc", "<netlist.bench>", "Monte-Carlo delay/leakage report",
        mc_engine_flags()},
+      {"sweep", "<netlist.bench>",
+       "corner/temperature sweep: one frozen circuit across a "
+       "T x Vdd x node x sigma grid",
+       sweep_flags()},
       {"mlv", "<netlist.bench>", "minimum-leakage standby vector search",
        {impl,
         {"--trials", true, "n", "random probes (default 128)"},
@@ -444,9 +504,9 @@ Circuit generate(const std::string& spec, std::uint64_t seed) {
 }
 
 CellLibrary make_library(const Args& args) {
-  const long node = args.get_long("--node", 100);
-  STATLEAK_CHECK(node == 100 || node == 70, "--node must be 100 or 70");
-  return CellLibrary(node == 100 ? generic_100nm() : generic_70nm());
+  // process_node_by_name resolves preset names and the "100"/"70" aliases,
+  // throwing a statleak::Error (exit 3) listing the known names otherwise.
+  return CellLibrary(process_node_by_name(args.get("--node").value_or("100")));
 }
 
 void print_metrics(const CircuitMetrics& m, double t_max) {
@@ -497,8 +557,72 @@ api::StudyInput study_input(const Args& args) {
   api::StudyInput in;
   in.bench_path = args.positional()[0];
   in.impl_path = args.get("--impl").value_or("");
-  in.node_nm = static_cast<int>(args.get_long("--node", 100));
+  // Purely numeric spellings keep the node_nm path (and its 100|70
+  // validation); anything else is a preset name for the registry.
+  const std::string node = args.get("--node").value_or("100");
+  int node_nm = 0;
+  const auto res =
+      std::from_chars(node.data(), node.data() + node.size(), node_nm);
+  if (res.ec == std::errc() && res.ptr == node.data() + node.size()) {
+    in.node_nm = node_nm;
+  } else {
+    in.node_name = node;
+  }
+  in.temperature_k = args.get_double("--temp", 0.0);
+  in.vdd_v = args.get_double("--vdd", 0.0);
+  in.sigma_scale = args.get_double("--sigma-scale", 1.0);
   return in;
+}
+
+/// Splits a comma-separated flag value into doubles with strict full-token
+/// parsing: "373.15,398.15" is a grid axis, "373x" or ",," is a usage
+/// error (exit 2), matching the flag-validation-before-I/O contract.
+std::vector<double> parse_double_list(const Args& args, const char* flag,
+                                      double fallback) {
+  const auto value = args.get(flag);
+  if (!value) return {fallback};
+  std::vector<double> out;
+  const std::string& s = *value;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    const std::string tok = s.substr(start, end - start);
+    double v = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (tok.empty() || res.ec != std::errc() ||
+        res.ptr != tok.data() + tok.size()) {
+      throw UsageError(std::string(flag) + ": '" + tok +
+                       "' is not a number (expected a comma-separated list)");
+    }
+    out.push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Same splitting for the node-name axis; empty tokens are usage errors.
+std::vector<std::string> parse_string_list(const Args& args, const char* flag,
+                                           const char* fallback) {
+  const auto value = args.get(flag);
+  if (!value) return {fallback};
+  std::vector<std::string> out;
+  const std::string& s = *value;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    const std::string tok = s.substr(start, end - start);
+    if (tok.empty()) {
+      throw UsageError(std::string(flag) +
+                       ": empty list entry (expected comma-separated names)");
+    }
+    out.push_back(tok);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
 }
 
 void report_impl(const Args& args, std::size_t entries) {
@@ -660,25 +784,41 @@ api::McCommandConfig parse_mc_config(const Args& args) {
 /// "delay leakage" pair per line, printed with std::to_chars shortest
 /// round-trip form — the byte-comparison artifact of the distributed
 /// acceptance tests (a serve campaign must reproduce `mc` exactly).
-void dump_samples(const Args& args, const api::McCommandResult& r) {
-  const auto path = args.get("--dump-samples");
-  if (!path) return;
-  std::ofstream out(*path, std::ios::binary);
-  STATLEAK_CHECK(out.good(), "cannot write " + *path);
+void write_sample_lines(const std::string& path, const McResult& result) {
+  std::ofstream out(path, std::ios::binary);
+  STATLEAK_CHECK(out.good(), "cannot write " + path);
   char buf[64];
   const auto write_num = [&](double v) {
     const auto res = std::to_chars(buf, buf + sizeof(buf), v);
     out.write(buf, res.ptr - buf);
   };
-  for (std::size_t i = 0; i < r.result.delay_ps.size(); ++i) {
-    write_num(r.result.delay_ps[i]);
+  for (std::size_t i = 0; i < result.delay_ps.size(); ++i) {
+    write_num(result.delay_ps[i]);
     out.put(' ');
-    write_num(r.result.leakage_na[i]);
+    write_num(result.leakage_na[i]);
     out.put('\n');
   }
-  STATLEAK_CHECK(out.good(), "failed writing " + *path);
-  std::cout << "wrote " << r.result.delay_ps.size() << " samples to "
-            << *path << "\n";
+  STATLEAK_CHECK(out.good(), "failed writing " + path);
+  std::cout << "wrote " << result.delay_ps.size() << " samples to " << path
+            << "\n";
+}
+
+void dump_samples(const Args& args, const api::McCommandResult& r) {
+  const auto path = args.get("--dump-samples");
+  if (!path) return;
+  write_sample_lines(*path, r.result);
+}
+
+/// Sweep's --dump-samples is a prefix: cell i (grid order) lands in
+/// <prefix>.cell<i>, each file byte-identical to a standalone `statleak
+/// mc --dump-samples` run at that cell's corner.
+void dump_sweep_samples(const Args& args, const api::SweepCommandResult& r) {
+  const auto prefix = args.get("--dump-samples");
+  if (!prefix) return;
+  for (std::size_t i = 0; i < r.sweep.cells.size(); ++i) {
+    write_sample_lines(*prefix + ".cell" + std::to_string(i),
+                       r.sweep.cells[i].result);
+  }
 }
 
 int cmd_mc(const Args& args, ObsSession& session) {
@@ -687,6 +827,31 @@ int cmd_mc(const Args& args, ObsSession& session) {
   report_impl(args, r.impl_entries);
   std::cout << api::mc_summary_text(r);
   dump_samples(args, r);
+  return r.exit_code();
+}
+
+int cmd_sweep(const Args& args, ObsSession& session) {
+  // The shared mc-engine flag decoding supplies input + per-cell engine
+  // config (absent single-corner flags fall back to defaults the grid
+  // overrides anyway); the grid axes come from the list flags.
+  const api::McCommandConfig base = parse_mc_config(args);
+  api::SweepCommandConfig cfg;
+  cfg.input = base.input;
+  cfg.mc = base.mc;
+  cfg.t_max_ps = base.t_max_ps;
+  cfg.grid.nodes = parse_string_list(args, "--nodes", "generic-100nm");
+  cfg.grid.temperatures_k = parse_double_list(args, "--temps", 0.0);
+  cfg.grid.vdds_v = parse_double_list(args, "--vdds", 0.0);
+  cfg.grid.sigma_scales = parse_double_list(args, "--sigmas", 1.0);
+
+  const api::SweepCommandResult r = api::run_sweep_command(cfg, session.reg());
+  report_impl(args, r.impl_entries);
+  std::cout << api::sweep_summary_text(r);
+  if (const auto surface = args.get("--surface-json")) {
+    write_sweep_surface(*surface, r.circuit_name, r.grid, r.sweep);
+    std::cout << "wrote surface " << *surface << "\n";
+  }
+  dump_sweep_samples(args, r);
   return r.exit_code();
 }
 
@@ -855,6 +1020,7 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") rc = cmd_analyze(args, session);
     if (cmd == "optimize") rc = cmd_optimize(args, session);
     if (cmd == "mc") rc = cmd_mc(args, session);
+    if (cmd == "sweep") rc = cmd_sweep(args, session);
     if (cmd == "mlv") rc = cmd_mlv(args, session);
     if (cmd == "flow") rc = cmd_flow(args, session);
     if (cmd == "serve") rc = cmd_serve(args, session);
