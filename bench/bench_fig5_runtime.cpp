@@ -350,4 +350,19 @@ BENCHMARK(BM_StatisticalOptimizerThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Google Benchmark's own "library_build_type" context key describes the
+// HARNESS library (the distro package is built without NDEBUG), not the
+// timed statleak code. Stamp the statleak build type explicitly so
+// tools/bench_to_json.py can tell Release timing artifacts from debug ones.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("statleak_build_type", "release");
+#else
+  benchmark::AddCustomContext("statleak_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -132,6 +132,20 @@ double CellLibrary::delay_ps(CellKind kind, Vth vth, double size,
   return intrinsic + drive;
 }
 
+CellLibrary::DelayTerms CellLibrary::delay_terms(CellKind kind,
+                                                 Vth vth) const {
+  const std::size_t v = index_of(vth);
+  DelayTerms t;
+  t.intrinsic_ps = cell_info(kind).parasitic * tau_ps_[v];
+  t.drive_num = 1000.0 * node_.k_delay * node_.vdd;
+  t.idrive_unit_ua = idrive_unit_ua_[v];
+  return t;
+}
+
+double CellLibrary::leak_unit_na(CellKind kind, Vth vth) const {
+  return leak_unit_[static_cast<std::size_t>(kind)][index_of(vth)];
+}
+
 double CellLibrary::leakage_na(CellKind kind, Vth vth, double size) const {
   STATLEAK_CHECK(size > 0.0, "cell size must be positive");
   return leak_unit_[static_cast<std::size_t>(kind)][index_of(vth)] * size;

@@ -72,6 +72,26 @@ class CellLibrary {
   /// Leakage power [nW] = I * Vdd.
   double leakage_power_nw(CellKind kind, Vth vth, double size) const;
 
+  /// Decomposed nominal-delay terms for batched move pricing:
+  ///
+  ///   delay_ps(kind, vth, size, load_ff)
+  ///     == intrinsic_ps + drive_num * load_ff / (idrive_unit_ua * size)
+  ///
+  /// *bit-identically* — each field is the exact subexpression delay_ps()
+  /// evaluates (drive_num is the left-associated 1000 * k_delay * vdd
+  /// product), so a candidate-batched scorer completing the formula in SoA
+  /// loops reproduces the scalar pricing path bit for bit.
+  struct DelayTerms {
+    double intrinsic_ps = 0.0;    ///< cell parasitic * tau
+    double drive_num = 0.0;       ///< 1000 * k_delay * vdd
+    double idrive_unit_ua = 0.0;  ///< per-unit-size drive current
+  };
+  DelayTerms delay_terms(CellKind kind, Vth vth) const;
+
+  /// Per-unit-size state-averaged leakage [nA]: leakage_na(kind, vth, size)
+  /// == leak_unit_na(kind, vth) * size, bit-identically.
+  double leak_unit_na(CellKind kind, Vth vth) const;
+
   /// First-order variation sensitivities of the given threshold class.
   const DeviceSensitivities& sensitivities(Vth vth) const;
 

@@ -1,0 +1,35 @@
+#include "gen/scaling.hpp"
+
+#include "gen/random_dag.hpp"
+#include "util/error.hpp"
+
+namespace statleak {
+
+std::vector<ScalingSpec> scaling_series() {
+  // Locality grows with size (wider circuits have longer average wires in
+  // mapped form), keeping depth in the few-dozen-levels range the ISCAS
+  // proxies occupy instead of degenerating into thousand-level chains.
+  return {
+      {"s10k", 256, 10000, 128, 120.0, 0xA0001},
+      {"s30k", 448, 30000, 224, 200.0, 0xA0002},
+      {"s100k", 768, 100000, 384, 300.0, 0xA0003},
+      {"s200k", 1024, 200000, 512, 400.0, 0xA0005},
+  };
+}
+
+Circuit scaling_circuit(const std::string& name) {
+  for (const ScalingSpec& s : scaling_series()) {
+    if (s.name == name) {
+      RandomDagSpec spec;
+      spec.num_inputs = s.num_inputs;
+      spec.num_gates = s.num_gates;
+      spec.num_outputs = s.num_outputs;
+      spec.locality = s.locality;
+      spec.seed = s.seed;
+      return make_random_dag(spec);
+    }
+  }
+  throw Error("unknown scaling circuit: " + name);
+}
+
+}  // namespace statleak

@@ -181,25 +181,31 @@ double LeakageAnalyzer::nominal_na() const {
   return total;
 }
 
+LeakDeltaPricer LeakageAnalyzer::delta_pricer(double p) const {
+  LeakDeltaPricer pricer;
+  pricer.sum_mean = sum_mean_.total();
+  pricer.sum_mean_sq = sum_mean_sq_.total();
+  pricer.sum_var = sum_var_.total();
+  pricer.cov_factor = model_.cov_factor();
+  if (p != z_memo_p_) {
+    z_memo_ = normal_inverse_cdf(p);
+    z_memo_p_ = p;
+  }
+  pricer.z = z_memo_;
+  return pricer;
+}
+
 double LeakageAnalyzer::quantile_if_na(GateId id, Vth vth, double size,
                                        double p) const {
   const Gate& g = circuit_.gate(id);
   STATLEAK_CHECK(g.kind != CellKind::kInput,
                  "cannot re-price a primary input");
-  const GateLeakMoments now = model_.gate_moments(g.kind, vth, size);
-  const GateLeakMoments& old = moments_[id];
   // Scalar delta on the exact tree totals — O(1) per candidate; see the
-  // header for why pricing does not need the tree-shaped re-sum.
-  const double sum_mean = sum_mean_.total() - old.mean_na + now.mean_na;
-  const double sum_mean_sq = sum_mean_sq_.total() -
-                             old.mean_na * old.mean_na +
-                             now.mean_na * now.mean_na;
-  const double sum_var = sum_var_.total() - old.var_na2 + now.var_na2;
-  if (p != z_memo_p_) {
-    z_memo_ = normal_inverse_cdf(p);
-    z_memo_p_ = p;
-  }
-  return assemble(sum_mean, sum_mean_sq, sum_var).fitted.quantile_z(z_memo_);
+  // header for why pricing does not need the tree-shaped re-sum. The
+  // expression sequence lives in LeakDeltaPricer so batched scoring shares
+  // it bit for bit.
+  return delta_pricer(p).quantile_na(moments_[id],
+                                     model_.gate_moments(g.kind, vth, size));
 }
 
 double LeakageAnalyzer::total_sample_na(

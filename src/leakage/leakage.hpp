@@ -26,6 +26,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -77,6 +78,13 @@ class LeakageModel {
   /// variation model's Pelgrom width scaling of intra-die Vth sigma.
   GateLeakMoments gate_moments(CellKind kind, Vth vth, double size) const;
 
+  /// E[exp(exponent)] for a unit-nominal gate — the width-independent mean
+  /// factor gate_moments() applies when Pelgrom scaling is off (with
+  /// Pelgrom on the factor is per-gate; use gate_moments()).
+  double mean_factor() const { return mean_factor_; }
+  /// E[exp(2 * exponent)], same caveat.
+  double m2_factor() const { return m2_factor_; }
+
   const CellLibrary& library() const { return lib_; }
   const VariationModel& variation() const { return var_; }
 
@@ -93,6 +101,34 @@ class LeakageModel {
   double cov_factor_ = 0.0;  ///< exp(log_cov_global_) - 1
   double mean_factor_ = 1.0;  ///< E[exp(exponent)] for a unit-nominal gate
   double m2_factor_ = 1.0;    ///< E[exp(2*exponent)]
+};
+
+/// One scan's worth of hypothetical-move pricing state, captured from a
+/// LeakageAnalyzer: the three exact Wilkinson tree totals, the pairwise
+/// covariance factor and the memoized normal quantile. quantile_na() prices
+/// "what if one gate's moments moved old -> now" with the exact expression
+/// sequence LeakageAnalyzer::quantile_if_na() evaluates — the analyzer's
+/// method is itself implemented on this struct, so the batched scorer and
+/// the scalar pricing path cannot drift by a bit. Capture once per scoring
+/// scan (totals are committed state; they change only on commit).
+struct LeakDeltaPricer {
+  double sum_mean = 0.0;
+  double sum_mean_sq = 0.0;
+  double sum_var = 0.0;
+  double cov_factor = 0.0;
+  double z = 0.0;  ///< Phi^-1(p)
+
+  double quantile_na(const GateLeakMoments& old_m,
+                     const GateLeakMoments& now_m) const {
+    const double sm = sum_mean - old_m.mean_na + now_m.mean_na;
+    const double smsq = sum_mean_sq - old_m.mean_na * old_m.mean_na +
+                        now_m.mean_na * now_m.mean_na;
+    const double sv = sum_var - old_m.var_na2 + now_m.var_na2;
+    const double pairwise = cov_factor * std::max(0.0, sm * sm - smsq);
+    const double var_na2 = sv + pairwise;
+    return Lognormal::from_moments(std::max(sm, 1e-12), var_na2)
+        .quantile_z(z);
+  }
 };
 
 /// Full-circuit analyzer with O(1) single-gate updates.
@@ -136,6 +172,17 @@ class LeakageAnalyzer {
   /// bits) but deliberately not re-summed through the trees — pricing only
   /// ranks candidates, and committed state always goes through the trees.
   double quantile_if_na(GateId id, Vth vth, double size, double p) const;
+
+  /// Captures the current totals + quantile memo for a batched pricing
+  /// scan. Bit-contract: quantile_if_na(id, vth, size, p) ==
+  /// delta_pricer(p).quantile_na(cached_moments(id),
+  ///                             model().gate_moments(kind, vth, size)).
+  LeakDeltaPricer delta_pricer(double p) const;
+
+  /// The committed moments of one gate (what pricing treats as "old").
+  const GateLeakMoments& cached_moments(GateId id) const {
+    return moments_[id];
+  }
 
   /// Exact total leakage [nA] for one Monte-Carlo parameter sample
   /// (samples[id] = that gate's total deviations).

@@ -49,6 +49,20 @@ struct OptConfig : ExecConfig {
   /// equivalence tests; leave it on.
   bool incremental_timing = true;
 
+  /// Run the statistical optimizer's hot path on the flat-SoA SSTA engine
+  /// with candidate-batched move pricing (ssta/flat_incremental.hpp,
+  /// opt/batch_score.hpp). The optimization trajectory — every commit,
+  /// every rejection — is bit-identical to the scalar engine's; the toggle
+  /// keeps the scalar path alive as the honest baseline for benchmarks and
+  /// the equivalence tests. Leave it on.
+  bool flat_engine = true;
+
+  /// Candidate block size K for batched move pricing on the flat engine.
+  /// <= 0 selects the default (64). Per-candidate pricing is independent,
+  /// so any K yields the same trajectory; it only shapes the SoA working
+  /// set the vectorized stages stream over.
+  int candidate_block = 0;
+
   // ExecConfig::num_threads drives the statistical optimizer's
   // candidate-scoring loops. Scoring is read-only per candidate and
   // sharded by gate index with an in-order reduction, so the chosen

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <set>
+#include <type_traits>
 #include <vector>
 
 #include "leakage/leakage.hpp"
+#include "opt/batch_score.hpp"
 #include "opt/metrics.hpp"
+#include "ssta/flat_incremental.hpp"
 #include "ssta/ssta.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -19,6 +23,8 @@ constexpr double kEps = 1e-9;
 constexpr double kCritFloor = 1e-4;
 /// Boost rounds of the sizing-enables-swaps outer loop (see run()).
 constexpr int kMaxBoostRounds = 4;
+/// Default candidate block size for batched move pricing (flat engine).
+constexpr std::size_t kDefaultCandidateBlock = 64;
 }  // namespace
 
 StatisticalOptimizer::StatisticalOptimizer(const CellLibrary& lib,
@@ -39,9 +45,26 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
   reset_implementation(circuit, lib_);
   obs::ScopedTimer total_timer(obs, "stat.total");
 
+  // Both engines run the identical schedule (run_impl) and produce the
+  // identical trajectory; the flat engine is the production hot path, the
+  // scalar engine the honest baseline the equivalence tests compare against.
+  if (config_.flat_engine) {
+    FlatSstaEngine ssta(circuit, lib_, var_);
+    ssta.set_incremental(config_.incremental_timing);
+    ssta.attach_observer(obs);
+    return run_impl(circuit, ssta, obs);
+  }
   SstaEngine ssta(circuit, lib_, var_);
   ssta.set_incremental(config_.incremental_timing);
   ssta.attach_observer(obs);
+  return run_impl(circuit, ssta, obs);
+}
+
+template <class Engine>
+OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
+                                         obs::Registry* obs) const {
+  constexpr bool kFlat = std::is_same_v<Engine, FlatSstaEngine>;
+
   LeakageAnalyzer leak(circuit, lib_, var_);
   const auto steps = lib_.size_steps();
   const double t_max = config_.t_max_ps;
@@ -91,19 +114,6 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
     return lib_.delay_ps(g.kind, vth, size, ssta.loads().load_ff(id));
   };
 
-  // Every implementation mutation goes through these two, so the circuit and
-  // the SSTA caches can never disagree. Leakage is priced hypothetically
-  // during scoring (quantile_if_na) and repriced only on commit, so it is
-  // updated at the commit sites, not here.
-  const auto apply_size = [&](GateId id, double size) {
-    circuit.set_size(id, size);
-    ssta.on_resize(id);
-  };
-  const auto apply_vth = [&](GateId id, Vth vth) {
-    circuit.set_vth(id, vth);
-    ssta.on_vth_change(id);
-  };
-
   // ------------------------------------------ parallel candidate scoring ----
   // Move pricing in phases 1 and 2 is read-only per candidate (const queries
   // on the SSTA snapshot, load cache and leakage analyzer), so it is sharded
@@ -112,32 +122,66 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
   // shards are then reduced in index order, which reproduces the serial
   // winner exactly — commits stay serial, so the optimization trajectory is
   // identical for every thread count.
+  //
+  // On the flat engine the scans additionally go through the BatchScorer:
+  // SoA candidate gather + staged block pricing over the same shards, same
+  // argmax rule, same bits (opt/batch_score.hpp).
   ThreadPool pool(config_.num_threads);
+  const std::size_t block =
+      config_.candidate_block > 0
+          ? static_cast<std::size_t>(config_.candidate_block)
+          : kDefaultCandidateBlock;
+  std::optional<BatchScorer> scorer;
+  if constexpr (kFlat) {
+    scorer.emplace(lib_, leak, ssta.flat(), ssta.loads(), pool, block);
+  }
 
-  struct Candidate {
-    double score = 0.0;
-    GateId gate = kInvalidGate;
-    std::size_t step = 0;   // phase-1 payload: target size step
-    bool to_hvt = false;    // phase-2 payload: Vth swap vs downsize
-    double new_size = 0.0;  // phase-2 payload: downsize target
+  // Keeps the scorer's implementation mirrors in lockstep with the circuit.
+  // Every set_size/set_vth in this function is followed by a sync(id);
+  // missing one would desynchronize batched candidate filtering (caught by
+  // the flat-vs-scalar trajectory tests).
+  const auto sync = [&](GateId id) {
+    if constexpr (kFlat) {
+      const Gate& g = circuit.gate(id);
+      scorer->set_impl(id, g.vth, g.size);
+    } else {
+      (void)id;
+    }
   };
-  // Generic lambda so each call site's scoring closure is a concrete type
-  // the compiler can inline — the per-gate indirect call through a
-  // std::function showed up in profiles at ~7 ns * n * iterations.
+
+  // Every implementation mutation goes through these two, so the circuit and
+  // the SSTA caches can never disagree. Leakage is priced hypothetically
+  // during scoring (quantile_if_na) and repriced only on commit, so it is
+  // updated at the commit sites, not here.
+  const auto apply_size = [&](GateId id, double size) {
+    circuit.set_size(id, size);
+    ssta.on_resize(id);
+    sync(id);
+  };
+  const auto apply_vth = [&](GateId id, Vth vth) {
+    circuit.set_vth(id, vth);
+    ssta.on_vth_change(id);
+    sync(id);
+  };
+
+  // Legacy per-gate scoring scan (the scalar engine's path). Generic lambda
+  // so each call site's scoring closure is a concrete type the compiler can
+  // inline — the per-gate indirect call through a std::function showed up
+  // in profiles at ~7 ns * n * iterations.
   const auto best_candidate = [&](const auto& score_gate) {
-    obs::ScopedTimer timer(obs, "stat.score");
-    std::vector<Candidate> shard_best(static_cast<std::size_t>(pool.size()));
+    std::vector<MoveCandidate> shard_best(
+        static_cast<std::size_t>(pool.size()));
     pool.parallel_for(
         circuit.num_gates(),
         [&](std::size_t lo, std::size_t hi, int worker) {
-          Candidate local;
+          MoveCandidate local;
           for (std::size_t i = lo; i < hi; ++i) {
             score_gate(static_cast<GateId>(i), local);
           }
           shard_best[static_cast<std::size_t>(worker)] = local;
         });
-    Candidate best;
-    for (const Candidate& c : shard_best) {
+    MoveCandidate best;
+    for (const MoveCandidate& c : shard_best) {
       if (c.score > best.score) best = c;
     }
     return best;
@@ -198,8 +242,14 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
       const double q_now = leak.quantile_na(pct);
       record("sizing", q_now, yield, timing.circuit_delay.mean);
       if (yield >= target) break;
-      const Candidate best =
-          best_candidate([&](GateId id, Candidate& local) {
+      MoveCandidate best;
+      {
+        obs::ScopedTimer score_timer(obs, "stat.score");
+        if constexpr (kFlat) {
+          best = scorer->best_sizing(timing.criticality, locked, q_now, pct,
+                                     kCritFloor, kEps);
+        } else {
+          best = best_candidate([&](GateId id, MoveCandidate& local) {
             const Gate& g = circuit.gate(id);
             if (g.kind == CellKind::kInput) return;
             if (timing.criticality[id] < kCritFloor) return;
@@ -216,9 +266,11 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
             const double score =
                 timing.criticality[id] * gain / std::max(dleak_pct, 1e-6);
             if (score > local.score) {
-              local = Candidate{score, id, step + 1, false, 0.0};
+              local = MoveCandidate{score, id, step + 1, false, 0.0};
             }
           });
+        }
+      }
       if (best.gate == kInvalidGate) break;  // no upsizing can help further
 
       ssta.begin_trial();
@@ -228,6 +280,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
         // Fanin load coupling ate the gain: roll back and lock this step.
         ssta.rollback_trial();
         circuit.set_size(best.gate, steps[best.step - 1]);
+        sync(best.gate);
         locked[best.gate] |= std::uint64_t{1} << best.step;
         ++result.rejected_moves;
       } else {
@@ -259,15 +312,23 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
         const double q_now = leak.quantile_na(pct);
         record("assign", q_now, cur_yield, timing.circuit_delay.mean);
 
-        const Candidate best =
-            best_candidate([&](GateId id, Candidate& local) {
+        MoveCandidate best;
+        {
+          obs::ScopedTimer score_timer(obs, "stat.score");
+          if constexpr (kFlat) {
+            best = scorer->best_assign(timing.criticality, locked, q_now,
+                                       pct, kCritFloor, kEps);
+          } else {
+            best = best_candidate([&](GateId id, MoveCandidate& local) {
               const Gate& g = circuit.gate(id);
               if (g.kind == CellKind::kInput) return;
-              const bool can_hvt = g.vth == Vth::kLow && (locked[id] & 1) == 0;
+              const bool can_hvt =
+                  g.vth == Vth::kLow && (locked[id] & 1) == 0;
               const std::size_t step = lib_.nearest_step(g.size);
               const bool can_down = step > 0 && (locked[id] & 2) == 0;
               if (!can_hvt && !can_down) return;
-              const double crit = std::max(timing.criticality[id], kCritFloor);
+              const double crit =
+                  std::max(timing.criticality[id], kCritFloor);
               const double d_now = own_delay(id, g.vth, g.size);
 
               if (can_hvt) {
@@ -278,7 +339,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
                   const double score =
                       benefit / (crit * std::max(dd, kEps) + kEps);
                   if (score > local.score) {
-                    local = Candidate{score, id, 0, true, 0.0};
+                    local = MoveCandidate{score, id, 0, true, 0.0};
                   }
                 }
               }
@@ -291,11 +352,13 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
                   const double score =
                       benefit / (crit * std::max(dd, kEps) + kEps);
                   if (score > local.score) {
-                    local = Candidate{score, id, 0, false, smaller};
+                    local = MoveCandidate{score, id, 0, false, smaller};
                   }
                 }
               }
             });
+          }
+        }
         if (best.gate == kInvalidGate) break;
 
         // Tentative apply inside an engine trial + forward SSTA validation.
@@ -325,6 +388,7 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
           ssta.rollback_trial();
           circuit.set_vth(best.gate, saved.vth);
           circuit.set_size(best.gate, saved.size);
+          sync(best.gate);
           locked[best.gate] |=
               static_cast<unsigned char>(best.to_hvt ? 1 : 2);
           ++result.rejected_moves;
@@ -424,6 +488,16 @@ OptResult StatisticalOptimizer::run(Circuit& circuit,
     obs->set_gauge("stat.final_objective_na", result.final_objective);
     obs->set_gauge("stat.feasible", result.feasible ? 1.0 : 0.0);
     obs->set_gauge("stat.final_yield", ssta.circuit_delay().cdf(t_max));
+    obs->note_config("opt.engine", kFlat ? "flat" : "scalar");
+    if constexpr (kFlat) {
+      obs->note_config_num("opt.candidate_block",
+                           static_cast<std::int64_t>(block));
+      obs->add("opt.flat_passes", static_cast<double>(scorer->passes()));
+      obs->add("opt.candidate_blocks",
+               static_cast<double>(scorer->blocks()));
+      obs->add("opt.pruned_candidates",
+               static_cast<double>(scorer->pruned()));
+    }
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "ssta/delay_model.hpp"
 #include "util/error.hpp"
 
 namespace statleak {
@@ -22,38 +23,19 @@ SstaEngine::SstaEngine(const Circuit& circuit, const CellLibrary& lib,
 
 Canonical SstaEngine::gate_delay(GateId id) const {
   const Gate& g = circuit_.gate(id);
-  Canonical d;
-  if (g.kind == CellKind::kInput) return d;
-  const double d0 = lib_.delay_ps(g.kind, g.vth, g.size, loads_.load_ff(id));
-  const auto& s = lib_.sensitivities(g.vth);
-  d.mean = d0;
-  d.gl = d0 * s.delay_sl_per_nm * var_.sigma_l_inter_nm;
-  d.gv = d0 * s.delay_sv_per_v * var_.sigma_vth_inter_v;
-  const double sigma_vth_intra =
-      var_.sigma_vth_intra_for(lib_.area_um(g.kind, g.size));
-  const double loc_l = d0 * s.delay_sl_per_nm * var_.sigma_l_intra_nm;
-  const double loc_v = d0 * s.delay_sv_per_v * sigma_vth_intra;
-  d.loc = std::sqrt(loc_l * loc_l + loc_v * loc_v);
-  return d;
+  return canonical_gate_delay(lib_, var_, g.kind, g.vth, g.size,
+                              loads_.load_ff(id));
 }
 
 namespace {
 
 /// Iterated Clark max over a set of canonicals, recording per-operand win
-/// probabilities (approximate: sequential binary-max tightness products).
+/// probabilities (shared chain: ssta/delay_model.hpp).
 Canonical max_with_weights(std::span<const Canonical> operands,
                            std::vector<double>& weights) {
   STATLEAK_CHECK(!operands.empty(), "max of nothing");
   weights.assign(operands.size(), 0.0);
-  Canonical running = operands[0];
-  weights[0] = 1.0;
-  for (std::size_t i = 1; i < operands.size(); ++i) {
-    double tight = 1.0;
-    running = Canonical::max(running, operands[i], &tight);
-    for (std::size_t j = 0; j < i; ++j) weights[j] *= tight;
-    weights[i] = 1.0 - tight;
-  }
-  return running;
+  return clark_max_chain(operands, weights.data());
 }
 
 bool same_canonical(const Canonical& a, const Canonical& b) {

@@ -1,10 +1,16 @@
 // Golden-trajectory regression tests: the statistical optimizer's full move
 // trajectory on the c432p/c880p proxies is pinned — iteration count, every
 // commit/reject counter, feasibility and the final objective. The greedy
-// search is deterministic (thread count and observation provably do not
-// change it; incremental retiming is bit-identical to full passes), so any
-// drift in these numbers means a real behavioral change, which must be
-// reviewed and re-pinned deliberately.
+// search is deterministic (thread count, candidate block size, engine layout
+// and observation provably do not change it; incremental retiming is
+// bit-identical to full passes), so any drift in these numbers means a real
+// behavioral change, which must be reviewed and re-pinned deliberately.
+//
+// Both SSTA engines are pinned to the SAME goldens: the flat-SoA engine with
+// batched move pricing (the default) and the scalar engine are required to
+// walk the identical trajectory, across every tested thread count x
+// candidate block size combination, down to the exact final implementation
+// (bitwise sizes and Vth classes).
 //
 // Counters are read back through the obs trace streams, which also pins the
 // one-trace-event-per-iteration invariant end to end.
@@ -40,20 +46,26 @@ constexpr Golden kGoldens[] = {
     {"c880p", 1029, 105, 378, 43, 493, 2371.4626754129431},
 };
 
+struct Implementation {
+  std::vector<double> sizes;
+  std::vector<Vth> vths;
+};
+
+Implementation snapshot(const Circuit& c) {
+  Implementation impl;
+  impl.sizes.reserve(c.num_gates());
+  impl.vths.reserve(c.num_gates());
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    impl.sizes.push_back(c.gate(id).size);
+    impl.vths.push_back(c.gate(id).vth);
+  }
+  return impl;
+}
+
 class TrajectoryTest : public ::testing::TestWithParam<Golden> {};
 
-TEST_P(TrajectoryTest, MatchesGolden) {
-  const Golden& golden = GetParam();
-  Circuit c = iscas85_proxy(golden.circuit);
-  const CellLibrary lib(generic_100nm());
-  const VariationModel var = VariationModel::typical_100nm();
-
-  OptConfig cfg;
-  cfg.t_max_ps = 1.15 * min_achievable_delay_ps(c, lib);
-
-  obs::Registry reg;
-  const OptResult result = StatisticalOptimizer(lib, var, cfg).run(c, &reg);
-
+void check_against_golden(const Golden& golden, const OptResult& result,
+                          const obs::Registry& reg) {
   EXPECT_EQ(result.iterations, golden.iterations);
   EXPECT_EQ(result.sizing_commits, golden.sizing_commits);
   EXPECT_EQ(result.hvt_commits, golden.hvt_commits);
@@ -84,11 +96,101 @@ TEST_P(TrajectoryTest, MatchesGolden) {
   EXPECT_EQ(events.back().commits + events.back().rejected,
             golden.sizing_commits + golden.hvt_commits +
                 golden.downsize_commits + golden.rejected_moves);
+}
 
-  // The dirty-cone fast path must actually be engaged: without it the run
-  // would take one full pass per query instead of a handful.
+TEST_P(TrajectoryTest, MatchesGoldenFlat) {
+  const Golden& golden = GetParam();
+  Circuit c = iscas85_proxy(golden.circuit);
+  const CellLibrary lib(generic_100nm());
+  const VariationModel var = VariationModel::typical_100nm();
+
+  OptConfig cfg;
+  cfg.t_max_ps = 1.15 * min_achievable_delay_ps(c, lib);
+  ASSERT_TRUE(cfg.flat_engine);  // the default engine is the flat one
+
+  obs::Registry reg;
+  const OptResult result = StatisticalOptimizer(lib, var, cfg).run(c, &reg);
+  check_against_golden(golden, result, reg);
+
+  // The flat engine's dirty-cone fast path and the batched scorer must
+  // actually be engaged: without them the run would take one full pass per
+  // query and one scalar scan per iteration.
+  EXPECT_GT(reg.counter_value("ssta.flat_incremental_passes"), 0.0);
+  EXPECT_LT(reg.counter_value("ssta.flat_full_passes"), 10.0);
+  EXPECT_GT(reg.counter_value("ssta.flat_cone_gates_retimed"), 0.0);
+  EXPECT_GT(reg.counter_value("opt.flat_passes"), 0.0);
+  EXPECT_GT(reg.counter_value("opt.candidate_blocks"), 0.0);
+}
+
+TEST_P(TrajectoryTest, MatchesGoldenScalar) {
+  const Golden& golden = GetParam();
+  Circuit c = iscas85_proxy(golden.circuit);
+  const CellLibrary lib(generic_100nm());
+  const VariationModel var = VariationModel::typical_100nm();
+
+  OptConfig cfg;
+  cfg.t_max_ps = 1.15 * min_achievable_delay_ps(c, lib);
+  cfg.flat_engine = false;
+
+  obs::Registry reg;
+  const OptResult result = StatisticalOptimizer(lib, var, cfg).run(c, &reg);
+  check_against_golden(golden, result, reg);
+
   EXPECT_GT(reg.counter_value("ssta.incremental_passes"), 0.0);
   EXPECT_LT(reg.counter_value("ssta.full_passes"), 10.0);
+  // The scalar path never touches the batched scorer.
+  EXPECT_EQ(reg.counter_value("opt.flat_passes"), 0.0);
+}
+
+// Flat-vs-scalar equality across thread counts and candidate block sizes:
+// every combination must reproduce the scalar single-thread reference run
+// exactly — same result counters, same final objective to the last bit, and
+// the same final implementation point (bitwise sizes and Vth classes).
+TEST_P(TrajectoryTest, EngineThreadsAndBlockSizeAreBitInvariant) {
+  const Golden& golden = GetParam();
+  const CellLibrary lib(generic_100nm());
+  const VariationModel var = VariationModel::typical_100nm();
+
+  OptConfig ref_cfg;
+  {
+    Circuit probe = iscas85_proxy(golden.circuit);
+    ref_cfg.t_max_ps = 1.15 * min_achievable_delay_ps(probe, lib);
+  }
+  ref_cfg.flat_engine = false;
+  ref_cfg.num_threads = 1;
+
+  Circuit ref_circuit = iscas85_proxy(golden.circuit);
+  const OptResult ref =
+      StatisticalOptimizer(lib, var, ref_cfg).run(ref_circuit);
+  const Implementation ref_impl = snapshot(ref_circuit);
+
+  const int thread_counts[] = {1, 2, 8};
+  const int block_sizes[] = {1, 8, 0};  // 0 = auto
+  for (int threads : thread_counts) {
+    for (int block : block_sizes) {
+      OptConfig cfg = ref_cfg;
+      cfg.flat_engine = true;
+      cfg.num_threads = threads;
+      cfg.candidate_block = block;
+
+      Circuit c = iscas85_proxy(golden.circuit);
+      const OptResult result = StatisticalOptimizer(lib, var, cfg).run(c);
+      SCOPED_TRACE(std::string(golden.circuit) + " threads=" +
+                   std::to_string(threads) + " block=" +
+                   std::to_string(block));
+      EXPECT_EQ(result.iterations, ref.iterations);
+      EXPECT_EQ(result.sizing_commits, ref.sizing_commits);
+      EXPECT_EQ(result.hvt_commits, ref.hvt_commits);
+      EXPECT_EQ(result.downsize_commits, ref.downsize_commits);
+      EXPECT_EQ(result.rejected_moves, ref.rejected_moves);
+      EXPECT_EQ(result.feasible, ref.feasible);
+      // Bitwise, not approximate: the engines share one expression shape.
+      EXPECT_EQ(result.final_objective, ref.final_objective);
+      const Implementation impl = snapshot(c);
+      EXPECT_EQ(impl.sizes, ref_impl.sizes);
+      EXPECT_TRUE(impl.vths == ref_impl.vths);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Proxies, TrajectoryTest,

@@ -17,12 +17,15 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "gen/random_dag.hpp"
 #include "leakage/leakage.hpp"
 #include "opt/statistical.hpp"
 #include "spatial/placement.hpp"
 #include "spatial/spatial_model.hpp"
 #include "spatial/spatial_ssta.hpp"
+#include "ssta/flat_incremental.hpp"
 #include "ssta/ssta.hpp"
 #include "sta/sta.hpp"
 #include "tech/process.hpp"
@@ -67,10 +70,14 @@ testing::AssertionResult same(const Canonical& a, const Canonical& b,
 }
 
 /// Incremental engine + analyzer vs freshly constructed ones: arrivals,
-/// criticality, circuit delay and leakage stats must match bitwise.
+/// criticality, circuit delay and leakage stats must match bitwise. The
+/// fresh reference is always the scalar SstaEngine, so instantiating this
+/// with FlatSstaEngine is a cross-engine differential: the flat-SoA layout
+/// must reproduce the scalar arithmetic bit for bit.
+template <class Engine>
 testing::AssertionResult states_match(const Circuit& c, const CellLibrary& lib,
                                       const VariationModel& var,
-                                      const SstaEngine& inc,
+                                      const Engine& inc,
                                       const LeakageAnalyzer& leak) {
   const SstaEngine fresh(c, lib, var);
   const SstaResult& got = inc.analyze_ref();
@@ -115,14 +122,20 @@ testing::AssertionResult states_match(const Circuit& c, const CellLibrary& lib,
 
 /// 1000-step random walk of committed moves, rolled-back trials and
 /// committed trials; bit-identity asserted against fresh engines after
-/// every step.
-TEST_F(SstaIncrementalTest, RandomWalkMatchesFromScratchEverySeed) {
-  const auto steps = lib_.size_steps();
+/// every step. Instantiated for both incremental engines — the walk and
+/// every assertion are identical; only the engine layout differs.
+template <class Engine>
+void run_random_walk(const CellLibrary& lib, const VariationModel& var,
+                     const std::function<Circuit(std::uint64_t)>& make) {
+  const auto steps = lib.size_steps();
   for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
-    Circuit c = random_circuit(seed);
-    const auto cells = cells_of(c);
-    SstaEngine inc(c, lib_, var_);
-    LeakageAnalyzer leak(c, lib_, var_);
+    Circuit c = make(seed);
+    std::vector<GateId> cells;
+    for (GateId id = 0; id < c.num_gates(); ++id) {
+      if (c.gate(id).kind != CellKind::kInput) cells.push_back(id);
+    }
+    Engine inc(c, lib, var);
+    LeakageAnalyzer leak(c, lib, var);
     Rng rng(seed * 1000003ull);
 
     // A saved (gate, size, vth) triple for restoring after a rollback.
@@ -177,10 +190,23 @@ TEST_F(SstaIncrementalTest, RandomWalkMatchesFromScratchEverySeed) {
           leak.commit_trial();
         }
       }
-      ASSERT_TRUE(states_match(c, lib_, var_, inc, leak))
+      ASSERT_TRUE(states_match(c, lib, var, inc, leak))
           << "seed " << seed << ", step " << step;
     }
   }
+}
+
+TEST_F(SstaIncrementalTest, RandomWalkMatchesFromScratchEverySeed) {
+  run_random_walk<SstaEngine>(
+      lib_, var_, [this](std::uint64_t seed) { return random_circuit(seed); });
+}
+
+/// The flat-SoA engine under the same walk, checked against fresh *scalar*
+/// engines: CSR win slices, cached own delays and rollback memcpy restores
+/// must reproduce the scalar arithmetic bit for bit after every step.
+TEST_F(SstaIncrementalTest, FlatEngineRandomWalkMatchesScalarEverySeed) {
+  run_random_walk<FlatSstaEngine>(
+      lib_, var_, [this](std::uint64_t seed) { return random_circuit(seed); });
 }
 
 /// The same contract with incremental retiming disabled: the toggle must
@@ -207,7 +233,89 @@ TEST_F(SstaIncrementalTest, FullPassModeMatchesToo) {
   }
 }
 
+/// Full-pass mode on the flat engine: the incremental toggle must not
+/// change a bit there either.
+TEST_F(SstaIncrementalTest, FlatEngineFullPassModeMatchesToo) {
+  Circuit c = random_circuit(7);
+  const auto cells = cells_of(c);
+  const auto steps = lib_.size_steps();
+  FlatSstaEngine eng(c, lib_, var_);
+  eng.set_incremental(false);
+  LeakageAnalyzer leak(c, lib_, var_);
+  Rng rng(99);
+  for (int step = 0; step < 100; ++step) {
+    const GateId id = cells[rng.uniform_index(cells.size())];
+    if (rng.uniform() < 0.5) {
+      c.set_size(id, steps[rng.uniform_index(steps.size())]);
+      eng.on_resize(id);
+    } else {
+      c.set_vth(id, c.gate(id).vth == Vth::kLow ? Vth::kHigh : Vth::kLow);
+      eng.on_vth_change(id);
+    }
+    leak.on_gate_changed(id);
+    ASSERT_TRUE(states_match(c, lib_, var_, eng, leak)) << "step " << step;
+  }
+}
+
 // ------------------------------------------------------ trial edge cases ----
+
+/// Rollback-after-trial must restore the engine state *bitwise* — the flat
+/// engine's undo path is memcpy of CSR slices plus the own-delay log, and a
+/// single missed slot would surface as a one-bit arrival drift here.
+TEST_F(SstaIncrementalTest, FlatEngineRejectedTrialRestoresBitwise) {
+  Circuit c = random_circuit(3);
+  FlatSstaEngine inc(c, lib_, var_);
+  LeakageAnalyzer leak(c, lib_, var_);
+  (void)inc.analyze();  // prime the caches
+
+  // Capture the committed state exactly as the optimizer sees it.
+  const SstaResult before = inc.analyze();
+  const GateId victim = cells_of(c).front();
+  const Gate saved = c.gate(victim);
+
+  inc.begin_trial();
+  leak.begin_trial();
+  c.set_size(victim, 8.0);
+  inc.on_resize(victim);
+  leak.on_gate_changed(victim);
+  c.set_vth(victim, Vth::kHigh);
+  inc.on_vth_change(victim);
+  leak.on_gate_changed(victim);
+  (void)inc.circuit_delay();  // force retiming inside the trial
+  inc.rollback_trial();
+  leak.rollback_trial();
+  c.set_size(victim, saved.size);
+  c.set_vth(victim, saved.vth);
+
+  EXPECT_FALSE(inc.trial_active());
+  const SstaResult after = inc.analyze();
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    ASSERT_TRUE(same(after.arrival[id], before.arrival[id],
+                     ("post-rollback arrival of gate " + std::to_string(id))
+                         .c_str()));
+    ASSERT_EQ(after.criticality[id], before.criticality[id]) << "gate " << id;
+  }
+  ASSERT_TRUE(same(after.circuit_delay, before.circuit_delay,
+                   "post-rollback circuit delay"));
+  ASSERT_TRUE(states_match(c, lib_, var_, inc, leak));
+}
+
+TEST_F(SstaIncrementalTest, FlatEngineRollbackOnUnprimedEngineStaysExact) {
+  Circuit c = random_circuit(5);
+  FlatSstaEngine inc(c, lib_, var_);  // never queried: trial starts unprimed
+  LeakageAnalyzer leak(c, lib_, var_);
+  const GateId victim = cells_of(c).back();
+  const Gate saved = c.gate(victim);
+
+  inc.begin_trial();
+  c.set_size(victim, 4.0);
+  inc.on_resize(victim);
+  (void)inc.circuit_delay();
+  inc.rollback_trial();
+  c.set_size(victim, saved.size);
+
+  ASSERT_TRUE(states_match(c, lib_, var_, inc, leak));
+}
 
 TEST_F(SstaIncrementalTest, RejectedTrialLeavesCachesCoherent) {
   Circuit c = random_circuit(3);
@@ -311,6 +419,37 @@ TEST_F(SstaIncrementalTest, OptimizerTrajectoryIdenticalWithAndWithoutCones) {
   for (GateId id = 0; id < inc_circuit.num_gates(); ++id) {
     EXPECT_EQ(inc_circuit.gate(id).size, full_circuit.gate(id).size);
     EXPECT_EQ(inc_circuit.gate(id).vth, full_circuit.gate(id).vth);
+  }
+}
+
+/// Same end-to-end proof for the engine dimension: flat-SoA engine with
+/// batched pricing vs scalar engine with per-gate pricing, on a random DAG
+/// (the proxy goldens cover the ISCAS shapes; this covers generated ones).
+TEST_F(SstaIncrementalTest, OptimizerTrajectoryIdenticalFlatVsScalar) {
+  Circuit flat_circuit = random_circuit(23, 300);
+  Circuit scalar_circuit = random_circuit(23, 300);
+
+  OptConfig cfg;
+  cfg.t_max_ps = 1.18 * StaEngine(flat_circuit, lib_).critical_delay_ps();
+
+  cfg.flat_engine = true;
+  const OptResult flat_result =
+      StatisticalOptimizer(lib_, var_, cfg).run(flat_circuit);
+  cfg.flat_engine = false;
+  const OptResult scalar_result =
+      StatisticalOptimizer(lib_, var_, cfg).run(scalar_circuit);
+
+  EXPECT_EQ(flat_result.iterations, scalar_result.iterations);
+  EXPECT_EQ(flat_result.sizing_commits, scalar_result.sizing_commits);
+  EXPECT_EQ(flat_result.hvt_commits, scalar_result.hvt_commits);
+  EXPECT_EQ(flat_result.downsize_commits, scalar_result.downsize_commits);
+  EXPECT_EQ(flat_result.rejected_moves, scalar_result.rejected_moves);
+  EXPECT_EQ(flat_result.feasible, scalar_result.feasible);
+  EXPECT_EQ(flat_result.final_objective, scalar_result.final_objective);
+
+  for (GateId id = 0; id < flat_circuit.num_gates(); ++id) {
+    EXPECT_EQ(flat_circuit.gate(id).size, scalar_circuit.gate(id).size);
+    EXPECT_EQ(flat_circuit.gate(id).vth, scalar_circuit.gate(id).vth);
   }
 }
 

@@ -19,10 +19,22 @@ estimator against the plain-MC baseline of its (circuit, metric).  That
 factor is the sample-count reduction at equal variance, and it is what the
 CI estimator-quality gate pins floors on.
 
+With --opt the input is the JSON document printed by bench_opt_throughput
+(wall seconds and optimizer iterations per second for the flat-SoA and the
+scalar engine on every benchmarked circuit) and the output is
+BENCH_opt.json: per-circuit seconds / moves-per-second per engine plus the
+flat/scalar speedup — the number the CI optimizer-perf gate floors.
+
+Timing artifacts from debug builds are meaningless for the perf trajectory,
+so any input that carries a build-type marker saying "debug" is refused
+unless --allow-debug is passed (intended for pipeline debugging only; the
+output then records the debug provenance honestly).
+
 Usage:
     bench_to_json.py [raw_benchmark.json] [-o BENCH_mc.json]
     bench_to_json.py --estimators [raw_estimators.json] \
         [-o BENCH_estimators.json]
+    bench_to_json.py --opt [raw_opt.json] [-o BENCH_opt.json]
 
 With no -o the result is printed to stdout.
 """
@@ -87,6 +99,11 @@ def distill(raw: dict) -> dict:
         "host": {
             "num_cpus": context.get("num_cpus"),
             "mhz_per_cpu": context.get("mhz_per_cpu"),
+            # The build type of the timed statleak code (stamped by the
+            # bench via AddCustomContext); the harness library's own build
+            # type is kept for completeness but is not the provenance
+            # marker — see build_type_of().
+            "build_type": context.get("statleak_build_type"),
             "library_build_type": context.get("library_build_type"),
         },
         "circuits": circuits,
@@ -155,6 +172,69 @@ def distill_estimators(raw: dict) -> dict:
     }
 
 
+def distill_opt(raw: dict) -> dict:
+    """Reduce bench_opt_throughput output to per-circuit engine entries.
+
+    Output shape:
+        circuits.<circuit>.<engine> =
+            {seconds, iterations, commits, moves_per_second}
+        circuits.<circuit>.speedup_flat_vs_scalar
+    """
+    if raw.get("bench") != "opt_throughput":
+        raise ValueError("input is not bench_opt_throughput output")
+
+    circuits: dict[str, dict] = {}
+    for entry in raw.get("results", []):
+        circuits.setdefault(entry["circuit"], {})[entry["engine"]] = {
+            "num_cells": entry["num_cells"],
+            "seconds": round(entry["seconds"], 4),
+            "iterations": entry["iterations"],
+            "commits": entry["commits"],
+            "moves_per_second": round(entry["moves_per_second"], 1),
+        }
+    for circuit, engines in circuits.items():
+        if "flat" in engines and "scalar" in engines:
+            flat = engines["flat"]["seconds"]
+            if flat > 0:
+                engines["speedup_flat_vs_scalar"] = round(
+                    engines["scalar"]["seconds"] / flat, 2)
+
+    return {
+        "schema_version": 1,
+        "generated_by": "tools/bench_to_json.py --opt",
+        "benchmark": "bench_opt_throughput",
+        "unit": ("statistical-optimizer wall seconds and loop iterations "
+                 "per second, single thread, min over back-to-back "
+                 "repetitions"),
+        "build_type": raw.get("build_type"),
+        "threads": raw.get("threads"),
+        "note": ("flat and scalar walk bit-identical trajectories "
+                 "(asserted by the benchmark, pinned by "
+                 "tests/opt_trajectory_test.cpp); the speedup is pure "
+                 "engine layout + batched pricing"),
+        "circuits": circuits,
+    }
+
+
+def build_type_of(raw: dict) -> str | None:
+    """Best-effort build-type marker of a raw benchmark document.
+
+    Preference order: the document's own "build_type" (our JSON benches),
+    then the custom "statleak_build_type" context key (google-benchmark
+    benches stamp the build type of the TIMED code there), and only then
+    google-benchmark's "library_build_type" — which describes the harness
+    library, not the code under test (the distro package reports "debug"
+    even under a Release build of statleak).
+    """
+    context = raw.get("context", {})
+    for marker in (raw.get("build_type"),
+                   context.get("statleak_build_type"),
+                   context.get("library_build_type")):
+        if isinstance(marker, str):
+            return marker
+    return None
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("input", nargs="?", default="-",
@@ -164,6 +244,13 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--estimators", action="store_true",
                         help="input is bench_estimator_variance JSON; emit "
                              "variance-reduction factors")
+    parser.add_argument("--opt", action="store_true",
+                        help="input is bench_opt_throughput JSON; emit "
+                             "flat-vs-scalar optimizer speedups")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="accept timing input from a debug build "
+                             "(refused by default: debug timings are not "
+                             "comparable perf artifacts)")
     args = parser.parse_args(argv)
 
     if args.input == "-":
@@ -172,9 +259,24 @@ def main(argv: list[str]) -> int:
         with open(args.input) as f:
             raw = json.load(f)
 
+    build = build_type_of(raw)
+    if build is not None and "debug" in build.lower() and \
+            not args.allow_debug:
+        print("bench_to_json: input was produced by a debug build "
+              f"(build type {build!r}); timing artifacts must come from a "
+              "Release build. Pass --allow-debug to override.",
+              file=sys.stderr)
+        return 1
+
     if args.estimators:
         try:
             result = distill_estimators(raw)
+        except ValueError as err:
+            print(f"bench_to_json: {err}", file=sys.stderr)
+            return 1
+    elif args.opt:
+        try:
+            result = distill_opt(raw)
         except ValueError as err:
             print(f"bench_to_json: {err}", file=sys.stderr)
             return 1

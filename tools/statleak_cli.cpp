@@ -241,6 +241,10 @@ std::vector<CommandSpec> command_specs() {
         {"--eta", true, "y", "timing-yield target (default 0.99)"},
         {"--corner", true, "k",
          "deterministic guard-band in sigmas (default 3)"},
+        {"--opt-engine", true, "flat|scalar",
+         "statistical scoring engine (default flat; same trajectory)"},
+        {"--candidate-block", true, "k",
+         "flat-engine candidate block size, 0 = auto (default)"},
         node,
         exec_flag("--seed"),
         exec_flag("--threads"),
@@ -271,6 +275,10 @@ std::vector<CommandSpec> command_specs() {
          "Monte-Carlo cross-check dies, 0 = skip (default 0)"},
         {"--batch", true, "b",
          "MC samples per kernel block, 0 = auto (default; results identical)"},
+        {"--opt-engine", true, "flat|scalar",
+         "statistical scoring engine (default flat; same trajectory)"},
+        {"--candidate-block", true, "k",
+         "flat-engine candidate block size, 0 = auto (default)"},
         exec_flag("--seed"),
         exec_flag("--threads"),
         exec_flag("--deadline"),
@@ -688,6 +696,41 @@ int cmd_analyze(const Args& args, ObsSession& session) {
   return 0;
 }
 
+/// Shared --opt-engine / --candidate-block decoding (optimize and flow).
+/// Both are performance knobs of the statistical optimizer: the flat-SoA
+/// engine and every block size walk the trajectory the scalar engine walks,
+/// bit for bit (pinned by tests/opt_trajectory_test.cpp), so selecting one
+/// never changes results — only wall time.
+void parse_opt_engine(const Args& args, bool& flat_engine,
+                      int& candidate_block) {
+  const std::string engine = args.get("--opt-engine").value_or("flat");
+  if (engine == "flat") {
+    flat_engine = true;
+  } else if (engine == "scalar") {
+    flat_engine = false;
+  } else {
+    throw UsageError("--opt-engine must be 'flat' or 'scalar'");
+  }
+  const long block = args.get_long("--candidate-block", 0);
+  if (block < 0) {
+    throw UsageError("--candidate-block must be >= 0 (0 = auto)");
+  }
+  candidate_block = static_cast<int>(block);
+}
+
+/// The one-line engine echo printed by optimize and flow so logs record
+/// which scoring path produced the (identical) result, and how fast.
+std::string opt_engine_echo(bool flat_engine, int candidate_block) {
+  std::string s = "scoring engine ";
+  s += flat_engine ? "flat" : "scalar";
+  if (flat_engine) {
+    s += ", candidate block ";
+    s += candidate_block > 0 ? std::to_string(candidate_block)
+                             : std::string("auto");
+  }
+  return s;
+}
+
 int cmd_optimize(const Args& args, ObsSession& session) {
   api::OptimizeCommandConfig cfg;
   const std::string flow = args.get("--flow").value_or("stat");
@@ -707,6 +750,7 @@ int cmd_optimize(const Args& args, ObsSession& session) {
   // 0 = all hardware threads; results are thread-count invariant.
   cfg.opt.num_threads = static_cast<int>(args.get_long("--threads", 0));
   cfg.opt.deadline_ms = args.get_long("--deadline", 0);
+  parse_opt_engine(args, cfg.opt.flat_engine, cfg.opt.candidate_block);
 
   const api::OptimizeCommandResult r =
       api::run_optimize_command(cfg, session.reg());
@@ -715,7 +759,12 @@ int cmd_optimize(const Args& args, ObsSession& session) {
   std::cout << flow << " flow on " << r.circuit.name() << ": "
             << r.result.note << " (" << r.result.sizing_commits
             << " upsizes, " << r.result.hvt_commits << " HVT swaps, "
-            << r.result.downsize_commits << " downsizes)\n\n";
+            << r.result.downsize_commits << " downsizes)\n";
+  if (cfg.flow == api::OptimizeFlow::kStat) {
+    std::cout << opt_engine_echo(cfg.opt.flat_engine, cfg.opt.candidate_block)
+              << "\n";
+  }
+  std::cout << "\n";
   print_metrics(r.metrics, r.t_max_ps);
 
   const std::string out =
@@ -937,6 +986,8 @@ int cmd_flow(const Args& args, ObsSession& session) {
   cfg.flow.seed = static_cast<std::uint64_t>(args.get_long("--seed", 7));
   cfg.flow.num_threads = static_cast<int>(args.get_long("--threads", 0));
   cfg.flow.deadline_ms = args.get_long("--deadline", 0);
+  parse_opt_engine(args, cfg.flow.opt_flat_engine,
+                   cfg.flow.opt_candidate_block);
 
   const api::FlowCommandResult r = api::run_flow_command(cfg, session.reg());
   report_impl(args, r.impl_entries);
@@ -973,7 +1024,10 @@ int cmd_flow(const Args& args, ObsSession& session) {
   std::cout << out.circuit_name << ": D_min "
             << format_fixed(out.d_min_ps, 1) << " ps, T "
             << format_fixed(out.t_max_ps, 1) << " ps, det corner "
-            << format_fixed(out.det_corner_k, 1) << " sigma\n\n";
+            << format_fixed(out.det_corner_k, 1) << " sigma\n"
+            << opt_engine_echo(cfg.flow.opt_flat_engine,
+                               cfg.flow.opt_candidate_block)
+            << "\n\n";
   t.print(std::cout);
   std::cout << "\np99 leakage saving "
             << format_fixed(100.0 * out.p99_saving(), 1)
