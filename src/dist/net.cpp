@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -110,16 +111,33 @@ int accept_tcp(int listen_fd, int timeout_ms) {
 
 int connect_tcp(const std::string& hostport) {
   const sockaddr_in addr = resolve(split_hostport(hostport));
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) net_fail("socket");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
+  // ECONNREFUSED usually means the coordinator has not bound its listen
+  // socket yet (serve and its workers are typically launched together), so
+  // back off deterministically — 10, 20, 40, ..., 640 ms — before giving
+  // up. Other failures (unreachable host, reset) stay immediate: waiting
+  // cannot fix them and would only hide the real error.
+  int backoff_ms = 10;
+  constexpr int kMaxBackoffMs = 640;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) net_fail("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    const int err = errno;
     ::close(fd);
-    net_fail("connect");
+    if (err != ECONNREFUSED || backoff_ms > kMaxBackoffMs) {
+      errno = err;
+      net_fail("connect");
+    }
+    timespec ts{backoff_ms / 1000, (backoff_ms % 1000) * 1000000L};
+    while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+    }
+    backoff_ms *= 2;
   }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
 }
 
 }  // namespace statleak::dist

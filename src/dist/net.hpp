@@ -21,7 +21,10 @@ int listen_tcp(const std::string& hostport, int* bound_port);
 /// Returns the connected fd, or -1 on timeout.
 int accept_tcp(int listen_fd, int timeout_ms);
 
-/// Connects to a listening coordinator.
+/// Connects to a listening coordinator. A refused connection is retried
+/// with bounded deterministic exponential backoff (10, 20, ..., 640 ms —
+/// ~1.3 s total) so a worker started moments before its coordinator binds
+/// does not die on the race; only persistent refusal is a DistError.
 int connect_tcp(const std::string& hostport);
 
 }  // namespace statleak::dist

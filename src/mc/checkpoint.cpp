@@ -1,22 +1,12 @@
 #include "mc/checkpoint.hpp"
 
-#include <array>
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <mutex>
-#include <string>
 
-#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace statleak {
 
 namespace {
-
-// --- little-endian scalar packing ------------------------------------------
-// statleak targets little-endian hosts only (x86-64, AArch64 LE); raw
-// memcpy of the in-memory representation IS the wire format.
 
 template <typename T>
 void put(std::vector<std::uint8_t>& buf, T value) {
@@ -31,135 +21,16 @@ T get(const std::uint8_t* p) {
   return value;
 }
 
-constexpr std::size_t kRecordHeaderBytes = 8 + 8 + 4;  // begin, count, crc
-
-std::size_t record_bytes(std::uint64_t count) {
-  return kRecordHeaderBytes + 2 * count * sizeof(double);
-}
-
-/// First 32 header bytes (everything the header CRC covers).
-std::vector<std::uint8_t> header_prefix(std::uint64_t config_hash,
-                                        std::uint64_t num_samples,
-                                        std::uint64_t committed_bytes) {
-  std::vector<std::uint8_t> buf;
-  buf.reserve(32);
-  put<std::uint32_t>(buf, kCheckpointMagic);
-  put<std::uint32_t>(buf, kCheckpointVersion);
-  put<std::uint64_t>(buf, config_hash);
-  put<std::uint64_t>(buf, num_samples);
-  put<std::uint64_t>(buf, committed_bytes);
-  return buf;
-}
-
-std::vector<std::uint8_t> header_bytes(std::uint64_t config_hash,
-                                       std::uint64_t num_samples,
-                                       std::uint64_t committed_bytes) {
-  std::vector<std::uint8_t> buf =
-      header_prefix(config_hash, num_samples, committed_bytes);
-  put<std::uint32_t>(buf, crc32(buf.data(), buf.size()));
-  return buf;
-}
-
 [[noreturn]] void reject(const std::string& path, const std::string& why) {
   throw CheckpointError("checkpoint '" + path + "': " + why);
 }
 
-/// Reads the whole file; empty optional-style: throws on open failure.
-std::vector<std::uint8_t> slurp(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) reject(path, "cannot open for reading");
-  std::vector<std::uint8_t> bytes;
-  std::array<std::uint8_t, 1 << 16> chunk;
-  std::size_t n = 0;
-  while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0) {
-    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + n);
-  }
-  const bool failed = std::ferror(f) != 0;
-  std::fclose(f);
-  if (failed) reject(path, "read error");
-  return bytes;
-}
-
-/// Validated view of a checkpoint header.
-struct Header {
-  std::uint64_t config_hash = 0;
-  std::uint64_t num_samples = 0;
-  std::uint64_t committed_bytes = 0;
-};
-
-/// Parses + validates the 36-byte header against the file size and the
-/// expected run configuration. Every failure is a structured rejection.
-Header check_header(const std::string& path,
-                    const std::vector<std::uint8_t>& bytes,
-                    std::uint64_t expected_hash,
-                    std::uint64_t expected_samples) {
-  if (bytes.size() < kCheckpointHeaderBytes) {
-    reject(path, "truncated header (" + std::to_string(bytes.size()) +
-                     " bytes, need " +
-                     std::to_string(kCheckpointHeaderBytes) + ")");
-  }
-  const auto magic = get<std::uint32_t>(bytes.data());
-  if (magic != kCheckpointMagic) {
-    reject(path, "bad magic (not a statleak checkpoint)");
-  }
-  const auto version = get<std::uint32_t>(bytes.data() + 4);
-  if (version != kCheckpointVersion) {
-    reject(path, "unsupported version " + std::to_string(version) +
-                     " (this build reads version " +
-                     std::to_string(kCheckpointVersion) + ")");
-  }
-  const auto stored_crc = get<std::uint32_t>(bytes.data() + 32);
-  if (stored_crc != crc32(bytes.data(), 32)) {
-    reject(path, "header CRC mismatch (corrupt header)");
-  }
-  Header h;
-  h.config_hash = get<std::uint64_t>(bytes.data() + 8);
-  h.num_samples = get<std::uint64_t>(bytes.data() + 16);
-  h.committed_bytes = get<std::uint64_t>(bytes.data() + 24);
-  if (h.committed_bytes < kCheckpointHeaderBytes) {
-    reject(path, "committed_bytes " + std::to_string(h.committed_bytes) +
-                     " smaller than the header");
-  }
-  if (h.committed_bytes > bytes.size()) {
-    reject(path, "file shorter than committed region (" +
-                     std::to_string(bytes.size()) + " bytes on disk, " +
-                     std::to_string(h.committed_bytes) + " committed)");
-  }
-  if (h.config_hash != expected_hash) {
-    reject(path,
-           "written by a different run configuration (config hash "
-           "mismatch) — delete it or point --checkpoint elsewhere");
-  }
-  if (h.num_samples != expected_samples) {
-    reject(path, "population mismatch (file has " +
-                     std::to_string(h.num_samples) + " samples, run wants " +
-                     std::to_string(expected_samples) + ")");
-  }
-  return h;
+/// Payload bytes of one sample block: begin, count, then the f64 lanes.
+std::size_t block_payload_bytes(std::uint64_t count) {
+  return 16 + 2 * count * sizeof(double);
 }
 
 }  // namespace
-
-std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
-  // Table generated once for polynomial 0xEDB88320 (reflected IEEE 802.3).
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::uint32_t crc = ~seed;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return ~crc;
-}
 
 std::uint64_t mc_checkpoint_hash(const Circuit& circuit,
                                  const VariationModel& var,
@@ -241,57 +112,49 @@ void validate_checkpoint_range(std::uint64_t begin, std::uint64_t count,
 }
 
 bool checkpoint_exists(const std::string& path) {
-  std::error_code ec;
-  return std::filesystem::exists(path, ec) && !ec &&
-         std::filesystem::file_size(path, ec) > 0 && !ec;
+  return journal_exists(path);
 }
 
 CheckpointData load_checkpoint(const std::string& path,
                                std::uint64_t config_hash,
                                std::uint64_t num_samples) {
-  const std::vector<std::uint8_t> bytes = slurp(path);
-  const Header h = check_header(path, bytes, config_hash, num_samples);
+  const JournalContents journal =
+      load_journal(path, mc_checkpoint_format(), config_hash, num_samples);
 
   CheckpointData data;
-  data.num_samples = h.num_samples;
-  data.dropped_tail_bytes = bytes.size() - h.committed_bytes;
+  data.num_samples = num_samples;
+  data.dropped_tail_bytes = journal.dropped_tail_bytes;
   data.done.assign(num_samples, 0);
   data.delay_ps.assign(num_samples, 0.0);
   data.leakage_na.assign(num_samples, 0.0);
 
-  std::size_t off = kCheckpointHeaderBytes;
-  while (off < h.committed_bytes) {
-    if (h.committed_bytes - off < kRecordHeaderBytes) {
-      reject(path, "committed record header truncated at byte " +
-                       std::to_string(off));
+  for (const JournalRecord& rec : journal.records) {
+    if (rec.kind != kMcSampleBlock) {
+      reject(path, "unknown record kind " + std::to_string(rec.kind) +
+                       " at byte " + std::to_string(rec.offset));
     }
-    const auto begin = get<std::uint64_t>(bytes.data() + off);
-    const auto count = get<std::uint64_t>(bytes.data() + off + 8);
-    const auto stored_crc = get<std::uint32_t>(bytes.data() + off + 16);
+    if (rec.payload.size() < 16) {
+      reject(path, "sample block at byte " + std::to_string(rec.offset) +
+                       " too short for its slot range");
+    }
+    const auto begin = get<std::uint64_t>(rec.payload.data());
+    const auto count = get<std::uint64_t>(rec.payload.data() + 8);
     if (count == 0) {
-      reject(path, "empty record at byte " + std::to_string(off));
+      reject(path, "empty record at byte " + std::to_string(rec.offset));
     }
     if (begin > num_samples || count > num_samples - begin) {
-      reject(path, "record at byte " + std::to_string(off) +
+      reject(path, "record at byte " + std::to_string(rec.offset) +
                        " overruns the population (slots " +
                        std::to_string(begin) + "+" + std::to_string(count) +
                        " of " + std::to_string(num_samples) + ")");
     }
-    const std::size_t total = record_bytes(count);
-    if (h.committed_bytes - off < total) {
-      reject(path, "committed record payload truncated at byte " +
-                       std::to_string(off));
+    if (rec.payload.size() != block_payload_bytes(count)) {
+      reject(path, "sample block at byte " + std::to_string(rec.offset) +
+                       " has a malformed payload (" +
+                       std::to_string(rec.payload.size()) + " bytes for " +
+                       std::to_string(count) + " slots)");
     }
-    // CRC covers begin+count+payload; the crc field itself is skipped.
-    std::uint32_t crc = crc32(bytes.data() + off, 16);
-    crc = crc32(bytes.data() + off + kRecordHeaderBytes,
-                total - kRecordHeaderBytes, crc);
-    if (crc != stored_crc) {
-      reject(path,
-             "record CRC mismatch at byte " + std::to_string(off) +
-                 " (corrupt committed data)");
-    }
-    const std::uint8_t* payload = bytes.data() + off + kRecordHeaderBytes;
+    const std::uint8_t* payload = rec.payload.data() + 16;
     for (std::uint64_t i = 0; i < count; ++i) {
       const std::uint64_t slot = begin + i;
       data.delay_ps[slot] = get<double>(payload + i * sizeof(double));
@@ -302,7 +165,6 @@ CheckpointData load_checkpoint(const std::string& path,
         ++data.done_count;
       }
     }
-    off += total;
   }
   return data;
 }
@@ -310,30 +172,8 @@ CheckpointData load_checkpoint(const std::string& path,
 // --- writer -----------------------------------------------------------------
 
 struct CheckpointWriter::Impl {
-  std::mutex mutex;
-  std::FILE* file = nullptr;
-  std::string path;
-  std::uint64_t config_hash = 0;
+  std::unique_ptr<JournalWriter> journal;
   std::uint64_t num_samples = 0;
-  std::uint64_t committed = 0;
-  std::uint64_t records = 0;
-  bool dead = false;
-
-  ~Impl() {
-    if (file != nullptr) std::fclose(file);
-  }
-
-  /// Rewrites bytes [0, 36) with the current committed_bytes. Phase two of
-  /// the commit: only runs after the record payload is flushed.
-  bool write_header_locked() {
-    const std::vector<std::uint8_t> hdr =
-        header_bytes(config_hash, num_samples, committed);
-    if (std::fseek(file, 0, SEEK_SET) != 0) return false;
-    if (std::fwrite(hdr.data(), 1, hdr.size(), file) != hdr.size()) {
-      return false;
-    }
-    return std::fflush(file) == 0;
-  }
 };
 
 CheckpointWriter::CheckpointWriter(std::unique_ptr<Impl> impl)
@@ -345,19 +185,9 @@ std::unique_ptr<CheckpointWriter> CheckpointWriter::create(
     const std::string& path, std::uint64_t config_hash,
     std::uint64_t num_samples) {
   auto impl = std::make_unique<Impl>();
-  impl->path = path;
-  impl->config_hash = config_hash;
   impl->num_samples = num_samples;
-  impl->committed = kCheckpointHeaderBytes;
-  impl->file = std::fopen(path.c_str(), "wb+");
-  if (impl->file == nullptr) {
-    throw CheckpointError("checkpoint '" + path +
-                          "': cannot open for writing");
-  }
-  if (!impl->write_header_locked()) {
-    throw CheckpointError("checkpoint '" + path +
-                          "': failed to write header");
-  }
+  impl->journal = JournalWriter::create(path, mc_checkpoint_format(),
+                                        config_hash, num_samples);
   return std::unique_ptr<CheckpointWriter>(
       new CheckpointWriter(std::move(impl)));
 }
@@ -365,31 +195,10 @@ std::unique_ptr<CheckpointWriter> CheckpointWriter::create(
 std::unique_ptr<CheckpointWriter> CheckpointWriter::resume(
     const std::string& path, std::uint64_t config_hash,
     std::uint64_t num_samples) {
-  // Validate via the loader's machinery (cheap relative to an MC run) so a
-  // writer never appends after a corrupt committed region.
-  const std::vector<std::uint8_t> bytes = slurp(path);
-  const Header h = check_header(path, bytes, config_hash, num_samples);
-
   auto impl = std::make_unique<Impl>();
-  impl->path = path;
-  impl->config_hash = config_hash;
   impl->num_samples = num_samples;
-  impl->committed = h.committed_bytes;
-  impl->file = std::fopen(path.c_str(), "rb+");
-  if (impl->file == nullptr) {
-    throw CheckpointError("checkpoint '" + path +
-                          "': cannot open for appending");
-  }
-  // Drop any uncommitted tail now so new records extend the committed
-  // region contiguously.
-  if (bytes.size() > h.committed_bytes) {
-    std::error_code ec;
-    std::filesystem::resize_file(path, h.committed_bytes, ec);
-    if (ec) {
-      throw CheckpointError("checkpoint '" + path +
-                            "': cannot drop uncommitted tail");
-    }
-  }
+  impl->journal = JournalWriter::resume(path, mc_checkpoint_format(),
+                                        config_hash, num_samples);
   return std::unique_ptr<CheckpointWriter>(
       new CheckpointWriter(std::move(impl)));
 }
@@ -400,62 +209,22 @@ void CheckpointWriter::append(std::uint64_t begin,
   STATLEAK_ASSERT(delay.size() == leak.size(),
                   "checkpoint record needs paired delay/leakage spans");
   if (delay.empty()) return;
-  Impl& im = *impl_;
-  validate_checkpoint_range(begin, delay.size(), im.num_samples);
-  const std::lock_guard<std::mutex> lock(im.mutex);
-  if (im.dead) return;  // a dead writer behaves like a dead process
+  validate_checkpoint_range(begin, delay.size(), impl_->num_samples);
 
   const std::uint64_t count = delay.size();
-  std::vector<std::uint8_t> rec;
-  rec.reserve(record_bytes(count));
-  put<std::uint64_t>(rec, begin);
-  put<std::uint64_t>(rec, count);
-  std::uint32_t crc = crc32(rec.data(), 16);
-  crc = crc32(delay.data(), count * sizeof(double), crc);
-  crc = crc32(leak.data(), count * sizeof(double), crc);
-  put<std::uint32_t>(rec, crc);
-  for (double d : delay) put<double>(rec, d);
-  for (double l : leak) put<double>(rec, l);
-
-  // Phase one: append + flush the record past the committed region.
-  std::size_t write_len = rec.size();
-  bool injected_short_write = false;
-  if (STATLEAK_FAULT_FIRES(fault::Point::kShortWrite, im.records)) {
-    // Simulate dying mid-flush: half the record reaches the disk and the
-    // header is never advanced, so the tail is dropped on the next load.
-    write_len = rec.size() / 2;
-    injected_short_write = true;
-  }
-  bool ok = std::fseek(im.file, static_cast<long>(im.committed),
-                       SEEK_SET) == 0 &&
-            std::fwrite(rec.data(), 1, write_len, im.file) == write_len &&
-            std::fflush(im.file) == 0;
-  if (!ok || injected_short_write) {
-    im.dead = true;
-    return;
-  }
-
-  // Phase two: advance committed_bytes. Failure here leaves the old header
-  // committed — the record becomes an ignorable tail, not corruption.
-  im.committed += rec.size();
-  if (!im.write_header_locked()) {
-    im.committed -= rec.size();
-    im.dead = true;
-    return;
-  }
-  ++im.records;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(block_payload_bytes(count));
+  put<std::uint64_t>(payload, begin);
+  put<std::uint64_t>(payload, count);
+  for (double d : delay) put<double>(payload, d);
+  for (double l : leak) put<double>(payload, l);
+  impl_->journal->append(kMcSampleBlock, payload.data(), payload.size());
 }
 
-bool CheckpointWriter::healthy() const {
-  Impl& im = *impl_;
-  const std::lock_guard<std::mutex> lock(im.mutex);
-  return !im.dead;
-}
+bool CheckpointWriter::healthy() const { return impl_->journal->healthy(); }
 
 std::uint64_t CheckpointWriter::records_appended() const {
-  Impl& im = *impl_;
-  const std::lock_guard<std::mutex> lock(im.mutex);
-  return im.records;
+  return impl_->journal->records_appended();
 }
 
 }  // namespace statleak

@@ -8,32 +8,20 @@
 /// recomputes the rest, and the merged result is bit-identical to an
 /// uninterrupted run for any thread count, batch size, or engine.
 ///
-/// File layout (little-endian, the only byte order statleak targets):
+/// The container is the generic two-phase-commit journal of
+/// util/journal.hpp ("SLCK" magic, format version 2; version 1 was the
+/// pre-generalization layout with an MC-specific record envelope). One
+/// record kind is used:
 ///
-///   header (36 bytes)
-///     magic            u32   "SLCK"
-///     version          u32   kCheckpointVersion
-///     config_hash      u64   mc_checkpoint_hash() of the producing run
-///     num_samples      u64   population size
-///     committed_bytes  u64   end of the valid region (two-phase commit)
-///     header_crc       u32   CRC-32 of the 32 bytes above
-///   records, back to back, from byte 36 up to committed_bytes
-///     begin            u64   first slot of the block
-///     count            u64   number of consecutive slots
-///     record_crc       u32   CRC-32 of begin+count+payload
-///     payload                count delays then count leakages (f64 bits)
+///   kind kMcSampleBlock (payload)
+///     begin      u64   first slot of the block
+///     count      u64   number of consecutive slots
+///     payload          count delays then count leakages (f64 bits)
 ///
-/// Two-phase commit: a record is appended and flushed *before*
-/// committed_bytes is advanced, so a crash (or a short write — see
-/// util/fault.hpp) at any instant leaves either the old or the new
-/// committed state, never a half-trusted record. On load, bytes beyond
-/// committed_bytes are ignored (the dropped-tail count is reported);
-/// corruption *inside* the committed region — bad magic/version/CRC, a
-/// record overrunning the population or the region, a file shorter than
-/// committed_bytes — is rejected with CheckpointError naming the byte
-/// offset and cause. Never UB, never a partial trust.
-///
-/// See docs/ROBUSTNESS.md for the operational story.
+/// The header's `meta` word is the population size. Crash consistency,
+/// tail-drop on resume and the corruption taxonomy (all rejected as
+/// CheckpointError, CLI exit 5) are the container's — see util/journal.hpp
+/// and docs/ROBUSTNESS.md.
 
 #pragma once
 
@@ -47,26 +35,20 @@
 #include "netlist/circuit.hpp"
 #include "tech/process.hpp"
 #include "tech/variation.hpp"
-#include "util/error.hpp"
+#include "util/journal.hpp"
 
 namespace statleak {
 
-/// Structured rejection of an unusable checkpoint: truncated, corrupt, or
-/// written by a different run configuration. Subclass of statleak::Error;
-/// the CLI maps it to exit code 5.
-class CheckpointError : public Error {
- public:
-  using Error::Error;
-};
-
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B434C53u;  // "SLCK"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
-inline constexpr std::size_t kCheckpointHeaderBytes = 36;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::size_t kCheckpointHeaderBytes = kJournalHeaderBytes;
+/// The MC checkpoint's one record kind (journal `kind` tag).
+inline constexpr std::uint32_t kMcSampleBlock = 0;
 
-/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320). Exposed for tests that
-/// hand-craft or corrupt checkpoint bytes.
-std::uint32_t crc32(const void* data, std::size_t size,
-                    std::uint32_t seed = 0);
+/// The journal format tag of MC checkpoint files.
+inline constexpr JournalFormat mc_checkpoint_format() {
+  return JournalFormat{kCheckpointMagic, kCheckpointVersion};
+}
 
 /// Fingerprint of everything that pins Monte-Carlo sample values: the
 /// master seed, the population size, the delay mode, the sampler kind and

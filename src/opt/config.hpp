@@ -63,6 +63,20 @@ struct OptConfig : ExecConfig {
   /// set the vectorized stages stream over.
   int candidate_block = 0;
 
+  /// Journal file for the statistical optimizer's durable checkpoint/resume
+  /// (opt/checkpoint.hpp). Empty = no journaling. When the file already
+  /// exists and validates against the run's fingerprint, the run resumes:
+  /// the committed trajectory is replayed and the final implementation is
+  /// bit-identical to an uninterrupted run.
+  std::string checkpoint_path;
+
+  /// Implementation-snapshot cadence of the optimizer journal, counted in
+  /// committed moves (must be >= 1 when checkpoint_path is set). Snapshots
+  /// are integrity cross-checks, not replay state, so the cadence is
+  /// trajectory-invariant and deliberately excluded from the fingerprint —
+  /// a journal written at one cadence resumes under any other.
+  int checkpoint_every = 256;
+
   // ExecConfig::num_threads drives the statistical optimizer's
   // candidate-scoring loops. Scoring is read-only per candidate and
   // sharded by gate index with an in-order reduction, so the chosen
@@ -82,6 +96,9 @@ struct OptResult {
   int downsize_commits = 0;    ///< downsizing moves
   int rejected_moves = 0;      ///< tentative moves undone
   int iterations = 0;          ///< optimization loop iterations
+  /// Committed decisions replayed from an optimizer journal instead of
+  /// being re-scored (0 on a fresh run; statistical optimizer only).
+  int replayed_moves = 0;
   double final_objective = 0.0;  ///< optimizer's own objective at exit
                                  ///< (corner leakage / leakage percentile)
   std::string note;            ///< human-readable outcome summary

@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <type_traits>
 #include <vector>
 
 #include "leakage/leakage.hpp"
 #include "opt/batch_score.hpp"
+#include "opt/checkpoint.hpp"
 #include "opt/metrics.hpp"
 #include "ssta/flat_incremental.hpp"
 #include "ssta/ssta.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 
 namespace statleak {
@@ -107,6 +111,25 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
     e.rejected = result.rejected_moves;
     obs->trace("stat", std::move(e));
   };
+
+  // Durable checkpoint/resume (opt/checkpoint.hpp). An existing journal is
+  // replayed *through the identical control flow*: every scan site below
+  // first offers the iteration to replay_scan(), which serves the recorded
+  // decision instead of scanning; the trial/commit/rollback is re-executed
+  // to rebuild the engine caches and the accept verdict is re-derived and
+  // cross-checked. When the committed prefix runs dry — a killed or
+  // deadline-stopped producer simply left a shorter journal — the same site
+  // switches to live scanning + appending in place, so the resumed
+  // trajectory and final implementation are bit-identical to an
+  // uninterrupted run (pinned by tests/opt_checkpoint_test.cpp).
+  std::unique_ptr<OptJournal> journal_store;
+  if (!config_.checkpoint_path.empty()) {
+    journal_store = std::make_unique<OptJournal>(
+        config_.checkpoint_path,
+        opt_checkpoint_hash(circuit, lib_, var_, config_), circuit,
+        config_.checkpoint_every);
+  }
+  OptJournal* const journal = journal_store.get();
 
   // Own mean delay of a gate under a hypothetical (vth, size).
   const auto own_delay = [&](GateId id, Vth vth, double size) -> double {
@@ -243,7 +266,13 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
       record("sizing", q_now, yield, timing.circuit_delay.mean);
       if (yield >= target) break;
       MoveCandidate best;
-      {
+      OptScanOutcome replayed;
+      if (journal != nullptr &&
+          journal->replay_scan(OptPhase::kSizing, result.iterations,
+                               replayed)) {
+        best.gate = replayed.gate;
+        best.step = replayed.step;
+      } else {
         obs::ScopedTimer score_timer(obs, "stat.score");
         if constexpr (kFlat) {
           best = scorer->best_sizing(timing.criticality, locked, q_now, pct,
@@ -271,12 +300,19 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
           });
         }
       }
-      if (best.gate == kInvalidGate) break;  // no upsizing can help further
+      if (best.gate == kInvalidGate) {  // no upsizing can help further
+        if (journal != nullptr) {
+          journal->record_no_candidate(OptPhase::kSizing, result.iterations,
+                                       circuit);
+        }
+        break;
+      }
 
       ssta.begin_trial();
       apply_size(best.gate, steps[best.step]);
       const double new_yield = ssta.circuit_delay().cdf(t_max);
-      if (new_yield <= yield + 1e-12) {
+      const bool accepted = new_yield > yield + 1e-12;
+      if (!accepted) {
         // Fanin load coupling ate the gain: roll back and lock this step.
         ssta.rollback_trial();
         circuit.set_size(best.gate, steps[best.step - 1]);
@@ -288,6 +324,12 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
         leak.on_gate_changed(best.gate);
         yield = new_yield;
         ++result.sizing_commits;
+      }
+      if (journal != nullptr) {
+        journal->record_decision(OptPhase::kSizing, result.iterations,
+                                 OptMoveKind::kUpsize, best.gate,
+                                 static_cast<std::uint32_t>(best.step), 0.0,
+                                 accepted, circuit);
       }
     }
     return yield;
@@ -313,7 +355,14 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
         record("assign", q_now, cur_yield, timing.circuit_delay.mean);
 
         MoveCandidate best;
-        {
+        OptScanOutcome replayed;
+        if (journal != nullptr &&
+            journal->replay_scan(OptPhase::kAssign, result.iterations,
+                                 replayed)) {
+          best.gate = replayed.gate;
+          best.to_hvt = replayed.kind == OptMoveKind::kHvt;
+          best.new_size = replayed.new_size;
+        } else {
           obs::ScopedTimer score_timer(obs, "stat.score");
           if constexpr (kFlat) {
             best = scorer->best_assign(timing.criticality, locked, q_now,
@@ -359,7 +408,13 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
             });
           }
         }
-        if (best.gate == kInvalidGate) break;
+        if (best.gate == kInvalidGate) {
+          if (journal != nullptr) {
+            journal->record_no_candidate(OptPhase::kAssign, result.iterations,
+                                         circuit);
+          }
+          break;
+        }
 
         // Tentative apply inside an engine trial + forward SSTA validation.
         const Gate saved = circuit.gate(best.gate);
@@ -393,6 +448,23 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
               static_cast<unsigned char>(best.to_hvt ? 1 : 2);
           ++result.rejected_moves;
         }
+        if (journal != nullptr) {
+          journal->record_decision(OptPhase::kAssign, result.iterations,
+                                   best.to_hvt ? OptMoveKind::kHvt
+                                               : OptMoveKind::kDownsize,
+                                   best.gate, 0, best.new_size, acceptable,
+                                   circuit);
+        }
+        if (acceptable &&
+            STATLEAK_FAULT_FIRES(
+                fault::Point::kOptAssignKill,
+                static_cast<std::uint64_t>(result.hvt_commits +
+                                           result.downsize_commits))) {
+          // Simulate a kill -9 right after the journal committed this
+          // assignment: the process "dies" with the on-disk prefix ending
+          // exactly at this decision (tests/fault_test.cpp resumes it).
+          throw fault::InjectedCrash{};
+        }
       }
       if (committed_this_round == 0) break;
     }
@@ -412,23 +484,37 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
 
       GateId best = kInvalidGate;
       bool to_lvt = false;
-      double best_crit = 0.0;
-      for (GateId id = 0; id < circuit.num_gates(); ++id) {
-        const Gate& g = circuit.gate(id);
-        if (g.kind == CellKind::kInput) continue;
-        if (timing.criticality[id] <= best_crit) continue;
-        if (g.vth == Vth::kHigh && tried.count({id, 0}) == 0) {
-          best = id;
-          to_lvt = true;
-          best_crit = timing.criticality[id];
-        } else if (lib_.nearest_step(g.size) + 1 < steps.size() &&
-                   tried.count({id, 1}) == 0) {
-          best = id;
-          to_lvt = false;
-          best_crit = timing.criticality[id];
+      OptScanOutcome replayed;
+      if (journal != nullptr &&
+          journal->replay_scan(OptPhase::kRecover, result.iterations,
+                               replayed)) {
+        best = replayed.gate;
+        to_lvt = replayed.kind == OptMoveKind::kRecoverLvt;
+      } else {
+        double best_crit = 0.0;
+        for (GateId id = 0; id < circuit.num_gates(); ++id) {
+          const Gate& g = circuit.gate(id);
+          if (g.kind == CellKind::kInput) continue;
+          if (timing.criticality[id] <= best_crit) continue;
+          if (g.vth == Vth::kHigh && tried.count({id, 0}) == 0) {
+            best = id;
+            to_lvt = true;
+            best_crit = timing.criticality[id];
+          } else if (lib_.nearest_step(g.size) + 1 < steps.size() &&
+                     tried.count({id, 1}) == 0) {
+            best = id;
+            to_lvt = false;
+            best_crit = timing.criticality[id];
+          }
         }
       }
-      if (best == kInvalidGate) break;
+      if (best == kInvalidGate) {
+        if (journal != nullptr) {
+          journal->record_no_candidate(OptPhase::kRecover, result.iterations,
+                                       circuit);
+        }
+        break;
+      }
 
       if (to_lvt) {
         apply_vth(best, Vth::kLow);
@@ -439,6 +525,12 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
         tried.insert({best, 1});
       }
       leak.on_gate_changed(best);
+      if (journal != nullptr) {
+        journal->record_decision(OptPhase::kRecover, result.iterations,
+                                 to_lvt ? OptMoveKind::kRecoverLvt
+                                        : OptMoveKind::kRecoverUpsize,
+                                 best, 0, 0.0, /*accepted=*/true, circuit);
+      }
       yield = ssta.circuit_delay().cdf(t_max);
     }
     return yield;
@@ -475,9 +567,20 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
 
   result.final_objective = leak.quantile_na(pct);
   result.completed = !deadline_hit;
+  if (journal != nullptr) {
+    // A deadline-stopped run appends no completion record: its journal
+    // stays a resumable prefix instead of a dead partial result.
+    if (result.completed) journal->record_complete(result, circuit);
+    result.replayed_moves = static_cast<int>(journal->moves_replayed());
+  }
   result.note = result.feasible ? "timing-yield target met"
                                 : "yield target unreachable (best effort)";
   if (deadline_hit) result.note += "; stopped early: deadline expired";
+  if (journal != nullptr && journal->resumed()) {
+    result.note += "; resumed: replayed " +
+                   std::to_string(journal->moves_replayed()) +
+                   " journaled decisions";
+  }
   if (obs != nullptr) {
     if (deadline_hit) obs->mark_incomplete("deadline");
     obs->add("stat.iterations", result.iterations);
@@ -489,6 +592,20 @@ OptResult StatisticalOptimizer::run_impl(Circuit& circuit, Engine& ssta,
     obs->set_gauge("stat.feasible", result.feasible ? 1.0 : 0.0);
     obs->set_gauge("stat.final_yield", ssta.circuit_delay().cdf(t_max));
     obs->note_config("opt.engine", kFlat ? "flat" : "scalar");
+    if (journal != nullptr) {
+      obs->add("opt.journal_records",
+               static_cast<double>(journal->records_appended()));
+      obs->add("opt.journal_replayed",
+               static_cast<double>(journal->moves_replayed()));
+      obs->add("opt.journal_snapshots",
+               static_cast<double>(journal->snapshots_appended()));
+      obs->set_gauge("opt.resumed", journal->resumed() ? 1.0 : 0.0);
+      obs->set_gauge("opt.journal_healthy", journal->healthy() ? 1.0 : 0.0);
+      obs->note_config("opt.checkpoint", config_.checkpoint_path);
+      obs->note_config_num(
+          "opt.checkpoint_every",
+          static_cast<std::int64_t>(config_.checkpoint_every));
+    }
     if constexpr (kFlat) {
       obs->note_config_num("opt.candidate_block",
                            static_cast<std::int64_t>(block));

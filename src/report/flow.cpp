@@ -145,6 +145,8 @@ FlowOutcome run_flow(Circuit& circuit, const CellLibrary& lib,
     const auto start = std::chrono::steady_clock::now();
     OptConfig stat_cfg = base;
     stat_cfg.deadline_ms = remaining_ms();
+    stat_cfg.checkpoint_path = config.opt_checkpoint_path;
+    stat_cfg.checkpoint_every = config.opt_checkpoint_every;
     out.stat_result = StatisticalOptimizer(lib, var, stat_cfg).run(circuit, obs);
     out.stat_runtime_s = seconds_since(start);
     out.stat_metrics = measure_metrics(circuit, lib, var, out.t_max_ps);

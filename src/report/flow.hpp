@@ -53,6 +53,14 @@ struct FlowConfig : ExecConfig {
   /// only: the optimization trajectory is bit-identical either way.
   bool opt_flat_engine = true;
   int opt_candidate_block = 0;
+  /// Durable journal for the statistical phase (OptConfig::checkpoint_path):
+  /// a flow whose budget expires mid-statistical-optimization resumes it
+  /// bit-identically on the next invocation. Empty = no journaling. The
+  /// deterministic baseline is corner-cheap and is not journaled.
+  std::string opt_checkpoint_path;
+  /// Snapshot cadence of the statistical phase's journal, in committed
+  /// moves (OptConfig::checkpoint_every).
+  int opt_checkpoint_every = 256;
 };
 
 struct McCheck {

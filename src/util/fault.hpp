@@ -33,8 +33,16 @@ enum class Point : int {
   kShardStall = 2,  ///< sleep at one shard block boundary (address = block start)
   kWorkerExit = 3,  ///< campaign coordinator kills the worker that sent the
                     ///< Nth committed block (address = block ordinal)
+  kOptAssignKill = 4,  ///< throw InjectedCrash right after the optimizer
+                       ///< journals the Nth accepted assignment-phase commit
+                       ///< (address = assign commit ordinal)
 };
-inline constexpr int kNumPoints = 4;
+inline constexpr int kNumPoints = 5;
+
+/// The payload of kOptAssignKill: thrown out of the optimizer to simulate
+/// dying mid-run with the journal exactly at its crash state. Defined in
+/// every build so test code compiles unconditionally.
+struct InjectedCrash {};
 
 /// "on" / "off" — whether this build compiled the injection machinery.
 const char* build_mode();

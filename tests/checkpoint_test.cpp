@@ -200,18 +200,39 @@ TEST_F(CheckpointTest, RejectsEachCorruptionClass) {
     bad[32] ^= 0xFF;
     expect_reject(bad, "bad header crc");
   }
+  // The v2 record envelope: payload_len u64 @ +0, kind u32 @ +8, crc u32
+  // @ +12 (CRC of those 12 bytes chained over the payload), payload after.
+  const std::size_t env = kCheckpointHeaderBytes;        // first record
+  const std::size_t payload = env + kJournalRecordBytes; // its payload
+  const std::size_t payload_len = 16 + 2 * 4 * sizeof(double);
+  const auto restamp_record_crc = [&](std::vector<std::uint8_t>& bytes) {
+    store_u32(bytes, env + 12,
+              crc32(bytes.data() + payload, payload_len,
+                    crc32(bytes.data() + env, 12)));
+  };
+
   {  // record CRC mismatch: flip one payload byte inside the committed region
     std::vector<std::uint8_t> bad = good;
-    bad[kCheckpointHeaderBytes + 20 + 3] ^= 0xFF;
+    bad[payload + 16 + 3] ^= 0xFF;  // third delay byte, past begin/count
     expect_reject(bad, "bad record crc");
+  }
+  {  // unknown record kind (record CRC re-stamped so only the kind trips)
+    std::vector<std::uint8_t> bad = good;
+    store_u32(bad, env + 8, 7);
+    restamp_record_crc(bad);
+    expect_reject(bad, "bad record kind");
   }
   {  // record overruns the population: begin pushed past num_samples - count
     std::vector<std::uint8_t> bad = good;
-    store_u64(bad, kCheckpointHeaderBytes, 8);  // begin 2 -> 8, count 4
-    const std::size_t payload = 2 * 4 * sizeof(double);
-    store_u32(bad, kCheckpointHeaderBytes + 16,
-              crc32(bad.data() + kCheckpointHeaderBytes, 16 + payload));
+    store_u64(bad, payload, 8);  // begin 2 -> 8, count 4
+    restamp_record_crc(bad);
     expect_reject(bad, "record overrun");
+  }
+  {  // malformed payload: count claims more doubles than the record holds
+    std::vector<std::uint8_t> bad = good;
+    store_u64(bad, payload + 8, 6);  // count 4 -> 6, begin still in range
+    restamp_record_crc(bad);
+    expect_reject(bad, "malformed payload length");
   }
   {  // file shorter than committed_bytes
     std::vector<std::uint8_t> bad = good;

@@ -25,6 +25,7 @@
 
 #include "api/driver.hpp"
 #include "dist/coordinator.hpp"
+#include "dist/net.hpp"
 #include "dist/partition.hpp"
 #include "dist/protocol.hpp"
 #include "dist/worker.hpp"
@@ -461,6 +462,65 @@ TEST_F(CampaignTest, TcpCampaignIsByteIdenticalToSingleHost) {
   }
   EXPECT_EQ(api::mc_summary_text(campaign.command),
             api::mc_summary_text(reference));
+}
+
+/// Reserves an ephemeral port and releases it so the test can hand the
+/// same number to a worker (connecting) and a coordinator (binding later).
+int reserve_port() {
+  int port = 0;
+  const int fd = dist::listen_tcp("127.0.0.1:0", &port);
+  ::close(fd);
+  return port;
+}
+
+TEST_F(CampaignTest, WorkersSurviveCoordinatorStartingLate) {
+  const api::McCommandResult reference = api::run_mc_command(cmd_);
+
+  // Deliberately lose the startup race: the workers connect first, so
+  // their early attempts are refused, and only connect_tcp's bounded
+  // backoff keeps them alive until the coordinator binds ~100 ms later.
+  const int port = reserve_port();
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i) {
+    workers.emplace_back([port] {
+      dist::WorkerOptions wo;
+      wo.connect = "127.0.0.1:" + std::to_string(port);
+      dist::run_worker(wo);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  dist::DistConfig dc;
+  dc.workers = 2;
+  dc.worker_threads = 1;
+  dc.listen = "127.0.0.1:" + std::to_string(port);
+  const dist::CampaignResult campaign = dist::run_campaign(cmd_, dc);
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(campaign.workers_spawned, 2);
+  EXPECT_EQ(campaign.workers_lost, 0);
+  ASSERT_EQ(campaign.command.result.delay_ps.size(),
+            reference.result.delay_ps.size());
+  for (std::size_t i = 0; i < reference.result.delay_ps.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(campaign.command.result.delay_ps[i]),
+              std::bit_cast<std::uint64_t>(reference.result.delay_ps[i]));
+    ASSERT_EQ(
+        std::bit_cast<std::uint64_t>(campaign.command.result.leakage_na[i]),
+        std::bit_cast<std::uint64_t>(reference.result.leakage_na[i]));
+  }
+  EXPECT_EQ(api::mc_summary_text(campaign.command),
+            api::mc_summary_text(reference));
+}
+
+TEST(ConnectRetryTest, PersistentRefusalStillFailsAfterBackoff) {
+  // No listener ever appears on the reserved port: the backoff ladder must
+  // run dry (~1.3 s) and surface the original connect error, not hang.
+  const int port = reserve_port();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(dist::connect_tcp("127.0.0.1:" + std::to_string(port)),
+               dist::DistError);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
 }
 
 #ifdef STATLEAK_FAULT_INJECTION

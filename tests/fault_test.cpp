@@ -2,8 +2,9 @@
 // -DSTATLEAK_FAULT_INJECTION=ON): every injection point is armed and its
 // degradation path proven end to end — NaN quarantine / fail-fast, short
 // checkpoint writes surviving as dropped tails, shard stalls tripping the
-// deadline. Injections are addressed and deterministic, so each scenario
-// reproduces exactly.
+// deadline, and the optimizer dying mid-assignment-phase then resuming its
+// journal bit-identically. Injections are addressed and deterministic, so
+// each scenario reproduces exactly.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +15,8 @@
 #include "gen/arithmetic.hpp"
 #include "mc/checkpoint.hpp"
 #include "mc/monte_carlo.hpp"
+#include "opt/statistical.hpp"
+#include "report/flow.hpp"
 #include "tech/process.hpp"
 #include "util/fault.hpp"
 #include "util/health.hpp"
@@ -176,6 +179,109 @@ TEST_F(FaultTest, ShortWriteKillsWriterNotRun) {
   const CheckpointData data = load_checkpoint(f.path(), 1234, 10);
   EXPECT_EQ(data.done_count, 0u);
   EXPECT_GT(data.dropped_tail_bytes, 0u);
+}
+
+struct Implementation {
+  std::vector<double> sizes;
+  std::vector<Vth> vths;
+};
+
+Implementation snapshot(const Circuit& c) {
+  Implementation impl;
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    impl.sizes.push_back(c.gate(id).size);
+    impl.vths.push_back(c.gate(id).vth);
+  }
+  return impl;
+}
+
+class OptFaultTest : public FaultTest {
+ protected:
+  void SetUp() override {
+    FaultTest::SetUp();
+    Circuit probe = make_ripple_carry_adder(16);
+    base_.t_max_ps = 1.15 * min_achievable_delay_ps(probe, lib_);
+    base_.checkpoint_every = 20;
+  }
+
+  Circuit fresh_circuit() const { return make_ripple_carry_adder(16); }
+
+  OptResult run(const OptConfig& cfg, Circuit& c) {
+    return StatisticalOptimizer(lib_, var_, cfg).run(c);
+  }
+
+  void expect_matches_reference(const OptResult& ref,
+                                const Implementation& ref_impl,
+                                const OptResult& res, const Circuit& c) {
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.iterations, ref.iterations);
+    EXPECT_EQ(res.sizing_commits, ref.sizing_commits);
+    EXPECT_EQ(res.hvt_commits, ref.hvt_commits);
+    EXPECT_EQ(res.downsize_commits, ref.downsize_commits);
+    EXPECT_EQ(res.rejected_moves, ref.rejected_moves);
+    EXPECT_EQ(res.final_objective, ref.final_objective);  // bitwise
+    const Implementation impl = snapshot(c);
+    EXPECT_EQ(impl.sizes, ref_impl.sizes);
+    EXPECT_TRUE(impl.vths == ref_impl.vths);
+  }
+
+  OptConfig base_;
+};
+
+TEST_F(OptFaultTest, AssignPhaseKillThenResumeBitIdentical) {
+  // The headline crash drill: the process "dies" (InjectedCrash) right
+  // after the journal committed the 4th accepted assignment-phase move —
+  // mid-phase, state strewn across lock masks and round counters. The
+  // journal is exactly the committed prefix; the resume replays it and
+  // finishes bit-identically to a run that never crashed.
+  Circuit ref_c = fresh_circuit();
+  const OptResult ref = run(base_, ref_c);
+  const Implementation ref_impl = snapshot(ref_c);
+  ASSERT_GT(ref.hvt_commits + ref.downsize_commits, 4);
+
+  TempFile f("fault_opt_kill.bin");
+  OptConfig cfg = base_;
+  cfg.checkpoint_path = f.path();
+  fault::arm(fault::Point::kOptAssignKill, 4);
+  {
+    Circuit c = fresh_circuit();
+    EXPECT_THROW((void)run(cfg, c), fault::InjectedCrash);
+  }
+  EXPECT_EQ(fault::fired_count(fault::Point::kOptAssignKill), 1);
+
+  fault::reset();
+  Circuit c = fresh_circuit();
+  const OptResult res = run(cfg, c);
+  EXPECT_GT(res.replayed_moves, 0);
+  expect_matches_reference(ref, ref_impl, res, c);
+}
+
+TEST_F(OptFaultTest, JournalShortWriteDropsTailAndResumes) {
+  // A short write tears the Nth journal record mid-flush: the writer plays
+  // dead (the rest of the run journals nothing, like a dead disk), the run
+  // itself still completes, and the torn bytes sit past committed_bytes.
+  // Resuming from that prefix re-scans the un-journaled remainder and lands
+  // on the bit-identical result.
+  Circuit ref_c = fresh_circuit();
+  const OptResult ref = run(base_, ref_c);
+  const Implementation ref_impl = snapshot(ref_c);
+
+  TempFile f("fault_opt_shortwrite.bin");
+  OptConfig cfg = base_;
+  cfg.checkpoint_path = f.path();
+  fault::arm(fault::Point::kShortWrite, 9);
+  {
+    Circuit c = fresh_circuit();
+    const OptResult first = run(cfg, c);
+    EXPECT_TRUE(first.completed);  // only the journal died, not the run
+  }
+  EXPECT_EQ(fault::fired_count(fault::Point::kShortWrite), 1);
+
+  fault::reset();
+  Circuit c = fresh_circuit();
+  const OptResult res = run(cfg, c);
+  EXPECT_EQ(res.replayed_moves, 9);  // exactly the committed prefix
+  expect_matches_reference(ref, ref_impl, res, c);
 }
 
 TEST_F(FaultTest, ShardStallTripsTheDeadline) {

@@ -1,0 +1,234 @@
+// The generic journal container (util/journal.hpp): framing round-trip,
+// two-phase tail-drop, writer resume, and structured rejection of every
+// corruption class — independent of any client format (MC or optimizer).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/journal.hpp"
+
+namespace statleak {
+namespace {
+
+constexpr JournalFormat kTestFormat{0x54534C53u, 3};  // "SLST"
+constexpr std::uint64_t kHash = 0xFEEDFACE12345678u;
+constexpr std::uint64_t kMeta = 42;
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void store_u32(std::vector<std::uint8_t>& bytes, std::size_t offset,
+               std::uint32_t v) {
+  std::memcpy(bytes.data() + offset, &v, sizeof v);
+}
+
+void store_u64(std::vector<std::uint8_t>& bytes, std::size_t offset,
+               std::uint64_t v) {
+  std::memcpy(bytes.data() + offset, &v, sizeof v);
+}
+
+class TempFile {
+ public:
+  explicit TempFile(std::string name) : path_(std::move(name)) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(JournalTest, RoundTripPreservesKindsPayloadsAndOrder) {
+  TempFile f("journal_roundtrip.bin");
+  const std::vector<std::uint8_t> p0 = {1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> p1 = {};  // empty payloads are legal
+  const std::vector<std::uint8_t> p2(100, 0xA5);
+  {
+    auto w = JournalWriter::create(f.path(), kTestFormat, kHash, kMeta);
+    w->append(7, p0.data(), p0.size());
+    w->append(0, p1.data(), p1.size());
+    w->append(9, p2.data(), p2.size());
+    EXPECT_TRUE(w->healthy());
+    EXPECT_EQ(w->records_appended(), 3u);
+  }
+  const JournalContents c = load_journal(f.path(), kTestFormat, kHash, kMeta);
+  EXPECT_EQ(c.config_hash, kHash);
+  EXPECT_EQ(c.meta, kMeta);
+  EXPECT_EQ(c.dropped_tail_bytes, 0u);
+  ASSERT_EQ(c.records.size(), 3u);
+  EXPECT_EQ(c.records[0].kind, 7u);
+  EXPECT_EQ(c.records[0].payload, p0);
+  EXPECT_EQ(c.records[0].offset, kJournalHeaderBytes);
+  EXPECT_EQ(c.records[1].kind, 0u);
+  EXPECT_TRUE(c.records[1].payload.empty());
+  EXPECT_EQ(c.records[2].kind, 9u);
+  EXPECT_EQ(c.records[2].payload, p2);
+}
+
+TEST(JournalTest, ResumeAppendsContiguously) {
+  TempFile f("journal_resume.bin");
+  const std::vector<std::uint8_t> a = {10, 11};
+  const std::vector<std::uint8_t> b = {20, 21, 22};
+  {
+    auto w = JournalWriter::create(f.path(), kTestFormat, kHash, kMeta);
+    w->append(1, a.data(), a.size());
+  }
+  {
+    auto w = JournalWriter::resume(f.path(), kTestFormat, kHash, kMeta);
+    EXPECT_EQ(w->records_appended(), 0u);  // counts this open only
+    w->append(2, b.data(), b.size());
+    EXPECT_EQ(w->records_appended(), 1u);
+  }
+  const JournalContents c = load_journal(f.path(), kTestFormat, kHash, kMeta);
+  ASSERT_EQ(c.records.size(), 2u);
+  EXPECT_EQ(c.records[0].payload, a);
+  EXPECT_EQ(c.records[1].payload, b);
+}
+
+TEST(JournalTest, UncommittedTailDroppedOnLoadAndTruncatedOnResume) {
+  TempFile f("journal_tail.bin");
+  const std::vector<std::uint8_t> a = {1};
+  {
+    auto w = JournalWriter::create(f.path(), kTestFormat, kHash, kMeta);
+    w->append(1, a.data(), a.size());
+  }
+  std::vector<std::uint8_t> bytes = read_bytes(f.path());
+  const std::size_t committed_size = bytes.size();
+  for (int i = 0; i < 9; ++i) bytes.push_back(0xEE);  // torn partial record
+  write_bytes(f.path(), bytes);
+
+  const JournalContents c = load_journal(f.path(), kTestFormat, kHash, kMeta);
+  ASSERT_EQ(c.records.size(), 1u);
+  EXPECT_EQ(c.dropped_tail_bytes, 9u);
+
+  {
+    auto w = JournalWriter::resume(f.path(), kTestFormat, kHash, kMeta);
+    w->append(2, a.data(), a.size());
+  }
+  const JournalContents after =
+      load_journal(f.path(), kTestFormat, kHash, kMeta);
+  ASSERT_EQ(after.records.size(), 2u);
+  EXPECT_EQ(after.dropped_tail_bytes, 0u);
+  EXPECT_EQ(after.records[1].offset, committed_size);  // tail was truncated
+}
+
+TEST(JournalTest, ExistsOnlyForNonEmptyFiles) {
+  TempFile f("journal_exists.bin");
+  EXPECT_FALSE(journal_exists(f.path()));
+  write_bytes(f.path(), {});
+  EXPECT_FALSE(journal_exists(f.path()));
+  write_bytes(f.path(), {1});
+  EXPECT_TRUE(journal_exists(f.path()));
+}
+
+TEST(JournalTest, RejectsEveryCorruptionClass) {
+  TempFile f("journal_corrupt.bin");
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6};
+  {
+    auto w = JournalWriter::create(f.path(), kTestFormat, kHash, kMeta);
+    w->append(3, payload.data(), payload.size());
+  }
+  const std::vector<std::uint8_t> good = read_bytes(f.path());
+
+  const auto expect_reject = [&](std::vector<std::uint8_t> bytes,
+                                 const char* label,
+                                 bool fix_header_crc = false) {
+    if (fix_header_crc) store_u32(bytes, 32, crc32(bytes.data(), 32));
+    write_bytes(f.path(), bytes);
+    try {
+      (void)load_journal(f.path(), kTestFormat, kHash, kMeta);
+      FAIL() << label << ": accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find("checkpoint"), std::string::npos)
+          << label;
+    }
+  };
+
+  {  // truncated header
+    expect_reject(std::vector<std::uint8_t>(good.begin(), good.begin() + 12),
+                  "truncated header");
+  }
+  {  // bad magic
+    std::vector<std::uint8_t> bad = good;
+    bad[0] ^= 0xFF;
+    expect_reject(bad, "bad magic");
+  }
+  {  // unknown version
+    std::vector<std::uint8_t> bad = good;
+    store_u32(bad, 4, kTestFormat.version + 1);
+    expect_reject(bad, "bad version", /*fix_header_crc=*/true);
+  }
+  {  // header CRC mismatch
+    std::vector<std::uint8_t> bad = good;
+    bad[32] ^= 0xFF;
+    expect_reject(bad, "bad header crc");
+  }
+  {  // committed_bytes smaller than the header itself
+    std::vector<std::uint8_t> bad = good;
+    store_u64(bad, 24, 8);
+    expect_reject(bad, "committed under header", /*fix_header_crc=*/true);
+  }
+  {  // committed_bytes beyond the end of the file
+    std::vector<std::uint8_t> bad = good;
+    store_u64(bad, 24, bad.size() + 64);
+    expect_reject(bad, "committed overruns file", /*fix_header_crc=*/true);
+  }
+  {  // record envelope overruns the committed region
+    std::vector<std::uint8_t> bad = good;
+    store_u64(bad, kJournalHeaderBytes, 1u << 20);  // absurd payload_len
+    expect_reject(bad, "record overruns committed region");
+  }
+  {  // record CRC mismatch: flip a payload byte
+    std::vector<std::uint8_t> bad = good;
+    bad[kJournalHeaderBytes + kJournalRecordBytes + 1] ^= 0xFF;
+    expect_reject(bad, "bad record crc");
+  }
+  {  // wrong client format: same bytes, loaded under a different magic
+    write_bytes(f.path(), good);
+    EXPECT_THROW((void)load_journal(f.path(), JournalFormat{0x12345678u, 3},
+                                    kHash, kMeta),
+                 CheckpointError);
+  }
+  {  // config-hash mismatch
+    write_bytes(f.path(), good);
+    EXPECT_THROW((void)load_journal(f.path(), kTestFormat, kHash + 1, kMeta),
+                 CheckpointError);
+  }
+  {  // meta mismatch
+    write_bytes(f.path(), good);
+    EXPECT_THROW((void)load_journal(f.path(), kTestFormat, kHash, kMeta + 1),
+                 CheckpointError);
+  }
+  {  // resume validates too: a corrupt file must not be appended to
+    std::vector<std::uint8_t> bad = good;
+    bad[0] ^= 0xFF;
+    write_bytes(f.path(), bad);
+    EXPECT_THROW((void)JournalWriter::resume(f.path(), kTestFormat, kHash,
+                                             kMeta),
+                 CheckpointError);
+  }
+  // The untouched file still loads — the harness corrupts, not the writer.
+  write_bytes(f.path(), good);
+  EXPECT_EQ(load_journal(f.path(), kTestFormat, kHash, kMeta).records.size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace statleak

@@ -249,6 +249,12 @@ std::vector<CommandSpec> command_specs() {
         exec_flag("--seed"),
         exec_flag("--threads"),
         exec_flag("--deadline"),
+        {"--checkpoint", true, "path",
+         "durable move journal; resumes it bit-identically when it "
+         "already exists"},
+        {"--checkpoint-every", true, "n",
+         "journal snapshot cadence in committed moves (default 256; "
+         "trajectory-invariant)"},
         {"--out", true, "out.impl", "implementation sidecar (-o works too)"},
         {"--write-bench", true, "out.bench", "also write the netlist"}}},
       {"mc", "<netlist.bench>", "Monte-Carlo delay/leakage report",
@@ -282,6 +288,12 @@ std::vector<CommandSpec> command_specs() {
         exec_flag("--seed"),
         exec_flag("--threads"),
         exec_flag("--deadline"),
+        {"--checkpoint", true, "path",
+         "durable move journal for the statistical phase; resumes it "
+         "bit-identically when it already exists"},
+        {"--checkpoint-every", true, "n",
+         "journal snapshot cadence in committed moves (default 256; "
+         "trajectory-invariant)"},
         node}},
       {"serve", "<netlist.bench>",
        "distributed Monte-Carlo campaign (byte-identical to mc)",
@@ -731,6 +743,20 @@ std::string opt_engine_echo(bool flat_engine, int candidate_block) {
   return s;
 }
 
+/// Shared --checkpoint-every decoding for mc, optimize and flow: the
+/// cadence is a positive count (samples for mc, committed moves for the
+/// optimizer). Validated at the flag boundary, before any file I/O, so a
+/// bad cadence is a usage error (exit 2) even when the netlist is also
+/// missing or the checkpoint flag was not given at all.
+int parse_checkpoint_every(const Args& args, long fallback) {
+  const long every = args.get_long("--checkpoint-every", fallback);
+  if (every < 1) {
+    throw UsageError("--checkpoint-every must be >= 1, got " +
+                     std::to_string(every));
+  }
+  return static_cast<int>(every);
+}
+
 int cmd_optimize(const Args& args, ObsSession& session) {
   api::OptimizeCommandConfig cfg;
   const std::string flow = args.get("--flow").value_or("stat");
@@ -750,6 +776,8 @@ int cmd_optimize(const Args& args, ObsSession& session) {
   // 0 = all hardware threads; results are thread-count invariant.
   cfg.opt.num_threads = static_cast<int>(args.get_long("--threads", 0));
   cfg.opt.deadline_ms = args.get_long("--deadline", 0);
+  cfg.opt.checkpoint_path = args.get("--checkpoint").value_or("");
+  cfg.opt.checkpoint_every = parse_checkpoint_every(args, 256);
   parse_opt_engine(args, cfg.opt.flat_engine, cfg.opt.candidate_block);
 
   const api::OptimizeCommandResult r =
@@ -760,6 +788,10 @@ int cmd_optimize(const Args& args, ObsSession& session) {
             << r.result.note << " (" << r.result.sizing_commits
             << " upsizes, " << r.result.hvt_commits << " HVT swaps, "
             << r.result.downsize_commits << " downsizes)\n";
+  if (!r.result.completed && !cfg.opt.checkpoint_path.empty()) {
+    std::cout << "progress saved to " << cfg.opt.checkpoint_path
+              << "; rerun the same command to resume\n";
+  }
   if (cfg.flow == api::OptimizeFlow::kStat) {
     std::cout << opt_engine_echo(cfg.opt.flat_engine, cfg.opt.candidate_block)
               << "\n";
@@ -822,8 +854,7 @@ api::McCommandConfig parse_mc_config(const Args& args) {
   mc.num_threads = static_cast<int>(args.get_long("--threads", 0));
   mc.deadline_ms = args.get_long("--deadline", 0);
   mc.checkpoint_path = args.get("--checkpoint").value_or("");
-  mc.checkpoint_every =
-      static_cast<int>(args.get_long("--checkpoint-every", 4096));
+  mc.checkpoint_every = parse_checkpoint_every(args, 4096);
   cfg.t_max_ps = args.get_double("--tmax", 0.0);  // <= 0: 1.1 * nominal
   cfg.input = study_input(args);
   return cfg;
@@ -986,6 +1017,8 @@ int cmd_flow(const Args& args, ObsSession& session) {
   cfg.flow.seed = static_cast<std::uint64_t>(args.get_long("--seed", 7));
   cfg.flow.num_threads = static_cast<int>(args.get_long("--threads", 0));
   cfg.flow.deadline_ms = args.get_long("--deadline", 0);
+  cfg.flow.opt_checkpoint_path = args.get("--checkpoint").value_or("");
+  cfg.flow.opt_checkpoint_every = parse_checkpoint_every(args, 256);
   parse_opt_engine(args, cfg.flow.opt_flat_engine,
                    cfg.flow.opt_candidate_block);
 
